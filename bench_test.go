@@ -1,0 +1,285 @@
+package stm_test
+
+// Benchmark harness: one testing.B entry per reproduced paper artifact
+// (F1..F6, T1 — see DESIGN.md §5 and cmd/stmbench for the full sweeps) plus
+// host-mode benchmarks (T2) that measure the real-goroutine build against
+// conventional synchronization.
+//
+// Simulator benchmarks execute a fixed virtual-time simulation per
+// iteration and report simulated throughput as a custom metric
+// (simops/Mcycle); wall-clock ns/op measures the simulator itself, the
+// custom metric reproduces the paper's y-axis.
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	stm "github.com/stm-go/stm"
+	"github.com/stm-go/stm/internal/sim"
+	"github.com/stm-go/stm/internal/workload"
+)
+
+const (
+	simDuration = 200_000 // virtual cycles per simulator iteration
+	simProcs    = 16
+)
+
+// benchSim runs one simulated workload point per b.N iteration and reports
+// the simulated throughput (the paper's metric) alongside wall time.
+func benchSim(b *testing.B, spec workload.Spec) {
+	b.Helper()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		spec.Seed = 1995 + uint64(i)
+		out, err := workload.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = out.Throughput
+	}
+	b.ReportMetric(last, "simops/Mcycle")
+}
+
+func methodsFor(kind workload.Kind) []workload.Method {
+	if kind == workload.KindResAlloc {
+		return []workload.Method{
+			workload.MethodSTM, workload.MethodSTMNoHelp, workload.MethodSTMUnsorted, workload.MethodMCS,
+		}
+	}
+	return workload.Methods
+}
+
+func benchFigure(b *testing.B, kind workload.Kind, arch workload.Arch) {
+	b.Helper()
+	for _, method := range methodsFor(kind) {
+		method := method
+		b.Run(string(method), func(b *testing.B) {
+			benchSim(b, workload.Spec{
+				Kind:     kind,
+				Method:   method,
+				Arch:     arch,
+				Procs:    simProcs,
+				Duration: simDuration,
+				QueueCap: 64,
+				Pools:    16,
+				K:        3,
+			})
+		})
+	}
+}
+
+// BenchmarkF1CountingBus reproduces figure F1 (counting, bus machine) at
+// P=16; run cmd/stmbench -exp F1 for the full processor sweep.
+func BenchmarkF1CountingBus(b *testing.B) {
+	benchFigure(b, workload.KindCounting, workload.ArchBus)
+}
+
+// BenchmarkF2CountingNet reproduces figure F2 (counting, network machine).
+func BenchmarkF2CountingNet(b *testing.B) {
+	benchFigure(b, workload.KindCounting, workload.ArchNet)
+}
+
+// BenchmarkF3QueueBus reproduces figure F3 (queue, bus machine).
+func BenchmarkF3QueueBus(b *testing.B) {
+	benchFigure(b, workload.KindQueue, workload.ArchBus)
+}
+
+// BenchmarkF4QueueNet reproduces figure F4 (queue, network machine).
+func BenchmarkF4QueueNet(b *testing.B) {
+	benchFigure(b, workload.KindQueue, workload.ArchNet)
+}
+
+// BenchmarkT1Breakdown reproduces table T1's underlying measurement: the
+// STM counting run whose latency/failure/helping rates the table reports.
+func BenchmarkT1Breakdown(b *testing.B) {
+	benchSim(b, workload.Spec{
+		Kind:     workload.KindCounting,
+		Method:   workload.MethodSTM,
+		Arch:     workload.ArchBus,
+		Procs:    simProcs,
+		Duration: simDuration,
+	})
+}
+
+// BenchmarkF5Stalls reproduces figure F5: throughput with 2 of 16
+// processors periodically preempted mid-transaction.
+func BenchmarkF5Stalls(b *testing.B) {
+	for _, method := range []workload.Method{workload.MethodSTM, workload.MethodTTAS, workload.MethodMCS} {
+		method := method
+		b.Run(string(method), func(b *testing.B) {
+			benchSim(b, workload.Spec{
+				Kind:     workload.KindCounting,
+				Method:   method,
+				Arch:     workload.ArchBus,
+				Procs:    simProcs,
+				Duration: simDuration,
+				Stall:    &sim.StallPlan{Procs: 2, Period: 10, Duration: simDuration / 20},
+			})
+		})
+	}
+}
+
+// BenchmarkF6Ablation reproduces figure F6: the design-choice ablation on
+// k-way resource allocation.
+func BenchmarkF6Ablation(b *testing.B) {
+	benchFigure(b, workload.KindResAlloc, workload.ArchBus)
+}
+
+// ---------------------------------------------------------------------------
+// T2: host-mode benchmarks — the real-goroutine library vs conventional
+// synchronization on the machine running the tests.
+
+// BenchmarkHostCounterSTM measures transactional fetch-and-increment.
+func BenchmarkHostCounterSTM(b *testing.B) {
+	m, err := stm.New(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tx, err := m.Prepare([]int{0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inc := func(old []uint64) []uint64 { return []uint64{old[0] + 1} }
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			tx.Run(inc)
+		}
+	})
+}
+
+// BenchmarkHostCounterMutex is the sync.Mutex baseline.
+func BenchmarkHostCounterMutex(b *testing.B) {
+	var mu sync.Mutex
+	var counter uint64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			mu.Lock()
+			counter++
+			mu.Unlock()
+		}
+	})
+	_ = counter
+}
+
+// BenchmarkHostCounterAtomic is the raw hardware fetch-and-add ceiling.
+func BenchmarkHostCounterAtomic(b *testing.B) {
+	var counter atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			counter.Add(1)
+		}
+	})
+}
+
+// BenchmarkHostTransferSTM measures two-word transactions (disjoint pairs
+// drawn per goroutine to expose scalability, not just serialization).
+func BenchmarkHostTransferSTM(b *testing.B) {
+	const accounts = 64
+	m, err := stm.New(accounts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		var n uint64
+		for pb.Next() {
+			a := int(n % accounts)
+			c := int((n + 7) % accounts)
+			if a == c {
+				c = (c + 1) % accounts
+			}
+			lo, hi := a, c
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			_, err := m.Atomically([]int{lo, hi}, func(old []uint64) []uint64 {
+				return []uint64{old[0] + 1, old[1] - 1}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+	})
+}
+
+// BenchmarkHostTransferMutex is the global-lock equivalent of the transfer.
+func BenchmarkHostTransferMutex(b *testing.B) {
+	const accounts = 64
+	balances := make([]uint64, accounts)
+	var mu sync.Mutex
+	b.RunParallel(func(pb *testing.PB) {
+		var n uint64
+		for pb.Next() {
+			a := int(n % accounts)
+			c := int((n + 7) % accounts)
+			if a == c {
+				c = (c + 1) % accounts
+			}
+			mu.Lock()
+			balances[a]++
+			balances[c]--
+			mu.Unlock()
+			n++
+		}
+	})
+}
+
+// BenchmarkHostCASN measures k-word compare-and-swap as k grows: the cost
+// of transaction size in the host build.
+func BenchmarkHostCASN(b *testing.B) {
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		k := k
+		b.Run(strconv.Itoa(k), func(b *testing.B) {
+			m, err := stm.New(k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			addrs := make([]int, k)
+			expected := make([]uint64, k)
+			next := make([]uint64, k)
+			for i := range addrs {
+				addrs[i] = i
+			}
+			var v uint64
+			for i := 0; i < b.N; i++ {
+				for j := range next {
+					expected[j] = v
+					next[j] = v + 1
+				}
+				ok, _, err := m.CompareAndSwapN(addrs, expected, next)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !ok {
+					b.Fatal("single-threaded CASN failed")
+				}
+				v++
+			}
+		})
+	}
+}
+
+// BenchmarkHostSnapshot measures consistent multi-word reads vs size.
+func BenchmarkHostSnapshot(b *testing.B) {
+	for _, k := range []int{2, 8, 32} {
+		k := k
+		b.Run(strconv.Itoa(k), func(b *testing.B) {
+			m, err := stm.New(k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			addrs := make([]int, k)
+			for i := range addrs {
+				addrs[i] = i
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.ReadAll(addrs...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,139 @@
+// Command stmbench reproduces the evaluation of Shavit & Touitou's
+// "Software Transactional Memory" (PODC 1995) on the repository's simulated
+// multiprocessor: every figure and table listed in DESIGN.md §5.
+//
+// Usage:
+//
+//	stmbench -exp all            # run everything (full sweep, slow)
+//	stmbench -exp F1 -quick      # one experiment, reduced sweep
+//	stmbench -exp F3 -csv out/   # also write out/F3.csv
+//
+// Experiments: T0 protocol footprint (ideal machine), F1/F2 counting
+// benchmark (bus/net), F3/F4 queue benchmark (bus/net), T1 STM overhead
+// breakdown, F5 preemption (non-blocking advantage), F6 design-choice
+// ablation, F7 transaction-size sweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"github.com/stm-go/stm/internal/bench"
+	"github.com/stm-go/stm/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "stmbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("stmbench", flag.ContinueOnError)
+	var (
+		exp      = fs.String("exp", "all", "experiment id (F1..F6, T1, all)")
+		quick    = fs.Bool("quick", false, "reduced sweep for a fast look")
+		duration = fs.Int64("duration", 0, "override virtual cycles per point")
+		procs    = fs.String("procs", "", "override processor sweep, e.g. 1,2,4,8")
+		seed     = fs.Uint64("seed", 0, "override random seed")
+		csvDir   = fs.String("csv", "", "directory to write per-experiment CSV files")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opt := bench.DefaultOptions(*quick)
+	if *duration > 0 {
+		opt.Duration = *duration
+	}
+	if *seed != 0 {
+		opt.Seed = *seed
+	}
+	if *procs != "" {
+		list, err := parseProcs(*procs)
+		if err != nil {
+			return err
+		}
+		opt.Procs = list
+	}
+
+	ids := []string{"T0", "F1", "F2", "F3", "F4", "T1", "F5", "F6", "F7"}
+	if *exp != "all" {
+		ids = []string{strings.ToUpper(*exp)}
+	}
+
+	for _, id := range ids {
+		table, csv, err := runExperiment(id, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, table)
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*csvDir, id+".csv")
+			if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n\n", path)
+		}
+	}
+	return nil
+}
+
+// runExperiment dispatches one experiment id to its implementation.
+func runExperiment(id string, opt bench.Options) (table, csv string, err error) {
+	switch id {
+	case "F1":
+		f, err := bench.Counting(workload.ArchBus, opt)
+		return f.Table(), f.CSV(), err
+	case "F2":
+		f, err := bench.Counting(workload.ArchNet, opt)
+		return f.Table(), f.CSV(), err
+	case "F3":
+		f, err := bench.Queue(workload.ArchBus, opt)
+		return f.Table(), f.CSV(), err
+	case "F4":
+		f, err := bench.Queue(workload.ArchNet, opt)
+		return f.Table(), f.CSV(), err
+	case "T1":
+		d, err := bench.Breakdown(opt)
+		return d.Table(), d.CSV(), err
+	case "F5":
+		f, err := bench.Stalls(opt)
+		return f.Table(), f.CSV(), err
+	case "F6":
+		f, err := bench.Ablation(opt)
+		return f.Table(), f.CSV(), err
+	case "F7":
+		f, err := bench.TxSize(opt)
+		return f.Table(), f.CSV(), err
+	case "T0":
+		d, err := bench.StepCounts(opt)
+		return d.Table(), d.CSV(), err
+	default:
+		return "", "", fmt.Errorf("unknown experiment %q (want T0, F1..F7, T1, all)", id)
+	}
+}
+
+func parseProcs(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad processor count %q", p)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty processor sweep")
+	}
+	return out, nil
+}

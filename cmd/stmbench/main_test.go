@@ -1,0 +1,119 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/stm-go/stm/internal/bench"
+)
+
+func TestParseProcs(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    []int
+		wantErr bool
+	}{
+		{in: "1,2,4", want: []int{1, 2, 4}},
+		{in: " 8 , 16 ", want: []int{8, 16}},
+		{in: "0", wantErr: true},
+		{in: "a", wantErr: true},
+		{in: "", wantErr: true},
+		{in: "4,-1", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := parseProcs(tt.in)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("parseProcs(%q): want error", tt.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseProcs(%q): %v", tt.in, err)
+			continue
+		}
+		if len(got) != len(tt.want) {
+			t.Errorf("parseProcs(%q) = %v, want %v", tt.in, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("parseProcs(%q)[%d] = %d, want %d", tt.in, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func tinyOpt() bench.Options {
+	return bench.Options{
+		Procs:    []int{1, 2},
+		Duration: 40_000,
+		Seed:     5,
+		QueueCap: 8,
+		Pools:    8,
+		K:        2,
+	}
+}
+
+func TestRunExperimentAllIDs(t *testing.T) {
+	for _, id := range []string{"T0", "F1", "F2", "F3", "F4", "T1", "F5", "F6", "F7"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			table, csv, err := runExperiment(id, tinyOpt())
+			if err != nil {
+				t.Fatalf("runExperiment(%s): %v", id, err)
+			}
+			if !strings.Contains(table, id) {
+				t.Errorf("table does not carry its id:\n%s", table)
+			}
+			if !strings.Contains(csv, ",") {
+				t.Errorf("csv looks empty: %q", csv)
+			}
+		})
+	}
+	if _, _, err := runExperiment("F99", tinyOpt()); err == nil {
+		t.Error("unknown experiment id: want error")
+	}
+}
+
+func TestRunEndToEndWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	out, err := os.CreateTemp(dir, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	args := []string{
+		"-exp", "F1", "-quick",
+		"-duration", "40000",
+		"-procs", "1,2",
+		"-seed", "7",
+		"-csv", filepath.Join(dir, "csv"),
+	}
+	if err := run(args, out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "csv", "F1.csv"))
+	if err != nil {
+		t.Fatalf("CSV not written: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "processors,") {
+		t.Errorf("CSV header unexpected: %q", string(data[:30]))
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if err := run([]string{"-exp", "nope"}, devnull); err == nil {
+		t.Error("unknown experiment flag: want error")
+	}
+	if err := run([]string{"-procs", "x"}, devnull); err == nil {
+		t.Error("bad procs flag: want error")
+	}
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAllChecksPassQuickly(t *testing.T) {
+	if err := run([]string{"-seconds", "0.1", "-goroutines", "4", "-words", "8"}); err != nil {
+		t.Fatalf("stmcheck failed: %v", err)
+	}
+}
+
+func TestIndividualChecks(t *testing.T) {
+	const budget = 50 * time.Millisecond
+	if err := checkCounting(budget, 4, 0, 0); err != nil {
+		t.Errorf("checkCounting: %v", err)
+	}
+	if err := checkConservation(budget, 4, 8, 1); err != nil {
+		t.Errorf("checkConservation: %v", err)
+	}
+	if err := checkLinearizable(budget, 4, 0, 1); err != nil {
+		t.Errorf("checkLinearizable: %v", err)
+	}
+}
+
+func TestLinRoundCapsGoroutines(t *testing.T) {
+	// Oversized goroutine counts must be capped, not blow up the checker.
+	if err := linRound(64, 9); err != nil {
+		t.Errorf("linRound: %v", err)
+	}
+}

@@ -1,0 +1,87 @@
+// Command stmsim runs a single simulated benchmark scenario and reports
+// its outcome in detail — the exploration/debugging companion to stmbench.
+//
+// Example:
+//
+//	stmsim -kind counting -method stm -arch bus -procs 16 -duration 500000
+//	stmsim -kind queue -method herlihy -arch net -procs 8 -stall 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/stm-go/stm/internal/sim"
+	"github.com/stm-go/stm/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "stmsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("stmsim", flag.ContinueOnError)
+	var (
+		kind     = fs.String("kind", "counting", "workload: counting, queue, resalloc")
+		method   = fs.String("method", "stm", "method: stm, stm-nohelp, stm-unsorted, herlihy, ttas, mcs")
+		arch     = fs.String("arch", "bus", "architecture: bus, net")
+		procs    = fs.Int("procs", 8, "simulated processors")
+		duration = fs.Int64("duration", 500_000, "virtual cycles")
+		seed     = fs.Uint64("seed", 1995, "random seed")
+		queueCap = fs.Int("queuecap", 32, "queue capacity (queue workload)")
+		pools    = fs.Int("pools", 16, "resource pools (resalloc workload)")
+		k        = fs.Int("k", 3, "resources per acquisition (resalloc workload)")
+		stall    = fs.Int("stall", 0, "periodically stall this many processors (preemption model)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	spec := workload.Spec{
+		Kind:     workload.Kind(*kind),
+		Method:   workload.Method(*method),
+		Arch:     workload.Arch(*arch),
+		Procs:    *procs,
+		Duration: *duration,
+		Seed:     *seed,
+		QueueCap: *queueCap,
+		Pools:    *pools,
+		K:        *k,
+	}
+	if *stall > 0 {
+		spec.Stall = &sim.StallPlan{Procs: *stall, Period: 10, Duration: *duration / 20}
+	}
+
+	out, err := workload.Run(spec)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("workload    %s / %s / %s, %d processors, %d cycles (seed %d)\n",
+		spec.Kind, spec.Method, spec.Arch, spec.Procs, spec.Duration, spec.Seed)
+	if spec.Stall != nil {
+		fmt.Printf("stall plan  %d processors, every %d ops for %d cycles\n",
+			spec.Stall.Procs, spec.Stall.Period, spec.Stall.Duration)
+	}
+	fmt.Printf("operations  %d\n", out.Ops)
+	fmt.Printf("throughput  %.1f ops / 10^6 cycles\n", out.Throughput)
+	if out.Ops > 0 {
+		fmt.Printf("latency     %.0f processor-cycles / op\n",
+			float64(spec.Procs)*float64(spec.Duration)/float64(out.Ops))
+	}
+
+	keys := make([]string, 0, len(out.Extra))
+	for k := range out.Extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%-11s %.0f\n", k, out.Extra[k])
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunScenarios(t *testing.T) {
+	tests := [][]string{
+		{"-kind", "counting", "-method", "stm", "-arch", "bus", "-procs", "2", "-duration", "30000"},
+		{"-kind", "queue", "-method", "herlihy", "-arch", "net", "-procs", "2", "-duration", "30000", "-queuecap", "8"},
+		{"-kind", "resalloc", "-method", "mcs", "-arch", "bus", "-procs", "2", "-duration", "30000", "-pools", "8", "-k", "2"},
+		{"-kind", "counting", "-method", "ttas", "-arch", "bus", "-procs", "4", "-duration", "30000", "-stall", "1"},
+		{"-kind", "counting", "-method", "stm", "-arch", "ideal", "-procs", "2", "-duration", "30000"},
+	}
+	for _, args := range tests {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunRejectsBadSpec(t *testing.T) {
+	if err := run([]string{"-kind", "bogus"}); err == nil {
+		t.Error("bogus kind: want error")
+	}
+	if err := run([]string{"-method", "bogus"}); err == nil {
+		t.Error("bogus method: want error")
+	}
+	if err := run([]string{"-arch", "bogus"}); err == nil {
+		t.Error("bogus arch: want error")
+	}
+	if err := run([]string{"-procs", "0"}); err == nil {
+		t.Error("zero procs: want error")
+	}
+}

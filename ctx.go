@@ -1,0 +1,64 @@
+package stm
+
+import "context"
+
+// RunContext is Run with cancellation: it retries (with backoff) until the
+// transaction commits or ctx is done, returning the old values or ctx's
+// error. A transaction that already committed is never reported as
+// cancelled.
+func (tx *Tx) RunContext(ctx context.Context, f UpdateFunc) ([]uint64, error) {
+	eng := tx.adapt(f)
+	if old, ok := tx.m.eng.TryOnceValidated(tx.sorted, eng); ok {
+		return tx.toCallerOrder(old), nil
+	}
+	bo := tx.m.newBackoff()
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		bo.Wait()
+		if old, ok := tx.m.eng.TryOnceValidated(tx.sorted, eng); ok {
+			return tx.toCallerOrder(old), nil
+		}
+	}
+}
+
+// RunWhenContext is RunWhen with cancellation: it retries until a committed
+// attempt's old values satisfy guard (then applies f and returns them) or
+// until ctx is done.
+func (tx *Tx) RunWhenContext(ctx context.Context, guard func(old []uint64) bool, f UpdateFunc) ([]uint64, error) {
+	wrapped := func(old []uint64) []uint64 {
+		if guard(old) {
+			return f(old)
+		}
+		nv := make([]uint64, len(old))
+		copy(nv, old)
+		return nv
+	}
+	bo := tx.m.newBackoff()
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if old, ok := tx.Try(wrapped); ok {
+			if guard(old) {
+				return old, nil
+			}
+			bo.Reset()
+		}
+		bo.Wait()
+	}
+}
+
+// AtomicallyContext applies f to addrs as one transaction with
+// cancellation; see Atomically and RunContext.
+func (m *Memory) AtomicallyContext(ctx context.Context, addrs []int, f UpdateFunc) ([]uint64, error) {
+	tx, err := m.Prepare(addrs)
+	if err != nil {
+		return nil, err
+	}
+	if f == nil {
+		return nil, ErrNilUpdate
+	}
+	return tx.RunContext(ctx, f)
+}

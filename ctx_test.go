@@ -1,0 +1,114 @@
+package stm_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	stm "github.com/stm-go/stm"
+)
+
+func TestRunContextCommits(t *testing.T) {
+	m := mustNew(t, 2)
+	tx, err := m.Prepare([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := tx.RunContext(context.Background(), func(old []uint64) []uint64 {
+		return []uint64{old[0] + 1, old[1] + 2}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old[0] != 0 || old[1] != 0 {
+		t.Errorf("old = %v, want zeros", old)
+	}
+	if m.Peek(0) != 1 || m.Peek(1) != 2 {
+		t.Errorf("memory = (%d,%d), want (1,2)", m.Peek(0), m.Peek(1))
+	}
+}
+
+func TestAtomicallyContextValidation(t *testing.T) {
+	m := mustNew(t, 2)
+	if _, err := m.AtomicallyContext(context.Background(), nil, nil); !errors.Is(err, stm.ErrEmptyDataSet) {
+		t.Errorf("err = %v, want ErrEmptyDataSet", err)
+	}
+	if _, err := m.AtomicallyContext(context.Background(), []int{0}, nil); !errors.Is(err, stm.ErrNilUpdate) {
+		t.Errorf("err = %v, want ErrNilUpdate", err)
+	}
+}
+
+func TestRunWhenContextCancellation(t *testing.T) {
+	// The guard never holds; cancellation must unblock the call.
+	m := mustNew(t, 1)
+	tx, err := m.Prepare([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := tx.RunWhenContext(ctx,
+			func(old []uint64) bool { return old[0] > 0 }, // word stays 0
+			func(old []uint64) []uint64 { return old },
+		)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("RunWhenContext returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("RunWhenContext did not observe cancellation")
+	}
+}
+
+func TestRunWhenContextSatisfiedGuard(t *testing.T) {
+	m := mustNew(t, 1)
+	if _, err := m.Add(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := m.Prepare([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := tx.RunWhenContext(context.Background(),
+		func(old []uint64) bool { return old[0] >= 3 },
+		func(old []uint64) []uint64 { return []uint64{old[0] - 3} },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old[0] != 3 || m.Peek(0) != 0 {
+		t.Errorf("old=%d peek=%d, want 3 and 0", old[0], m.Peek(0))
+	}
+}
+
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	// First attempt still runs (and may commit) even with a cancelled
+	// context — a committed transaction is never reported cancelled.
+	m := mustNew(t, 1)
+	tx, err := m.Prepare([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	old, err := tx.RunContext(ctx, func(old []uint64) []uint64 {
+		return []uint64{old[0] + 1}
+	})
+	if err != nil {
+		t.Fatalf("uncontended first attempt should commit, got %v", err)
+	}
+	if old[0] != 0 || m.Peek(0) != 1 {
+		t.Errorf("commit not applied: old=%v peek=%d", old, m.Peek(0))
+	}
+}

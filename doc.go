@@ -1,0 +1,31 @@
+// Package stm is a Go implementation of software transactional memory as
+// introduced by Shavit and Touitou ("Software Transactional Memory",
+// PODC 1995; Distributed Computing 10(2):99–116, 1997).
+//
+// A Memory is a fixed-size vector of uint64 words supporting static
+// transactions: atomic multi-word updates whose data set (the set of word
+// addresses read and written) is declared up front. The implementation is
+// the paper's non-blocking cooperative protocol — per-word ownership
+// records acquired in increasing address order, with non-redundant helping
+// — so no transaction ever waits on a stalled peer: it completes the peer's
+// work instead. See DESIGN.md for the protocol and internal/core for the
+// engine.
+//
+// # Quick start
+//
+//	m, _ := stm.New(16)
+//	tx, _ := m.Prepare([]int{3, 7})           // declare the data set
+//	old := tx.Run(func(old []uint64) []uint64 {
+//		return []uint64{old[0] + 1, old[1] + 1} // atomically ++ both words
+//	})
+//	_ = old // the consistent snapshot the update was computed from
+//
+// Derived operations — ReadAll, WriteAll, Add, Swap, CompareAndSwap,
+// CompareAndSwapN — cover common multi-word patterns without writing an
+// update function. Conditional (blocking-style) operations are built with
+// RunWhen, which retries until a guard over the old values holds.
+//
+// Update functions must be deterministic and side-effect free: under
+// contention the protocol lets several goroutines evaluate the same
+// transaction's function, and all evaluations must agree.
+package stm

@@ -1,0 +1,112 @@
+// Bank: concurrent transfers with a live auditor.
+//
+// The motivating scenario for multi-word atomicity: move money between
+// accounts under heavy concurrency while an auditor continuously takes
+// transactional snapshots. Every snapshot must conserve the bank's total —
+// with plain atomics or per-account locks it would not.
+//
+// Run with: go run ./examples/bank
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	stm "github.com/stm-go/stm"
+	"github.com/stm-go/stm/internal/adt"
+)
+
+const (
+	accounts = 32
+	initial  = 1_000
+	workers  = 8
+	transfer = 5_000 // transfers per worker
+)
+
+func main() {
+	m, err := stm.New(adt.AccountsWords(accounts))
+	if err != nil {
+		log.Fatal(err)
+	}
+	bank, err := adt.NewAccounts(m, 0, accounts, initial)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := uint64(accounts * initial)
+
+	var (
+		wg       sync.WaitGroup
+		audits   atomic.Int64
+		rejected atomic.Int64
+		stop     = make(chan struct{})
+	)
+
+	// Auditor: hammer consistent snapshots while transfers fly.
+	auditorDone := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				auditorDone <- nil
+				return
+			default:
+			}
+			_, total, err := bank.Audit()
+			if err != nil {
+				auditorDone <- err
+				return
+			}
+			if total != want {
+				auditorDone <- fmt.Errorf("audit saw %d, want %d", total, want)
+				return
+			}
+			audits.Add(1)
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			for i := 0; i < transfer; i++ {
+				src, dst := rng.Intn(accounts), rng.Intn(accounts)
+				amt := uint64(rng.Intn(200))
+				if err := bank.Transfer(src, dst, amt); err != nil {
+					rejected.Add(1) // insufficient funds: rejected atomically
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	if err := <-auditorDone; err != nil {
+		log.Fatal(err)
+	}
+
+	balances, total, err := bank.Audit()
+	if err != nil {
+		log.Fatal(err)
+	}
+	min, max := balances[0], balances[0]
+	for _, b := range balances {
+		if b < min {
+			min = b
+		}
+		if b > max {
+			max = b
+		}
+	}
+	fmt.Printf("%d workers × %d transfers done\n", workers, transfer)
+	fmt.Printf("rejected (insufficient funds): %d\n", rejected.Load())
+	fmt.Printf("audits that all conserved:     %d\n", audits.Load())
+	fmt.Printf("final total: %d (want %d) — balances range [%d, %d]\n", total, want, min, max)
+	st := m.Stats()
+	fmt.Printf("protocol: %d commits, %d conflicts helped through\n", st.Commits, st.Helps)
+	if total != want {
+		log.Fatal("CONSERVATION VIOLATED")
+	}
+}

@@ -1,0 +1,88 @@
+// Quickstart: the public STM API in one file.
+//
+// A Memory is a vector of uint64 words; a static transaction declares the
+// words it touches and a pure update function, and the engine applies it
+// atomically — the Shavit–Touitou protocol underneath is non-blocking, so
+// no transaction ever waits on a stalled goroutine.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	stm "github.com/stm-go/stm"
+)
+
+func main() {
+	m, err := stm.New(16)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Initialize a few words atomically.
+	if err := m.WriteAll([]int{0, 1, 2}, []uint64{100, 200, 300}); err != nil {
+		log.Fatal(err)
+	}
+
+	// A multi-word transaction: rotate three words left, atomically.
+	old, err := m.Atomically([]int{0, 1, 2}, func(old []uint64) []uint64 {
+		return []uint64{old[1], old[2], old[0]}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rotated %v -> ", old)
+	now, _ := m.ReadAll(0, 1, 2)
+	fmt.Println(now)
+
+	// Prepared transactions amortize validation for hot paths.
+	tx, err := m.Prepare([]int{5, 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		tx.Run(func(old []uint64) []uint64 {
+			return []uint64{old[0] + 1, old[1] + 2}
+		})
+	}
+	pair, _ := m.ReadAll(5, 9)
+	fmt.Printf("after 3 prepared runs: words 5,9 = %v\n", pair)
+
+	// k-word compare-and-swap: the classic static-transaction consumer.
+	swapped, observed, err := m.CompareAndSwapN(
+		[]int{5, 9}, []uint64{3, 6}, []uint64{33, 66})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CASN success=%v (observed %v)\n", swapped, observed)
+
+	// Single-word conveniences.
+	if _, err := m.Add(7, 41); err != nil {
+		log.Fatal(err)
+	}
+	oldv, _ := m.Swap(7, 7)
+	fmt.Printf("word 7 was %d, now %d\n", oldv, m.Peek(7))
+
+	// Blocking-style operations: RunWhen retries until a guard holds.
+	done := make(chan struct{})
+	gate, _ := m.Prepare([]int{15})
+	go func() {
+		gate.RunWhen(
+			func(old []uint64) bool { return old[0] > 0 }, // wait for a token
+			func(old []uint64) []uint64 { return []uint64{old[0] - 1} },
+		)
+		close(done)
+	}()
+	fmt.Println("consumer waiting for a token...")
+	if _, err := m.Add(15, 1); err != nil { // produce the token
+		log.Fatal(err)
+	}
+	<-done
+	fmt.Println("consumer took the token; gate =", m.Peek(15))
+
+	st := m.Stats()
+	fmt.Printf("protocol stats: %d attempts, %d commits, %d failures, %d helps\n",
+		st.Attempts, st.Commits, st.Failures, st.Helps)
+}

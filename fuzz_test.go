@@ -1,0 +1,127 @@
+package stm_test
+
+// Native fuzz targets. `go test` runs the seed corpus as regular tests;
+// `go test -fuzz=FuzzCASN .` explores further.
+
+import (
+	"sort"
+	"testing"
+
+	stm "github.com/stm-go/stm"
+)
+
+// FuzzPrepare checks that Prepare either rejects an address list or
+// produces a Tx whose Addrs round-trips the caller's order, for arbitrary
+// inputs.
+func FuzzPrepare(f *testing.F) {
+	f.Add([]byte{0, 1, 2}, uint8(8))
+	f.Add([]byte{5, 5}, uint8(8))
+	f.Add([]byte{}, uint8(4))
+	f.Add([]byte{255, 0, 17, 3}, uint8(32))
+
+	f.Fuzz(func(t *testing.T, raw []byte, sizeRaw uint8) {
+		size := int(sizeRaw)%64 + 1
+		m, err := stm.New(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs := make([]int, len(raw))
+		for i, b := range raw {
+			addrs[i] = int(b) // may be out of range: must be rejected, not panic
+		}
+		tx, err := m.Prepare(addrs)
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		got := tx.Addrs()
+		if len(got) != len(addrs) {
+			t.Fatalf("Addrs() len %d, want %d", len(got), len(addrs))
+		}
+		for i := range got {
+			if got[i] != addrs[i] {
+				t.Fatalf("Addrs()[%d] = %d, want %d (caller order)", i, got[i], addrs[i])
+			}
+		}
+		// A valid Tx must be runnable.
+		old := tx.Run(func(old []uint64) []uint64 {
+			nv := make([]uint64, len(old))
+			copy(nv, old)
+			return nv
+		})
+		if len(old) != len(addrs) {
+			t.Fatalf("Run returned %d old values, want %d", len(old), len(addrs))
+		}
+	})
+}
+
+// FuzzCASN checks the k-word compare-and-swap against a model vector for
+// arbitrary operation streams.
+func FuzzCASN(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5}, []byte{1, 0, 1})
+	f.Add([]byte{9, 9, 9}, []byte{0})
+
+	f.Fuzz(func(t *testing.T, rawAddrs, rawVals []byte) {
+		const size = 8
+		m, err := stm.New(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := make([]uint64, size)
+
+		// Interpret the bytes as a stream of CASN ops over duplicate-free
+		// address sets.
+		for start := 0; start+1 < len(rawAddrs); start += 2 {
+			k := int(rawAddrs[start])%3 + 1
+			seen := map[int]bool{}
+			var addrs []int
+			for j := 0; j < k && start+1+j < len(rawAddrs); j++ {
+				loc := int(rawAddrs[start+1+j]) % size
+				if !seen[loc] {
+					seen[loc] = true
+					addrs = append(addrs, loc)
+				}
+			}
+			if len(addrs) == 0 {
+				continue
+			}
+			sort.Ints(addrs)
+			expected := make([]uint64, len(addrs))
+			next := make([]uint64, len(addrs))
+			for j, loc := range addrs {
+				// Use the model's value half the time so swaps succeed.
+				if j < len(rawVals) && rawVals[j]%2 == 0 {
+					expected[j] = model[loc]
+				} else if j < len(rawVals) {
+					expected[j] = uint64(rawVals[j])
+				}
+				next[j] = uint64(loc*1000 + start)
+			}
+			swapped, old, err := m.CompareAndSwapN(addrs, expected, next)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSwap := true
+			for j, loc := range addrs {
+				if old[j] != model[loc] {
+					t.Fatalf("observed %d at %d, model %d", old[j], loc, model[loc])
+				}
+				if model[loc] != expected[j] {
+					wantSwap = false
+				}
+			}
+			if swapped != wantSwap {
+				t.Fatalf("swapped = %v, model says %v", swapped, wantSwap)
+			}
+			if wantSwap {
+				for j, loc := range addrs {
+					model[loc] = next[j]
+				}
+			}
+		}
+		for loc := 0; loc < size; loc++ {
+			if m.Peek(loc) != model[loc] {
+				t.Fatalf("memory[%d] = %d, model %d", loc, m.Peek(loc), model[loc])
+			}
+		}
+	})
+}

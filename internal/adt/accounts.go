@@ -1,0 +1,111 @@
+package adt
+
+import (
+	"errors"
+	"fmt"
+
+	stm "github.com/stm-go/stm"
+)
+
+// ErrNoFunds reports a transfer larger than the source balance.
+var ErrNoFunds = errors.New("adt: insufficient funds")
+
+// Accounts is a vector of bank balances supporting atomic transfers and
+// consistent audits — the canonical multi-word-atomicity demonstration.
+type Accounts struct {
+	m    *stm.Memory
+	base int
+	n    int
+	all  []int // every account address, for audits
+}
+
+// AccountsWords returns the footprint of n accounts.
+func AccountsWords(n int) int { return n }
+
+// NewAccounts lays n accounts at word base of m, each holding initial.
+func NewAccounts(m *stm.Memory, base, n int, initial uint64) (*Accounts, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("adt: number of accounts must be positive, got %d", n)
+	}
+	if base < 0 || base+n > m.Size() {
+		return nil, fmt.Errorf("adt: %d accounts at %d do not fit in memory of %d words", n, base, m.Size())
+	}
+	a := &Accounts{m: m, base: base, n: n, all: make([]int, n)}
+	vals := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		a.all[i] = base + i
+		vals[i] = initial
+	}
+	if err := m.WriteAll(a.all, vals); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// N returns the number of accounts.
+func (a *Accounts) N() int { return a.n }
+
+// Balance returns a snapshot of one account's balance.
+func (a *Accounts) Balance(i int) (uint64, error) {
+	if i < 0 || i >= a.n {
+		return 0, fmt.Errorf("adt: account %d out of range [0,%d)", i, a.n)
+	}
+	return a.m.Peek(a.base + i), nil
+}
+
+// Transfer atomically moves amount from account src to account dst. It
+// returns ErrNoFunds (without transferring anything) if src's balance is
+// below amount at the transaction's linearization point.
+func (a *Accounts) Transfer(src, dst int, amount uint64) error {
+	if src < 0 || src >= a.n || dst < 0 || dst >= a.n {
+		return fmt.Errorf("adt: transfer %d→%d out of range [0,%d)", src, dst, a.n)
+	}
+	if src == dst || amount == 0 {
+		return nil
+	}
+	old, err := a.m.Atomically([]int{a.base + src, a.base + dst}, func(old []uint64) []uint64 {
+		if old[0] < amount {
+			return []uint64{old[0], old[1]} // reject: validated no-op
+		}
+		return []uint64{old[0] - amount, old[1] + amount}
+	})
+	if err != nil {
+		return err
+	}
+	if old[0] < amount {
+		return fmt.Errorf("%w: account %d has %d, need %d", ErrNoFunds, src, old[0], amount)
+	}
+	return nil
+}
+
+// TransferWait is Transfer but blocks (retries) until src has the funds.
+func (a *Accounts) TransferWait(src, dst int, amount uint64) error {
+	if src < 0 || src >= a.n || dst < 0 || dst >= a.n {
+		return fmt.Errorf("adt: transfer %d→%d out of range [0,%d)", src, dst, a.n)
+	}
+	if src == dst || amount == 0 {
+		return nil
+	}
+	tx, err := a.m.Prepare([]int{a.base + src, a.base + dst})
+	if err != nil {
+		return err
+	}
+	tx.RunWhen(
+		func(old []uint64) bool { return old[0] >= amount },
+		func(old []uint64) []uint64 { return []uint64{old[0] - amount, old[1] + amount} },
+	)
+	return nil
+}
+
+// Audit returns a consistent snapshot of every balance and their total. The
+// snapshot is one transaction: all balances coexisted at a single instant.
+func (a *Accounts) Audit() (balances []uint64, total uint64, err error) {
+	balances, err = a.m.ReadAll(a.all...)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, b := range balances {
+		total += b
+	}
+	return balances, total, nil
+}

@@ -1,0 +1,601 @@
+package adt
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	stm "github.com/stm-go/stm"
+)
+
+func mem(t *testing.T, size int) *stm.Memory {
+	t.Helper()
+	m, err := stm.New(size)
+	if err != nil {
+		t.Fatalf("stm.New(%d): %v", size, err)
+	}
+	return m
+}
+
+func TestCounterBasics(t *testing.T) {
+	m := mem(t, 4)
+	c, err := NewCounter(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old := c.Inc(5); old != 0 {
+		t.Errorf("Inc old = %d, want 0", old)
+	}
+	if old := c.Inc(3); old != 5 {
+		t.Errorf("Inc old = %d, want 5", old)
+	}
+	if v := c.Value(); v != 8 {
+		t.Errorf("Value = %d, want 8", v)
+	}
+	if _, err := NewCounter(m, 4); err == nil {
+		t.Error("counter past end of memory: want error")
+	}
+	if _, err := NewCounter(m, -1); err == nil {
+		t.Error("negative base: want error")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	const (
+		goroutines = 8
+		each       = 2000
+	)
+	m := mem(t, 1)
+	c, err := NewCounter(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := c.Value(); v != goroutines*each {
+		t.Errorf("counter = %d, want %d", v, goroutines*each)
+	}
+}
+
+func TestDequeFIFOSingleThread(t *testing.T) {
+	m := mem(t, DequeWords(4))
+	d, err := NewDeque(m, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Capacity() != 4 {
+		t.Fatalf("Capacity = %d, want 4", d.Capacity())
+	}
+	for i := uint64(1); i <= 4; i++ {
+		ok, err := d.TryPushTail(i * 10)
+		if err != nil || !ok {
+			t.Fatalf("TryPushTail(%d) = (%v,%v)", i*10, ok, err)
+		}
+	}
+	if ok, err := d.TryPushTail(99); err != nil || ok {
+		t.Fatalf("push to full deque = (%v,%v), want (false,nil)", ok, err)
+	}
+	if n := d.Len(); n != 4 {
+		t.Fatalf("Len = %d, want 4", n)
+	}
+	for i := uint64(1); i <= 4; i++ {
+		v, ok, err := d.TryPopHead()
+		if err != nil || !ok || v != i*10 {
+			t.Fatalf("TryPopHead = (%d,%v,%v), want (%d,true,nil)", v, ok, err, i*10)
+		}
+	}
+	if _, ok, err := d.TryPopHead(); err != nil || ok {
+		t.Fatalf("pop from empty deque ok=%v err=%v, want (false,nil)", ok, err)
+	}
+}
+
+func TestDequePopTail(t *testing.T) {
+	m := mem(t, DequeWords(8))
+	d, err := NewDeque(m, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := d.TryPopTail(); err != nil || ok {
+		t.Fatalf("TryPopTail on empty = ok=%v err=%v", ok, err)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		if err := d.PushTail(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// LIFO from the tail end: 3, 2, then head pop yields 1.
+	v, ok, err := d.TryPopTail()
+	if err != nil || !ok || v != 3 {
+		t.Fatalf("TryPopTail = (%d,%v,%v), want (3,true,nil)", v, ok, err)
+	}
+	v, ok, err = d.TryPopTail()
+	if err != nil || !ok || v != 2 {
+		t.Fatalf("TryPopTail = (%d,%v,%v), want (2,true,nil)", v, ok, err)
+	}
+	v, err = d.PopHead()
+	if err != nil || v != 1 {
+		t.Fatalf("PopHead = (%d,%v), want (1,nil)", v, err)
+	}
+}
+
+func TestDequePushHead(t *testing.T) {
+	m := mem(t, DequeWords(4))
+	d, err := NewDeque(m, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill from both ends: head pushes come out first.
+	if err := d.PushTail(10); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := d.TryPushHead(5)
+	if err != nil || !ok {
+		t.Fatalf("TryPushHead = (%v,%v)", ok, err)
+	}
+	ok, err = d.TryPushHead(1)
+	if err != nil || !ok {
+		t.Fatalf("TryPushHead = (%v,%v)", ok, err)
+	}
+	if err := d.PushTail(20); err != nil {
+		t.Fatal(err)
+	}
+	// Deque now holds [1 5 10 20]; it is full.
+	if ok, _ := d.TryPushHead(99); ok {
+		t.Error("head push into full deque reported ok")
+	}
+	for _, want := range []uint64{1, 5, 10, 20} {
+		v, err := d.PopHead()
+		if err != nil || v != want {
+			t.Fatalf("PopHead = (%d,%v), want %d", v, err, want)
+		}
+	}
+}
+
+func TestDequeBothEndsConcurrent(t *testing.T) {
+	// Symmetric deque traffic: two goroutines push opposite ends, two pop
+	// opposite ends; nothing may be lost or duplicated.
+	const each = 400
+	m := mem(t, DequeWords(16))
+	d, err := NewDeque(m, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	popped := make(chan uint64, 2*each)
+	wg.Add(4)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < each; i++ {
+			for {
+				ok, err := d.TryPushHead(1<<32 | uint64(i))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if ok {
+					break
+				}
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < each; i++ {
+			if err := d.PushTail(2<<32 | uint64(i)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for k := 0; k < 2; k++ {
+		k := k
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				for {
+					var v uint64
+					var ok bool
+					var err error
+					if k == 0 {
+						v, ok, err = d.TryPopHead()
+					} else {
+						v, ok, err = d.TryPopTail()
+					}
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if ok {
+						popped <- v
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(popped)
+	seen := map[uint64]bool{}
+	for v := range popped {
+		if seen[v] {
+			t.Fatalf("value %#x popped twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 2*each {
+		t.Fatalf("popped %d distinct values, want %d", len(seen), 2*each)
+	}
+	if d.Len() != 0 {
+		t.Errorf("deque not empty: %d", d.Len())
+	}
+}
+
+func TestDequeWrapAround(t *testing.T) {
+	m := mem(t, DequeWords(3))
+	d, err := NewDeque(m, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push/pop enough to wrap the ring several times.
+	next := uint64(0)
+	expect := uint64(0)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 2; i++ {
+			if err := d.PushTail(next); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			v, err := d.PopHead()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != expect {
+				t.Fatalf("round %d: popped %d, want %d", round, v, expect)
+			}
+			expect++
+		}
+	}
+}
+
+func TestDequeConcurrentProducersConsumers(t *testing.T) {
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 500
+		capacity  = 16
+	)
+	m := mem(t, DequeWords(capacity))
+	d, err := NewDeque(m, 0, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	popped := make(chan uint64, producers*perProd)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				// Unique value: producer id in high bits.
+				if err := d.PushTail(uint64(p)<<32 | uint64(i)); err != nil {
+					t.Errorf("PushTail: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	var cg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for i := 0; i < producers*perProd/consumers; i++ {
+				v, err := d.PopHead()
+				if err != nil {
+					t.Errorf("PopHead: %v", err)
+					return
+				}
+				popped <- v
+			}
+		}()
+	}
+	wg.Wait()
+	cg.Wait()
+	close(popped)
+
+	// Every pushed value arrives exactly once.
+	seen := make(map[uint64]bool, producers*perProd)
+	for v := range popped {
+		if seen[v] {
+			t.Fatalf("value %#x popped twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != producers*perProd {
+		t.Fatalf("popped %d distinct values, want %d", len(seen), producers*perProd)
+	}
+	if n := d.Len(); n != 0 {
+		t.Errorf("deque not empty at end: Len=%d", n)
+	}
+}
+
+func TestAccountsTransferAndAudit(t *testing.T) {
+	m := mem(t, 8)
+	a, err := NewAccounts(m, 0, 8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Transfer(0, 1, 40); err != nil {
+		t.Fatal(err)
+	}
+	b0, _ := a.Balance(0)
+	b1, _ := a.Balance(1)
+	if b0 != 60 || b1 != 140 {
+		t.Errorf("balances = (%d,%d), want (60,140)", b0, b1)
+	}
+	if err := a.Transfer(0, 1, 1000); !errors.Is(err, ErrNoFunds) {
+		t.Errorf("overdraft: err = %v, want ErrNoFunds", err)
+	}
+	if err := a.Transfer(3, 3, 10); err != nil {
+		t.Errorf("self transfer should be a no-op, got %v", err)
+	}
+	balances, total, err := a.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 800 {
+		t.Errorf("audit total = %d, want 800", total)
+	}
+	if len(balances) != 8 {
+		t.Errorf("audit returned %d balances, want 8", len(balances))
+	}
+	if err := a.Transfer(-1, 0, 1); err == nil {
+		t.Error("out-of-range src: want error")
+	}
+	if _, err := a.Balance(8); err == nil {
+		t.Error("out-of-range balance: want error")
+	}
+}
+
+func TestAccountsConcurrentConservation(t *testing.T) {
+	const (
+		n       = 10
+		initial = 1000
+		workers = 6
+		ops     = 800
+	)
+	m := mem(t, n)
+	a, err := NewAccounts(m, 0, n, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := seed*2654435761 + 12345
+			next := func(mod int) int {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return int(rng % uint64(mod))
+			}
+			for i := 0; i < ops; i++ {
+				src, dst := next(n), next(n)
+				if err := a.Transfer(src, dst, uint64(next(20))); err != nil && !errors.Is(err, ErrNoFunds) {
+					t.Errorf("Transfer: %v", err)
+					return
+				}
+			}
+		}(uint64(w + 1))
+	}
+
+	// Audit continuously while transfers run: every snapshot must conserve.
+	stop := make(chan struct{})
+	auditErr := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				close(auditErr)
+				return
+			default:
+			}
+			_, total, err := a.Audit()
+			if err != nil {
+				auditErr <- err
+				return
+			}
+			if total != n*initial {
+				auditErr <- errors.New("audit saw inconsistent total")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	if err, ok := <-auditErr; ok && err != nil {
+		t.Fatal(err)
+	}
+	_, total, err := a.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != n*initial {
+		t.Errorf("final total = %d, want %d", total, n*initial)
+	}
+}
+
+func TestAccountsTransferWait(t *testing.T) {
+	m := mem(t, 2)
+	a, err := NewAccounts(m, 0, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		// Blocks until account 0 has 50.
+		if err := a.TransferWait(0, 1, 50); err != nil {
+			t.Errorf("TransferWait: %v", err)
+		}
+		close(done)
+	}()
+	// Fund the account via three deposits; the waiter must fire once ≥50.
+	for i := 0; i < 5; i++ {
+		if _, err := m.Add(0, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	b1, _ := a.Balance(1)
+	if b1 != 50 {
+		t.Errorf("dst balance = %d, want 50", b1)
+	}
+}
+
+func TestResourceAllocatorKWay(t *testing.T) {
+	m := mem(t, 5)
+	r, err := NewResourceAllocator(m, 0, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := r.TryAcquire([]int{0, 2, 4})
+	if err != nil || !ok {
+		t.Fatalf("TryAcquire = (%v,%v), want (true,nil)", ok, err)
+	}
+	// Overlapping set must fail atomically — pool 2 is taken.
+	ok, err = r.TryAcquire([]int{1, 2, 3})
+	if err != nil || ok {
+		t.Fatalf("overlapping TryAcquire = (%v,%v), want (false,nil)", ok, err)
+	}
+	// Nothing from the failed acquisition may have been taken.
+	for _, p := range []int{1, 3} {
+		v, _ := r.Available(p)
+		if v != 1 {
+			t.Errorf("pool %d = %d after failed acquire, want 1", p, v)
+		}
+	}
+	if err := r.Release([]int{0, 2, 4}); err != nil {
+		t.Fatal(err)
+	}
+	ok, err = r.TryAcquire([]int{1, 2, 3})
+	if err != nil || !ok {
+		t.Fatalf("TryAcquire after release = (%v,%v), want (true,nil)", ok, err)
+	}
+	if _, err := r.TryAcquire([]int{0, 0}); err == nil {
+		t.Error("duplicate pools: want error")
+	}
+	if _, err := r.TryAcquire(nil); err == nil {
+		t.Error("empty pool set: want error")
+	}
+	if _, err := r.TryAcquire([]int{9}); err == nil {
+		t.Error("out-of-range pool: want error")
+	}
+}
+
+func TestResourceAllocatorNoDeadlockUnderInversion(t *testing.T) {
+	// Two goroutines repeatedly acquire the same pair in opposite orders —
+	// the pattern that deadlocks incremental two-phase locking. Static
+	// transactions must always make progress.
+	m := mem(t, 2)
+	r, err := NewResourceAllocator(m, 0, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			pools := []int{0, 1}
+			if g == 1 {
+				pools = []int{1, 0}
+			}
+			for i := 0; i < 300; i++ {
+				if err := r.Acquire(pools); err != nil {
+					t.Errorf("Acquire: %v", err)
+					return
+				}
+				if err := r.Release(pools); err != nil {
+					t.Errorf("Release: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for p := 0; p < 2; p++ {
+		v, _ := r.Available(p)
+		if v != 1 {
+			t.Errorf("pool %d = %d at end, want 1", p, v)
+		}
+	}
+}
+
+func TestSemaphore(t *testing.T) {
+	m := mem(t, 1)
+	s, err := NewSemaphore(m, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.TryDown() || !s.TryDown() {
+		t.Fatal("TryDown on positive semaphore failed")
+	}
+	if s.TryDown() {
+		t.Fatal("TryDown on zero semaphore succeeded")
+	}
+	done := make(chan struct{})
+	go func() {
+		s.Down() // blocks until Up
+		close(done)
+	}()
+	s.Up()
+	<-done
+	if v := s.Value(); v != 0 {
+		t.Errorf("Value = %d, want 0", v)
+	}
+}
+
+func TestSemaphoreMutualExclusionCount(t *testing.T) {
+	// Use the semaphore as a mutex guarding a plain (non-transactional)
+	// counter; the final count proves Down/Up provide exclusion.
+	const (
+		goroutines = 6
+		each       = 500
+	)
+	m := mem(t, 1)
+	s, err := NewSemaphore(m, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain int // deliberately unsynchronized except via s
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				s.Down()
+				plain++
+				s.Up()
+			}
+		}()
+	}
+	wg.Wait()
+	if plain != goroutines*each {
+		t.Errorf("critical-section counter = %d, want %d", plain, goroutines*each)
+	}
+}

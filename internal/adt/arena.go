@@ -1,0 +1,131 @@
+package adt
+
+import (
+	"fmt"
+
+	stm "github.com/stm-go/stm"
+)
+
+// Arena is a bump allocator over one stm.Memory: it hands out
+// non-overlapping word regions so that several data structures share a
+// single transactional memory. Sharing a memory is what makes
+// cross-structure transactions possible — one static transaction can span
+// words of two objects (see MoveDequeToCounter for the canonical use).
+//
+// Arena is not safe for concurrent use during layout; lay out structures
+// first, then share them across goroutines.
+type Arena struct {
+	m    *stm.Memory
+	next int
+}
+
+// NewArena returns an allocator over all of m.
+func NewArena(m *stm.Memory) *Arena { return &Arena{m: m} }
+
+// Memory returns the underlying transactional memory.
+func (a *Arena) Memory() *stm.Memory { return a.m }
+
+// Remaining returns the number of unallocated words.
+func (a *Arena) Remaining() int { return a.m.Size() - a.next }
+
+// Alloc reserves n words and returns the base address of the region.
+func (a *Arena) Alloc(n int) (int, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("adt: allocation size must be positive, got %d", n)
+	}
+	if a.next+n > a.m.Size() {
+		return 0, fmt.Errorf("adt: arena exhausted: %d words requested, %d remain", n, a.Remaining())
+	}
+	base := a.next
+	a.next += n
+	return base, nil
+}
+
+// NewCounter allocates and constructs a Counter in the arena.
+func (a *Arena) NewCounter() (*Counter, error) {
+	base, err := a.Alloc(CounterWords)
+	if err != nil {
+		return nil, err
+	}
+	return NewCounter(a.m, base)
+}
+
+// NewSemaphore allocates and constructs a Semaphore in the arena.
+func (a *Arena) NewSemaphore(initial uint64) (*Semaphore, error) {
+	base, err := a.Alloc(SemaphoreWords)
+	if err != nil {
+		return nil, err
+	}
+	return NewSemaphore(a.m, base, initial)
+}
+
+// NewDeque allocates and constructs a Deque in the arena.
+func (a *Arena) NewDeque(capacity int) (*Deque, error) {
+	base, err := a.Alloc(DequeWords(capacity))
+	if err != nil {
+		return nil, err
+	}
+	return NewDeque(a.m, base, capacity)
+}
+
+// NewStack allocates and constructs a Stack in the arena.
+func (a *Arena) NewStack(capacity int) (*Stack, error) {
+	base, err := a.Alloc(StackWords(capacity))
+	if err != nil {
+		return nil, err
+	}
+	return NewStack(a.m, base, capacity)
+}
+
+// NewAccounts allocates and constructs Accounts in the arena.
+func (a *Arena) NewAccounts(n int, initial uint64) (*Accounts, error) {
+	base, err := a.Alloc(AccountsWords(n))
+	if err != nil {
+		return nil, err
+	}
+	return NewAccounts(a.m, base, n, initial)
+}
+
+// NewResourceAllocator allocates and constructs a ResourceAllocator.
+func (a *Arena) NewResourceAllocator(n int, units uint64) (*ResourceAllocator, error) {
+	base, err := a.Alloc(ResourceAllocatorWords(n))
+	if err != nil {
+		return nil, err
+	}
+	return NewResourceAllocator(a.m, base, n, units)
+}
+
+// MoveHeadToCounter atomically pops the head of d and adds it to c — a
+// cross-structure transaction spanning {head, tail, slot, counter}. It
+// returns the moved value, or ok=false if the deque was empty. Both
+// structures must live in the same Memory.
+func MoveHeadToCounter(d *Deque, c *Counter) (v uint64, ok bool, err error) {
+	if d.m != c.m {
+		return 0, false, fmt.Errorf("adt: deque and counter live in different memories")
+	}
+	for {
+		head := d.m.Peek(d.base)
+		addrs := []int{d.base, d.base + 1, d.slot(head), c.loc}
+		old, err := d.m.Atomically(addrs, func(old []uint64) []uint64 {
+			curHead, tail := old[0], old[1]
+			if curHead != head || tail == curHead {
+				out := make([]uint64, len(old))
+				copy(out, old)
+				return out
+			}
+			return []uint64{curHead + 1, tail, old[2], old[3] + old[2]}
+		})
+		if err != nil {
+			return 0, false, err
+		}
+		curHead, tail := old[0], old[1]
+		switch {
+		case curHead != head:
+			continue // stale pre-read
+		case tail == curHead:
+			return 0, false, nil
+		default:
+			return old[2], true, nil
+		}
+	}
+}

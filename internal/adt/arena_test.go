@@ -1,0 +1,289 @@
+package adt
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestArenaAllocation(t *testing.T) {
+	m := mem(t, 10)
+	a := NewArena(m)
+	if a.Remaining() != 10 {
+		t.Fatalf("Remaining = %d, want 10", a.Remaining())
+	}
+	b1, err := a.Alloc(4)
+	if err != nil || b1 != 0 {
+		t.Fatalf("first Alloc = (%d,%v)", b1, err)
+	}
+	b2, err := a.Alloc(6)
+	if err != nil || b2 != 4 {
+		t.Fatalf("second Alloc = (%d,%v)", b2, err)
+	}
+	if _, err := a.Alloc(1); err == nil {
+		t.Error("exhausted arena: want error")
+	}
+	if _, err := a.Alloc(0); err == nil {
+		t.Error("zero-size allocation: want error")
+	}
+	if a.Memory() != m {
+		t.Error("Memory() does not return the backing memory")
+	}
+}
+
+func TestArenaConstructors(t *testing.T) {
+	m := mem(t, 128)
+	a := NewArena(m)
+	if _, err := a.NewCounter(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.NewSemaphore(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.NewDeque(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.NewStack(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.NewAccounts(4, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.NewResourceAllocator(4, 1); err != nil {
+		t.Fatal(err)
+	}
+	// 1+1+10+9+4+4 = 29 words used.
+	if got := a.Remaining(); got != 128-29 {
+		t.Errorf("Remaining = %d, want %d", got, 128-29)
+	}
+	// Exhaustion propagates through typed constructors.
+	if _, err := a.NewDeque(1000); err == nil {
+		t.Error("oversized deque in arena: want error")
+	}
+}
+
+func TestMoveHeadToCounterBasic(t *testing.T) {
+	m := mem(t, 64)
+	a := NewArena(m)
+	d, err := a.NewDeque(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := a.NewCounter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []uint64{5, 7, 11} {
+		if err := d.PushTail(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, ok, err := MoveHeadToCounter(d, c)
+	if err != nil || !ok || v != 5 {
+		t.Fatalf("MoveHeadToCounter = (%d,%v,%v), want (5,true,nil)", v, ok, err)
+	}
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if got := d.Len(); got != 2 {
+		t.Errorf("deque len = %d, want 2", got)
+	}
+	// Drain the rest.
+	for i := 0; i < 2; i++ {
+		if _, ok, err := MoveHeadToCounter(d, c); err != nil || !ok {
+			t.Fatalf("drain move %d failed: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if _, ok, _ := MoveHeadToCounter(d, c); ok {
+		t.Error("move from empty deque reported ok")
+	}
+	if got := c.Value(); got != 5+7+11 {
+		t.Errorf("counter = %d, want 23", got)
+	}
+}
+
+func TestMoveHeadToCounterDifferentMemories(t *testing.T) {
+	m1, m2 := mem(t, 32), mem(t, 32)
+	d, err := NewDeque(m1, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCounter(m2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := MoveHeadToCounter(d, c); err == nil {
+		t.Error("cross-memory move: want error")
+	}
+}
+
+func TestMoveHeadToCounterConcurrentConservation(t *testing.T) {
+	// Producers push amounts; movers drain them into the counter. The sum
+	// of everything pushed must equal the counter exactly — the atomic
+	// cross-structure move can neither lose nor duplicate a value.
+	const (
+		producers = 3
+		movers    = 3
+		perProd   = 400
+	)
+	m := mem(t, 64)
+	a := NewArena(m)
+	d, err := a.NewDeque(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := a.NewCounter()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var pushed atomic64
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				v := uint64(p*perProd+i) % 97 // arbitrary small amounts
+				if err := d.PushTail(v); err != nil {
+					t.Errorf("push: %v", err)
+					return
+				}
+				pushed.add(v)
+			}
+		}(p)
+	}
+	var moved atomic64
+	var mg sync.WaitGroup
+	for mv := 0; mv < movers; mv++ {
+		mg.Add(1)
+		go func() {
+			defer mg.Done()
+			for int(moved.addN(0)) < producers*perProd {
+				_, ok, err := MoveHeadToCounter(d, c)
+				if err != nil {
+					t.Errorf("move: %v", err)
+					return
+				}
+				if ok {
+					moved.addN(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	mg.Wait()
+	if got := c.Value(); got != pushed.addN(0) {
+		t.Errorf("counter = %d, want %d", got, pushed.addN(0))
+	}
+	if d.Len() != 0 {
+		t.Errorf("deque not drained: len=%d", d.Len())
+	}
+}
+
+// atomic64 is a tiny test helper combining a value counter and an op
+// counter without importing sync/atomic types into every call site.
+type atomic64 struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+func (a *atomic64) add(d uint64) {
+	a.mu.Lock()
+	a.v += d
+	a.mu.Unlock()
+}
+
+func (a *atomic64) addN(d uint64) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.v += d
+	return a.v
+}
+
+func TestStackBasics(t *testing.T) {
+	m := mem(t, StackWords(3))
+	s, err := NewStack(m, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Capacity() != 3 || s.Len() != 0 {
+		t.Fatalf("fresh stack: cap=%d len=%d", s.Capacity(), s.Len())
+	}
+	if _, ok, _ := s.TryPop(); ok {
+		t.Error("pop from empty stack reported ok")
+	}
+	for _, v := range []uint64{1, 2, 3} {
+		ok, err := s.TryPush(v)
+		if err != nil || !ok {
+			t.Fatalf("TryPush(%d) = (%v,%v)", v, ok, err)
+		}
+	}
+	if ok, _ := s.TryPush(4); ok {
+		t.Error("push to full stack reported ok")
+	}
+	// LIFO order out.
+	for want := uint64(3); want >= 1; want-- {
+		v, ok, err := s.TryPop()
+		if err != nil || !ok || v != want {
+			t.Fatalf("TryPop = (%d,%v,%v), want (%d,true,nil)", v, ok, err, want)
+		}
+	}
+	if _, err := NewStack(m, 0, 0); err == nil {
+		t.Error("zero-capacity stack: want error")
+	}
+	if _, err := NewStack(m, 2, 3); err == nil {
+		t.Error("stack past memory end: want error")
+	}
+}
+
+func TestStackConcurrentNoLossNoDup(t *testing.T) {
+	const (
+		workers = 6
+		each    = 400
+	)
+	m := mem(t, StackWords(32))
+	s, err := NewStack(m, 0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(chan uint64, workers*each)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				v := uint64(w)<<32 | uint64(i)
+				if err := s.Push(v); err != nil {
+					t.Errorf("push: %v", err)
+					return
+				}
+				got, err := s.Pop()
+				if err != nil {
+					t.Errorf("pop: %v", err)
+					return
+				}
+				seen <- got
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(seen)
+	counts := map[uint64]int{}
+	total := 0
+	for v := range seen {
+		counts[v]++
+		total++
+	}
+	if total != workers*each {
+		t.Fatalf("popped %d values, want %d", total, workers*each)
+	}
+	for v, n := range counts {
+		if n != 1 {
+			t.Errorf("value %#x popped %d times", v, n)
+		}
+	}
+	if s.Len() != 0 {
+		t.Errorf("stack not empty: %d", s.Len())
+	}
+}

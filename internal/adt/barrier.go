@@ -1,0 +1,69 @@
+package adt
+
+import (
+	"fmt"
+
+	stm "github.com/stm-go/stm"
+)
+
+// BarrierWords is the memory footprint of a Barrier.
+const BarrierWords = 2
+
+// Barrier is a reusable n-party synchronization barrier over two
+// transactional words: a generation counter and an arrival counter. The
+// last arrival of each generation advances the generation and resets the
+// count atomically; earlier arrivals wait for the generation to change.
+type Barrier struct {
+	m       *stm.Memory
+	base    int
+	parties uint64
+	tx      *stm.Tx
+}
+
+// NewBarrier lays a barrier for the given number of parties at word base.
+func NewBarrier(m *stm.Memory, base, parties int) (*Barrier, error) {
+	if parties <= 0 {
+		return nil, fmt.Errorf("adt: barrier parties must be positive, got %d", parties)
+	}
+	if base < 0 || base+BarrierWords > m.Size() {
+		return nil, fmt.Errorf("adt: barrier at %d does not fit in memory of %d words", base, m.Size())
+	}
+	tx, err := m.Prepare([]int{base, base + 1}) // generation, arrivals
+	if err != nil {
+		return nil, err
+	}
+	return &Barrier{m: m, base: base, parties: uint64(parties), tx: tx}, nil
+}
+
+// Parties returns the number of participants per generation.
+func (b *Barrier) Parties() int { return int(b.parties) }
+
+// Await blocks until all parties of the current generation have arrived,
+// then returns the generation number that completed. It is safe for reuse:
+// the next Await waits on the next generation.
+func (b *Barrier) Await() uint64 {
+	// Arrive: record our arrival and the generation we arrived in. The
+	// last arrival flips the generation and zeroes the count.
+	old := b.tx.Run(func(old []uint64) []uint64 {
+		gen, arrived := old[0], old[1]
+		if arrived+1 == b.parties {
+			return []uint64{gen + 1, 0}
+		}
+		return []uint64{gen, arrived + 1}
+	})
+	gen, arrived := old[0], old[1]
+	if arrived+1 == b.parties {
+		return gen // we were the last: the barrier tripped
+	}
+	// Wait for the generation to move past ours.
+	genTx, err := b.m.Prepare([]int{b.base})
+	if err != nil {
+		// The data set was validated at construction; unreachable.
+		panic(err)
+	}
+	genTx.RunWhen(
+		func(cur []uint64) bool { return cur[0] != gen },
+		func(cur []uint64) []uint64 { return []uint64{cur[0]} },
+	)
+	return gen
+}

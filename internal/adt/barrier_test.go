@@ -1,0 +1,95 @@
+package adt
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBarrierValidation(t *testing.T) {
+	m := mem(t, 2)
+	if _, err := NewBarrier(m, 0, 0); err == nil {
+		t.Error("zero parties: want error")
+	}
+	if _, err := NewBarrier(m, 1, 2); err == nil {
+		t.Error("barrier past memory end: want error")
+	}
+	b, err := NewBarrier(m, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Parties() != 3 {
+		t.Errorf("Parties = %d, want 3", b.Parties())
+	}
+}
+
+func TestBarrierTripsOnlyWhenAllArrive(t *testing.T) {
+	const parties = 4
+	m := mem(t, BarrierWords)
+	b, err := NewBarrier(m, 0, parties)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crossed atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < parties-1; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.Await()
+			crossed.Add(1)
+		}()
+	}
+	// With one party missing, nobody may cross.
+	time.Sleep(30 * time.Millisecond)
+	if n := crossed.Load(); n != 0 {
+		t.Fatalf("%d parties crossed before the last arrival", n)
+	}
+	if gen := b.Await(); gen != 0 {
+		t.Errorf("first generation = %d, want 0", gen)
+	}
+	wg.Wait()
+	if n := crossed.Load(); n != parties-1 {
+		t.Errorf("crossed = %d, want %d", n, parties-1)
+	}
+}
+
+func TestBarrierIsReusableAcrossGenerations(t *testing.T) {
+	const (
+		parties     = 3
+		generations = 25
+	)
+	m := mem(t, BarrierWords)
+	b, err := NewBarrier(m, 0, parties)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each participant counts per-generation work; the barrier must keep
+	// every generation's work from overlapping the next.
+	var phase [generations][parties]bool
+	var wg sync.WaitGroup
+	for p := 0; p < parties; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for g := 0; g < generations; g++ {
+				phase[g][p] = true
+				gen := b.Await()
+				if gen != uint64(g) {
+					t.Errorf("participant %d saw generation %d, want %d", p, gen, g)
+					return
+				}
+				// After crossing generation g, every participant must have
+				// set its phase flag for g.
+				for q := 0; q < parties; q++ {
+					if !phase[g][q] {
+						t.Errorf("generation %d crossed before participant %d arrived", g, q)
+						return
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,41 @@
+package adt
+
+import (
+	"fmt"
+
+	stm "github.com/stm-go/stm"
+)
+
+// CounterWords is the memory footprint of a Counter.
+const CounterWords = 1
+
+// Counter is the paper's counting-benchmark object: a single shared word
+// incremented transactionally. Safe for concurrent use.
+type Counter struct {
+	tx  *stm.Tx
+	m   *stm.Memory
+	loc int
+}
+
+// NewCounter lays a counter at word base of m.
+func NewCounter(m *stm.Memory, base int) (*Counter, error) {
+	if base < 0 || base+CounterWords > m.Size() {
+		return nil, fmt.Errorf("adt: counter at %d does not fit in memory of %d words", base, m.Size())
+	}
+	tx, err := m.Prepare([]int{base})
+	if err != nil {
+		return nil, err
+	}
+	return &Counter{tx: tx, m: m, loc: base}, nil
+}
+
+// Inc atomically adds delta and returns the previous value.
+func (c *Counter) Inc(delta uint64) uint64 {
+	old := c.tx.Run(func(old []uint64) []uint64 {
+		return []uint64{old[0] + delta}
+	})
+	return old[0]
+}
+
+// Value returns the current value (a single-word atomic read).
+func (c *Counter) Value() uint64 { return c.m.Peek(c.loc) }

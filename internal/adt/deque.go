@@ -1,0 +1,198 @@
+package adt
+
+import (
+	"fmt"
+
+	stm "github.com/stm-go/stm"
+)
+
+// Deque is the paper's doubly-linked queue benchmark object: a bounded
+// double-ended queue whose operations are static transactions over
+// {head, tail, one slot}. As in the paper, producers and consumers work on
+// opposite ends and conflict only through the shared end words (and through
+// the same slot when the queue is nearly empty or nearly full).
+//
+// Layout (Words = 2 + capacity):
+//
+//	base+0: head index (grows on PopHead, shrinks on PushHead; head%cap is the slot)
+//	base+1: tail index (grows on PushTail, shrinks on PopTail)
+//	base+2 … base+1+cap: slots
+//
+// The queue holds tail-head elements. Both indices start at the middle of
+// the uint64 space (dequeIndexBias) so neither can cross zero in practice;
+// see the constant's comment for why a wrap would matter.
+type Deque struct {
+	m    *stm.Memory
+	base int
+	cap  uint64
+}
+
+// DequeWords returns the memory footprint of a Deque with the given
+// capacity.
+func DequeWords(capacity int) int { return 2 + capacity }
+
+// dequeIndexBias is the initial value of both indices. Starting in the
+// middle of the index space keeps head-1 from wrapping uint64: slot
+// arithmetic (index % capacity) is only consistent across a wrap when the
+// capacity divides 2^64, so the indices must never cross zero. 2^62 head
+// pushes or pops would be needed to reach a boundary.
+const dequeIndexBias = uint64(1) << 62
+
+// NewDeque lays a deque of the given capacity at word base of m.
+func NewDeque(m *stm.Memory, base, capacity int) (*Deque, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("adt: deque capacity must be positive, got %d", capacity)
+	}
+	if base < 0 || base+DequeWords(capacity) > m.Size() {
+		return nil, fmt.Errorf("adt: deque at %d (cap %d) does not fit in memory of %d words", base, capacity, m.Size())
+	}
+	if err := m.WriteAll([]int{base, base + 1}, []uint64{dequeIndexBias, dequeIndexBias}); err != nil {
+		return nil, err
+	}
+	return &Deque{m: m, base: base, cap: uint64(capacity)}, nil
+}
+
+// Capacity returns the deque's fixed capacity.
+func (d *Deque) Capacity() int { return int(d.cap) }
+
+// Len returns a snapshot of the current length.
+func (d *Deque) Len() int {
+	old, err := d.m.ReadAll(d.base, d.base+1)
+	if err != nil {
+		// The data set is validated at construction; this is unreachable.
+		panic(err)
+	}
+	return int(old[1] - old[0])
+}
+
+func (d *Deque) slot(idx uint64) int { return d.base + 2 + int(idx%d.cap) }
+
+// TryPushTail appends v at the tail. It returns false if the deque is full.
+func (d *Deque) TryPushTail(v uint64) (bool, error) {
+	for {
+		tail := d.m.Peek(d.base + 1) // optimistic pre-read to pick the slot
+		addrs := []int{d.base, d.base + 1, d.slot(tail)}
+		old, err := d.m.Atomically(addrs, func(old []uint64) []uint64 {
+			head, curTail := old[0], old[1]
+			if curTail != tail || curTail-head >= d.cap {
+				return []uint64{old[0], old[1], old[2]} // validated no-op
+			}
+			return []uint64{head, curTail + 1, v}
+		})
+		if err != nil {
+			return false, err
+		}
+		head, curTail := old[0], old[1]
+		switch {
+		case curTail != tail:
+			continue // stale pre-read: another producer moved the tail
+		case curTail-head >= d.cap:
+			return false, nil
+		default:
+			return true, nil
+		}
+	}
+}
+
+// TryPopHead removes and returns the head element. ok=false means empty.
+func (d *Deque) TryPopHead() (v uint64, ok bool, err error) {
+	for {
+		head := d.m.Peek(d.base)
+		addrs := []int{d.base, d.base + 1, d.slot(head)}
+		old, err := d.m.Atomically(addrs, func(old []uint64) []uint64 {
+			curHead, tail := old[0], old[1]
+			if curHead != head || tail == curHead {
+				return []uint64{old[0], old[1], old[2]}
+			}
+			return []uint64{curHead + 1, tail, old[2]}
+		})
+		if err != nil {
+			return 0, false, err
+		}
+		curHead, tail := old[0], old[1]
+		switch {
+		case curHead != head:
+			continue
+		case tail == curHead:
+			return 0, false, nil
+		default:
+			return old[2], true, nil
+		}
+	}
+}
+
+// TryPushHead prepends v at the head end. It returns false if the deque is
+// full. Head pushes move the head index backwards; the next TryPopHead
+// returns v.
+func (d *Deque) TryPushHead(v uint64) (bool, error) {
+	for {
+		head := d.m.Peek(d.base)
+		addrs := []int{d.base, d.base + 1, d.slot(head - 1)}
+		old, err := d.m.Atomically(addrs, func(old []uint64) []uint64 {
+			curHead, tail := old[0], old[1]
+			if curHead != head || tail-curHead >= d.cap {
+				return []uint64{old[0], old[1], old[2]} // validated no-op
+			}
+			return []uint64{curHead - 1, tail, v}
+		})
+		if err != nil {
+			return false, err
+		}
+		curHead, tail := old[0], old[1]
+		switch {
+		case curHead != head:
+			continue
+		case tail-curHead >= d.cap:
+			return false, nil
+		default:
+			return true, nil
+		}
+	}
+}
+
+// TryPopTail removes and returns the tail element. ok=false means empty.
+func (d *Deque) TryPopTail() (v uint64, ok bool, err error) {
+	for {
+		tail := d.m.Peek(d.base + 1)
+		addrs := []int{d.base, d.base + 1, d.slot(tail - 1)}
+		old, err := d.m.Atomically(addrs, func(old []uint64) []uint64 {
+			head, curTail := old[0], old[1]
+			if curTail != tail || curTail == head {
+				return []uint64{old[0], old[1], old[2]}
+			}
+			return []uint64{head, curTail - 1, old[2]}
+		})
+		if err != nil {
+			return 0, false, err
+		}
+		head, curTail := old[0], old[1]
+		switch {
+		case curTail != tail:
+			continue
+		case curTail == head:
+			return 0, false, nil
+		default:
+			return old[2], true, nil
+		}
+	}
+}
+
+// PushTail appends v, retrying until space is available.
+func (d *Deque) PushTail(v uint64) error {
+	for {
+		ok, err := d.TryPushTail(v)
+		if err != nil || ok {
+			return err
+		}
+	}
+}
+
+// PopHead removes the head element, retrying until one is available.
+func (d *Deque) PopHead() (uint64, error) {
+	for {
+		v, ok, err := d.TryPopHead()
+		if err != nil || ok {
+			return v, err
+		}
+	}
+}

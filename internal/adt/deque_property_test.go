@@ -1,0 +1,92 @@
+package adt
+
+import (
+	"testing"
+	"testing/quick"
+
+	stm "github.com/stm-go/stm"
+)
+
+// TestDequeMatchesListModel drives random single-threaded operation
+// sequences on all four deque ends against a plain slice model.
+func TestDequeMatchesListModel(t *testing.T) {
+	const capacity = 5
+
+	run := func(script []uint8) bool {
+		m, err := newMemQuiet(DequeWords(capacity))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := NewDeque(m, 0, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var model []uint64
+
+		for i, b := range script {
+			v := uint64(i)*131 + uint64(b) + 1
+			switch b % 4 {
+			case 0: // push tail
+				ok, err := d.TryPushTail(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok != (len(model) < capacity) {
+					return false
+				}
+				if ok {
+					model = append(model, v)
+				}
+			case 1: // push head
+				ok, err := d.TryPushHead(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok != (len(model) < capacity) {
+					return false
+				}
+				if ok {
+					model = append([]uint64{v}, model...)
+				}
+			case 2: // pop head
+				got, ok, err := d.TryPopHead()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if got != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			case 3: // pop tail
+				got, ok, err := d.TryPopTail()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if got != model[len(model)-1] {
+						return false
+					}
+					model = model[:len(model)-1]
+				}
+			}
+			if d.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// newMemQuiet builds a memory without a *testing.T (for property closures).
+func newMemQuiet(size int) (*stm.Memory, error) { return stm.New(size) }

@@ -1,0 +1,11 @@
+// Package adt provides data types built on static STM transactions: the
+// shared counter and doubly-linked queue of the paper's evaluation
+// (Shavit & Touitou, PODC 1995, §benchmarks), plus the bank-account and
+// k-resource-allocation objects used by the examples and the ablation
+// experiments.
+//
+// Every type is laid out in a caller-supplied region of an stm.Memory, so
+// multiple objects can share one memory and single transactions can span
+// them. Constructors validate and reserve [base, base+Words) and return an
+// error if the region does not fit.
+package adt

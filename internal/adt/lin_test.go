@@ -1,0 +1,159 @@
+package adt
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/stm-go/stm/internal/lin"
+	"github.com/stm-go/stm/internal/xrand"
+)
+
+// These tests validate the concurrent data types against sequential
+// specifications using the linearizability checker: many short randomized
+// rounds (the checker is exponential in history length, and short windows
+// still catch ordering violations).
+
+func TestDequeLinearizable(t *testing.T) {
+	const (
+		rounds  = 60
+		workers = 3
+		opsPer  = 4
+	)
+	for round := 0; round < rounds; round++ {
+		m := mem(t, DequeWords(4))
+		d, err := NewDeque(m, 0, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := lin.NewRecorder()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := xrand.New(uint64(round*31+w) + 1)
+				for i := 0; i < opsPer; i++ {
+					if rng.Bool() {
+						v := rng.Uint64()%100 + 1
+						call := rec.Begin(w, lin.Op{Kind: lin.OpEnq, Arg: v})
+						ok, err := d.TryPushTail(v)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						ret := uint64(0)
+						if ok {
+							ret = 1
+						}
+						rec.End(call, ret)
+					} else {
+						call := rec.Begin(w, lin.Op{Kind: lin.OpDeq})
+						v, ok, err := d.TryPopHead()
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						ret := lin.EmptyRet
+						if ok {
+							ret = v
+						}
+						rec.End(call, ret)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		h := rec.History()
+		if !lin.CheckG(h, lin.QueueModel(4)) {
+			t.Fatalf("round %d: deque history not linearizable as a FIFO queue:\n%+v", round, h)
+		}
+	}
+}
+
+func TestStackLinearizable(t *testing.T) {
+	const (
+		rounds  = 60
+		workers = 3
+		opsPer  = 4
+	)
+	for round := 0; round < rounds; round++ {
+		m := mem(t, StackWords(4))
+		s, err := NewStack(m, 0, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := lin.NewRecorder()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := xrand.New(uint64(round*37+w) + 5)
+				for i := 0; i < opsPer; i++ {
+					if rng.Bool() {
+						v := rng.Uint64()%100 + 1
+						call := rec.Begin(w, lin.Op{Kind: lin.OpPush, Arg: v})
+						ok, err := s.TryPush(v)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						ret := uint64(0)
+						if ok {
+							ret = 1
+						}
+						rec.End(call, ret)
+					} else {
+						call := rec.Begin(w, lin.Op{Kind: lin.OpPop})
+						v, ok, err := s.TryPop()
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						ret := lin.EmptyRet
+						if ok {
+							ret = v
+						}
+						rec.End(call, ret)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if !lin.CheckG(rec.History(), lin.StackModel(4)) {
+			t.Fatalf("round %d: stack history not linearizable as a LIFO stack", round)
+		}
+	}
+}
+
+func TestCounterLinearizable(t *testing.T) {
+	const (
+		rounds  = 40
+		workers = 4
+		opsPer  = 4
+	)
+	for round := 0; round < rounds; round++ {
+		m := mem(t, 1)
+		c, err := NewCounter(m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := lin.NewRecorder()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < opsPer; i++ {
+					call := rec.Begin(w, lin.Op{Kind: lin.OpAdd, Arg: 1})
+					old := c.Inc(1)
+					rec.End(call, old)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if !lin.CheckRegister(rec.History(), 0) {
+			t.Fatalf("round %d: counter history not linearizable", round)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package adt
+
+import (
+	"fmt"
+	"sort"
+
+	stm "github.com/stm-go/stm"
+)
+
+// ResourceAllocator manages n resource pools and grants k-way atomic
+// acquisitions: take one unit from each of k pools, all or nothing,
+// blocking until all k are simultaneously available. Dining philosophers is
+// the k=2 case. Because acquisitions are single static transactions, the
+// classic deadlock of incremental locking cannot occur — the STM engine
+// orders the underlying ownership acquisition globally.
+type ResourceAllocator struct {
+	m    *stm.Memory
+	base int
+	n    int
+}
+
+// ResourceAllocatorWords returns the footprint of n pools.
+func ResourceAllocatorWords(n int) int { return n }
+
+// NewResourceAllocator lays n pools at word base of m, each with the given
+// number of available units.
+func NewResourceAllocator(m *stm.Memory, base, n int, units uint64) (*ResourceAllocator, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("adt: number of pools must be positive, got %d", n)
+	}
+	if base < 0 || base+n > m.Size() {
+		return nil, fmt.Errorf("adt: %d pools at %d do not fit in memory of %d words", n, base, m.Size())
+	}
+	addrs := make([]int, n)
+	vals := make([]uint64, n)
+	for i := range addrs {
+		addrs[i] = base + i
+		vals[i] = units
+	}
+	if err := m.WriteAll(addrs, vals); err != nil {
+		return nil, err
+	}
+	return &ResourceAllocator{m: m, base: base, n: n}, nil
+}
+
+// N returns the number of pools.
+func (r *ResourceAllocator) N() int { return r.n }
+
+// Available returns a snapshot of one pool's free units.
+func (r *ResourceAllocator) Available(i int) (uint64, error) {
+	if i < 0 || i >= r.n {
+		return 0, fmt.Errorf("adt: pool %d out of range [0,%d)", i, r.n)
+	}
+	return r.m.Peek(r.base + i), nil
+}
+
+// addrsFor validates and maps pool indices to memory addresses.
+func (r *ResourceAllocator) addrsFor(pools []int) ([]int, error) {
+	if len(pools) == 0 {
+		return nil, fmt.Errorf("adt: empty pool set")
+	}
+	addrs := make([]int, len(pools))
+	for i, p := range pools {
+		if p < 0 || p >= r.n {
+			return nil, fmt.Errorf("adt: pool %d out of range [0,%d)", p, r.n)
+		}
+		addrs[i] = r.base + p
+	}
+	sort.Ints(addrs)
+	for i := 1; i < len(addrs); i++ {
+		if addrs[i] == addrs[i-1] {
+			return nil, fmt.Errorf("adt: duplicate pool %d", addrs[i]-r.base)
+		}
+	}
+	return addrs, nil
+}
+
+// TryAcquire takes one unit from every pool in pools if all are available,
+// atomically. It reports whether the acquisition happened.
+func (r *ResourceAllocator) TryAcquire(pools []int) (bool, error) {
+	addrs, err := r.addrsFor(pools)
+	if err != nil {
+		return false, err
+	}
+	old, err := r.m.Atomically(addrs, func(old []uint64) []uint64 {
+		for _, v := range old {
+			if v == 0 {
+				out := make([]uint64, len(old))
+				copy(out, old)
+				return out
+			}
+		}
+		out := make([]uint64, len(old))
+		for i, v := range old {
+			out[i] = v - 1
+		}
+		return out
+	})
+	if err != nil {
+		return false, err
+	}
+	for _, v := range old {
+		if v == 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Acquire blocks (retries) until one unit from every pool in pools can be
+// taken atomically.
+func (r *ResourceAllocator) Acquire(pools []int) error {
+	addrs, err := r.addrsFor(pools)
+	if err != nil {
+		return err
+	}
+	tx, err := r.m.Prepare(addrs)
+	if err != nil {
+		return err
+	}
+	tx.RunWhen(
+		func(old []uint64) bool {
+			for _, v := range old {
+				if v == 0 {
+					return false
+				}
+			}
+			return true
+		},
+		func(old []uint64) []uint64 {
+			out := make([]uint64, len(old))
+			for i, v := range old {
+				out[i] = v - 1
+			}
+			return out
+		},
+	)
+	return nil
+}
+
+// Release returns one unit to every pool in pools, atomically.
+func (r *ResourceAllocator) Release(pools []int) error {
+	addrs, err := r.addrsFor(pools)
+	if err != nil {
+		return err
+	}
+	_, err = r.m.Atomically(addrs, func(old []uint64) []uint64 {
+		out := make([]uint64, len(old))
+		for i, v := range old {
+			out[i] = v + 1
+		}
+		return out
+	})
+	return err
+}

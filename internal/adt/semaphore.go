@@ -1,0 +1,60 @@
+package adt
+
+import (
+	"fmt"
+
+	stm "github.com/stm-go/stm"
+)
+
+// SemaphoreWords is the memory footprint of a Semaphore.
+const SemaphoreWords = 1
+
+// Semaphore is a counting semaphore over one transactional word.
+type Semaphore struct {
+	tx *stm.Tx
+	m  *stm.Memory
+	at int
+}
+
+// NewSemaphore lays a semaphore at word base of m with the given initial
+// count.
+func NewSemaphore(m *stm.Memory, base int, initial uint64) (*Semaphore, error) {
+	if base < 0 || base+SemaphoreWords > m.Size() {
+		return nil, fmt.Errorf("adt: semaphore at %d does not fit in memory of %d words", base, m.Size())
+	}
+	if err := m.WriteAll([]int{base}, []uint64{initial}); err != nil {
+		return nil, err
+	}
+	tx, err := m.Prepare([]int{base})
+	if err != nil {
+		return nil, err
+	}
+	return &Semaphore{tx: tx, m: m, at: base}, nil
+}
+
+// Up increments the semaphore.
+func (s *Semaphore) Up() {
+	s.tx.Run(func(old []uint64) []uint64 { return []uint64{old[0] + 1} })
+}
+
+// Down decrements the semaphore, blocking while it is zero.
+func (s *Semaphore) Down() {
+	s.tx.RunWhen(
+		func(old []uint64) bool { return old[0] > 0 },
+		func(old []uint64) []uint64 { return []uint64{old[0] - 1} },
+	)
+}
+
+// TryDown decrements if positive, reporting whether it did.
+func (s *Semaphore) TryDown() bool {
+	old := s.tx.Run(func(old []uint64) []uint64 {
+		if old[0] == 0 {
+			return []uint64{0}
+		}
+		return []uint64{old[0] - 1}
+	})
+	return old[0] > 0
+}
+
+// Value returns a snapshot of the count.
+func (s *Semaphore) Value() uint64 { return s.m.Peek(s.at) }

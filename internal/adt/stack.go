@@ -1,0 +1,122 @@
+package adt
+
+import (
+	"fmt"
+
+	stm "github.com/stm-go/stm"
+)
+
+// Stack is a bounded LIFO whose operations are static transactions over
+// {top, one slot} — the push/pop analogue of the paper's queue object.
+//
+// Layout (Words = 1 + capacity): base+0 holds the number of elements;
+// slots follow.
+type Stack struct {
+	m    *stm.Memory
+	base int
+	cap  uint64
+}
+
+// StackWords returns the memory footprint of a Stack with the given
+// capacity.
+func StackWords(capacity int) int { return 1 + capacity }
+
+// NewStack lays a stack of the given capacity at word base of m.
+func NewStack(m *stm.Memory, base, capacity int) (*Stack, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("adt: stack capacity must be positive, got %d", capacity)
+	}
+	if base < 0 || base+StackWords(capacity) > m.Size() {
+		return nil, fmt.Errorf("adt: stack at %d (cap %d) does not fit in memory of %d words", base, capacity, m.Size())
+	}
+	return &Stack{m: m, base: base, cap: uint64(capacity)}, nil
+}
+
+// Capacity returns the stack's fixed capacity.
+func (s *Stack) Capacity() int { return int(s.cap) }
+
+// Len returns a snapshot of the number of elements.
+func (s *Stack) Len() int { return int(s.m.Peek(s.base)) }
+
+// TryPush pushes v, returning false if the stack is full.
+func (s *Stack) TryPush(v uint64) (bool, error) {
+	for {
+		top := s.m.Peek(s.base) // optimistic pre-read picks the slot
+		if top >= s.cap {
+			// Validate fullness transactionally before reporting it.
+			cur, err := s.m.ReadAll(s.base)
+			if err != nil {
+				return false, err
+			}
+			if cur[0] >= s.cap {
+				return false, nil
+			}
+			continue
+		}
+		addrs := []int{s.base, s.base + 1 + int(top)}
+		old, err := s.m.Atomically(addrs, func(old []uint64) []uint64 {
+			if old[0] != top {
+				return []uint64{old[0], old[1]}
+			}
+			return []uint64{top + 1, v}
+		})
+		if err != nil {
+			return false, err
+		}
+		if old[0] != top {
+			continue // stale pre-read
+		}
+		return true, nil
+	}
+}
+
+// TryPop pops the most recently pushed element. ok=false means empty.
+func (s *Stack) TryPop() (v uint64, ok bool, err error) {
+	for {
+		top := s.m.Peek(s.base)
+		if top == 0 {
+			cur, err := s.m.ReadAll(s.base)
+			if err != nil {
+				return 0, false, err
+			}
+			if cur[0] == 0 {
+				return 0, false, nil
+			}
+			continue
+		}
+		addrs := []int{s.base, s.base + int(top)} // slot index top-1 is word base+1+(top-1)
+		old, err := s.m.Atomically(addrs, func(old []uint64) []uint64 {
+			if old[0] != top {
+				return []uint64{old[0], old[1]}
+			}
+			return []uint64{top - 1, old[1]}
+		})
+		if err != nil {
+			return 0, false, err
+		}
+		if old[0] != top {
+			continue
+		}
+		return old[1], true, nil
+	}
+}
+
+// Push pushes v, retrying until space is available.
+func (s *Stack) Push(v uint64) error {
+	for {
+		ok, err := s.TryPush(v)
+		if err != nil || ok {
+			return err
+		}
+	}
+}
+
+// Pop pops an element, retrying until one is available.
+func (s *Stack) Pop() (uint64, error) {
+	for {
+		v, ok, err := s.TryPop()
+		if err != nil || ok {
+			return v, err
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Package backoff provides capped exponential backoff with deterministic
+// per-goroutine jitter, used by transaction retry loops and by the
+// lock/Herlihy baselines. It is allocation-free after construction.
+package backoff
+
+import "time"
+
+// Exp is a capped exponential backoff. The zero value is invalid; use New.
+// Exp is not safe for concurrent use — each goroutine owns its own.
+type Exp struct {
+	cur   time.Duration
+	min   time.Duration
+	max   time.Duration
+	rng   uint64
+	spins int
+}
+
+// New returns a backoff that starts at min and doubles to at most max.
+// seed decorrelates concurrent goroutines; any value is fine.
+func New(min, max time.Duration, seed uint64) *Exp {
+	if min <= 0 {
+		min = time.Microsecond
+	}
+	if max < min {
+		max = min
+	}
+	return &Exp{cur: min, min: min, max: max, rng: seed | 1, spins: 8}
+}
+
+// next returns a pseudo-random uint64 (xorshift64*).
+func (b *Exp) next() uint64 {
+	b.rng ^= b.rng >> 12
+	b.rng ^= b.rng << 25
+	b.rng ^= b.rng >> 27
+	return b.rng * 2685821657736338717
+}
+
+// Wait blocks for the current backoff interval (with ±50% jitter) and then
+// doubles it, saturating at the configured maximum. The first few waits are
+// busy spins, which wins on short conflicts.
+func (b *Exp) Wait() {
+	if b.spins > 0 {
+		b.spins--
+		for i := 0; i < 64; i++ {
+			_ = i
+		}
+		return
+	}
+	jitter := time.Duration(b.next() % uint64(b.cur))
+	time.Sleep(b.cur/2 + jitter)
+	if b.cur < b.max {
+		b.cur *= 2
+		if b.cur > b.max {
+			b.cur = b.max
+		}
+	}
+}
+
+// Reset returns the backoff to its initial interval. Call after a success.
+func (b *Exp) Reset() {
+	b.cur = b.min
+	b.spins = 8
+}

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/stm-go/stm/internal/workload"
+)
+
+func tinyOptions() Options {
+	return Options{
+		Procs:    []int{1, 2, 4},
+		Duration: 60_000,
+		Seed:     42,
+		QueueCap: 8,
+		Pools:    8,
+		K:        2,
+	}
+}
+
+func TestFigureTableAndCSV(t *testing.T) {
+	f := Figure{
+		ID:     "FX",
+		Title:  "demo",
+		XLabel: "procs",
+		YLabel: "tput",
+		Series: []Series{
+			{Label: "a", Points: []Point{{X: 1, Y: 10.5}, {X: 2, Y: 20}}},
+			{Label: "b", Points: []Point{{X: 1, Y: 1}, {X: 4, Y: 4}}},
+		},
+		Notes: []string{"hello"},
+	}
+	tbl := f.Table()
+	for _, want := range []string{"FX", "demo", "procs", "a", "b", "10.5", "note: hello", "-"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("Table() missing %q:\n%s", want, tbl)
+		}
+	}
+	csv := f.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 4 { // header + x ∈ {1,2,4}
+		t.Fatalf("CSV has %d lines, want 4:\n%s", len(lines), csv)
+	}
+	if lines[0] != "procs,a,b" {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "2,20.0000,") {
+		t.Errorf("CSV row for x=2 = %q (missing b hole)", lines[2])
+	}
+}
+
+func TestDocRendering(t *testing.T) {
+	d := Doc{
+		ID:    "T9",
+		Title: "demo table",
+		Head:  []string{"col a", "b"},
+		Rows:  [][]string{{"x", "1"}, {"longer", "2"}},
+		Notes: []string{"n1"},
+	}
+	tbl := d.Table()
+	for _, want := range []string{"T9", "col a", "longer", "note: n1"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("Doc.Table() missing %q:\n%s", want, tbl)
+		}
+	}
+	csv := d.CSV()
+	if !strings.HasPrefix(csv, "col a,b\n") {
+		t.Errorf("Doc.CSV() header wrong: %q", csv)
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	tests := map[string]string{
+		"plain":      "plain",
+		"with,comma": `"with,comma"`,
+		`q"uote`:     `"q""uote"`,
+	}
+	for in, want := range tests {
+		if got := csvEscape(in); got != want {
+			t.Errorf("csvEscape(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	full := DefaultOptions(false)
+	quick := DefaultOptions(true)
+	if len(full.Procs) <= len(quick.Procs) {
+		t.Error("full sweep should cover more processor counts than quick")
+	}
+	if full.Procs[len(full.Procs)-1] != 64 {
+		t.Errorf("full sweep must reach 64 processors (the paper's machine size), got %d",
+			full.Procs[len(full.Procs)-1])
+	}
+	if quick.Duration >= full.Duration {
+		t.Error("quick duration should be shorter")
+	}
+}
+
+func TestCountingExperimentQuick(t *testing.T) {
+	f, err := Counting(workload.ArchBus, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != "F1" {
+		t.Errorf("ID = %q, want F1", f.ID)
+	}
+	if len(f.Series) != len(workload.Methods) {
+		t.Fatalf("series = %d, want %d", len(f.Series), len(workload.Methods))
+	}
+	for _, s := range f.Series {
+		if len(s.Points) != 3 {
+			t.Errorf("series %s has %d points, want 3", s.Label, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Y <= 0 {
+				t.Errorf("series %s at P=%.0f: throughput %.2f ≤ 0", s.Label, p.X, p.Y)
+			}
+		}
+	}
+	fn, err := Counting(workload.ArchNet, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn.ID != "F2" {
+		t.Errorf("net ID = %q, want F2", fn.ID)
+	}
+}
+
+func TestQueueExperimentQuick(t *testing.T) {
+	f, err := Queue(workload.ArchBus, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != "F3" {
+		t.Errorf("ID = %q, want F3", f.ID)
+	}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if p.X >= 2 && p.Y <= 0 {
+				t.Errorf("series %s at P=%.0f: throughput %.2f ≤ 0", s.Label, p.X, p.Y)
+			}
+		}
+	}
+}
+
+func TestBreakdownQuick(t *testing.T) {
+	d, err := Breakdown(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ID != "T1" {
+		t.Errorf("ID = %q, want T1", d.ID)
+	}
+	if len(d.Rows) != 4 { // 2 archs × 2 proc counts (quick extremes)
+		t.Errorf("rows = %d, want 4", len(d.Rows))
+	}
+}
+
+func TestStallsQuick(t *testing.T) {
+	f, err := Stalls(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != "F5" {
+		t.Errorf("ID = %q, want F5", f.ID)
+	}
+	if len(f.Series) != 3 {
+		t.Errorf("series = %d, want 3", len(f.Series))
+	}
+}
+
+func TestAblationQuick(t *testing.T) {
+	f, err := Ablation(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != "F6" {
+		t.Errorf("ID = %q, want F6", f.ID)
+	}
+	if len(f.Series) != 4 {
+		t.Errorf("series = %d, want 4", len(f.Series))
+	}
+}
+
+func TestSweepDeterminism(t *testing.T) {
+	a, err := Counting(workload.ArchBus, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Counting(workload.ArchBus, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CSV() != b.CSV() {
+		t.Error("same options produced different figures")
+	}
+}

@@ -1,0 +1,310 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/stm-go/stm/internal/sim"
+	"github.com/stm-go/stm/internal/workload"
+)
+
+// Options parameterizes an experiment run.
+type Options struct {
+	// Procs is the processor sweep (X axis of the throughput figures).
+	Procs []int
+	// Duration is the virtual run length per point, in cycles.
+	Duration int64
+	// Seed drives all randomness; a run is replayable from it.
+	Seed uint64
+	// QueueCap is the queue benchmark's capacity.
+	QueueCap int
+	// Pools/K parameterize the resource-allocation workload.
+	Pools, K int
+	// Workers bounds host-side parallelism across points (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultOptions returns the experiment calibration. quick selects a
+// reduced sweep for tests and -short runs; the full sweep mirrors the
+// paper's 1..64 simulated processors.
+func DefaultOptions(quick bool) Options {
+	if quick {
+		return Options{
+			Procs:    []int{1, 2, 4, 8},
+			Duration: 200_000,
+			Seed:     1995,
+			QueueCap: 64,
+			Pools:    16,
+			K:        3,
+		}
+	}
+	return Options{
+		Procs:    []int{1, 2, 4, 8, 16, 24, 32, 48, 64},
+		Duration: 1_000_000,
+		Seed:     1995,
+		QueueCap: 64,
+		Pools:    16,
+		K:        3,
+	}
+}
+
+// run executes one workload spec, returning throughput.
+func run(spec workload.Spec) (workload.Outcome, error) {
+	return workload.Run(spec)
+}
+
+// sweep runs spec-variants over (procs × methods) in parallel and builds
+// one series per method.
+func (o Options) sweep(kind workload.Kind, arch workload.Arch, methods []workload.Method,
+	stallFor func(procs int) *sim.StallPlan) ([]Series, error) {
+
+	type key struct {
+		mi, pi int
+	}
+	results := make(map[key]float64, len(methods)*len(o.Procs))
+	var mu sync.Mutex
+	var firstErr error
+
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+
+	for mi, method := range methods {
+		for pi, procs := range o.Procs {
+			mi, pi, method, procs := mi, pi, method, procs
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				spec := workload.Spec{
+					Kind:     kind,
+					Method:   method,
+					Arch:     arch,
+					Procs:    procs,
+					Duration: o.Duration,
+					Seed:     o.Seed + uint64(procs)*1000 + uint64(mi),
+					QueueCap: o.QueueCap,
+					Pools:    o.Pools,
+					K:        o.K,
+				}
+				if stallFor != nil {
+					spec.Stall = stallFor(procs)
+				}
+				out, err := run(spec)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("%s/%s/p=%d: %w", kind, method, procs, err)
+					}
+					return
+				}
+				results[key{mi, pi}] = out.Throughput
+			}()
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	series := make([]Series, len(methods))
+	for mi, method := range methods {
+		pts := make([]Point, len(o.Procs))
+		for pi, procs := range o.Procs {
+			pts[pi] = Point{X: float64(procs), Y: results[key{mi, pi}]}
+		}
+		series[mi] = Series{Label: string(method), Points: pts}
+	}
+	return series, nil
+}
+
+// Counting reproduces the counting-benchmark throughput figures: F1 on the
+// bus machine, F2 on the network machine.
+func Counting(arch workload.Arch, o Options) (Figure, error) {
+	series, err := o.sweep(workload.KindCounting, arch, workload.Methods, nil)
+	if err != nil {
+		return Figure{}, err
+	}
+	id := "F1"
+	if arch == workload.ArchNet {
+		id = "F2"
+	}
+	return Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("Counting benchmark, %s machine (Shavit–Touitou evaluation)", arch),
+		XLabel: "processors",
+		YLabel: "throughput (ops / 10^6 cycles)",
+		Series: series,
+		Notes: []string{
+			fmt.Sprintf("duration=%d cycles/point, seed=%d", o.Duration, o.Seed),
+		},
+	}, nil
+}
+
+// Queue reproduces the doubly-linked-queue throughput figures: F3 (bus)
+// and F4 (network).
+func Queue(arch workload.Arch, o Options) (Figure, error) {
+	series, err := o.sweep(workload.KindQueue, arch, workload.Methods, nil)
+	if err != nil {
+		return Figure{}, err
+	}
+	id := "F3"
+	if arch == workload.ArchNet {
+		id = "F4"
+	}
+	return Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("Doubly-linked queue benchmark, %s machine (capacity %d)", arch, o.QueueCap),
+		XLabel: "processors",
+		YLabel: "throughput (ops / 10^6 cycles)",
+		Series: series,
+		Notes: []string{
+			fmt.Sprintf("duration=%d cycles/point, seed=%d, half enqueuers / half dequeuers", o.Duration, o.Seed),
+		},
+	}, nil
+}
+
+// Breakdown reproduces T1: the STM cost/behaviour breakdown at selected
+// processor counts on both machines — latency per successful operation,
+// failure rate, helping rate, and coherence traffic.
+func Breakdown(o Options) (Doc, error) {
+	procsList := []int{4, 16, 64}
+	if len(o.Procs) > 0 && o.Procs[len(o.Procs)-1] < 64 {
+		// Quick mode: use the sweep's extremes.
+		procsList = []int{o.Procs[0], o.Procs[len(o.Procs)-1]}
+	}
+	doc := Doc{
+		ID:    "T1",
+		Title: "STM overhead breakdown (counting benchmark)",
+		Head: []string{
+			"arch", "procs", "cycles/op", "lat p50", "lat p95", "failure rate", "helps/commit", "heals/commit", "traffic/op",
+		},
+		Notes: []string{
+			"traffic = bus transactions (bus) or remote operations (net); lat = commit latency in cycles",
+			fmt.Sprintf("duration=%d cycles/point, seed=%d", o.Duration, o.Seed),
+		},
+	}
+	for _, arch := range []workload.Arch{workload.ArchBus, workload.ArchNet} {
+		for _, procs := range procsList {
+			out, err := run(workload.Spec{
+				Kind:     workload.KindCounting,
+				Method:   workload.MethodSTM,
+				Arch:     arch,
+				Procs:    procs,
+				Duration: o.Duration,
+				Seed:     o.Seed,
+			})
+			if err != nil {
+				return Doc{}, err
+			}
+			ops := float64(out.Ops)
+			if ops == 0 {
+				ops = 1
+			}
+			commits := out.Extra["attempts"] - out.Extra["failures"]
+			if commits == 0 {
+				commits = 1
+			}
+			latency := float64(procs) * float64(o.Duration) / ops
+			traffic := out.Extra["bus_transactions"]
+			if arch == workload.ArchNet {
+				traffic = out.Extra["remote_ops"]
+			}
+			doc.Rows = append(doc.Rows, []string{
+				string(arch),
+				fmt.Sprintf("%d", procs),
+				fmt.Sprintf("%.0f", latency),
+				fmt.Sprintf("%.0f", out.Extra["lat_p50"]),
+				fmt.Sprintf("%.0f", out.Extra["lat_p95"]),
+				fmt.Sprintf("%.3f", out.Extra["failures"]/maxf(out.Extra["attempts"], 1)),
+				fmt.Sprintf("%.3f", out.Extra["helps"]/commits),
+				fmt.Sprintf("%.4f", out.Extra["heals"]/commits),
+				fmt.Sprintf("%.1f", traffic/ops),
+			})
+		}
+	}
+	return doc, nil
+}
+
+// Stalls reproduces F5, the non-blocking advantage: counting throughput as
+// s processors are periodically preempted mid-operation. X is the number of
+// stalled processors.
+func Stalls(o Options) (Figure, error) {
+	procs := o.Procs[len(o.Procs)-1]
+	if procs < 8 {
+		procs = 8
+	}
+	stalledCounts := []int{0, 1, 2, 4}
+	methods := []workload.Method{workload.MethodSTM, workload.MethodTTAS, workload.MethodMCS}
+
+	series := make([]Series, len(methods))
+	for mi, method := range methods {
+		pts := make([]Point, 0, len(stalledCounts))
+		for _, s := range stalledCounts {
+			spec := workload.Spec{
+				Kind:     workload.KindCounting,
+				Method:   method,
+				Arch:     workload.ArchBus,
+				Procs:    procs,
+				Duration: o.Duration,
+				Seed:     o.Seed,
+			}
+			if s > 0 {
+				spec.Stall = &sim.StallPlan{Procs: s, Period: 10, Duration: o.Duration / 20}
+			}
+			out, err := run(spec)
+			if err != nil {
+				return Figure{}, err
+			}
+			pts = append(pts, Point{X: float64(s), Y: out.Throughput})
+		}
+		series[mi] = Series{Label: string(method), Points: pts}
+	}
+	return Figure{
+		ID:     "F5",
+		Title:  fmt.Sprintf("Preemption experiment: %d processors, s periodically stalled", procs),
+		XLabel: "stalled processors",
+		YLabel: "throughput (ops / 10^6 cycles)",
+		Series: series,
+		Notes: []string{
+			fmt.Sprintf("stall: every 10 ops for %d cycles; duration=%d, seed=%d", o.Duration/20, o.Duration, o.Seed),
+			"the paper's motivating claim: non-blocking methods tolerate preempted processors",
+		},
+	}, nil
+}
+
+// Ablation reproduces F6: the paper's design choices (helping, ordered
+// acquisition) measured on the k-way resource-allocation workload.
+func Ablation(o Options) (Figure, error) {
+	methods := []workload.Method{
+		workload.MethodSTM, workload.MethodSTMNoHelp, workload.MethodSTMUnsorted, workload.MethodMCS,
+	}
+	series, err := o.sweep(workload.KindResAlloc, workload.ArchBus, methods, nil)
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID:     "F6",
+		Title:  fmt.Sprintf("Ablation: %d-way resource allocation over %d pools, bus machine", o.K, o.Pools),
+		XLabel: "processors",
+		YLabel: "throughput (acquire+release / 10^6 cycles)",
+		Series: series,
+		Notes: []string{
+			"stm-nohelp disables cooperative helping; stm-unsorted acquires in random order",
+			fmt.Sprintf("duration=%d cycles/point, seed=%d", o.Duration, o.Seed),
+		},
+	}, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,46 @@
+// Package core implements the Shavit–Touitou software transactional memory
+// protocol (PODC 1995) for real Go goroutines on real hardware.
+//
+// The protocol executes static transactions: multi-word atomic updates whose
+// data set (the set of word addresses touched) is declared when the
+// transaction starts. A transaction
+//
+//  1. acquires per-word ownership records in increasing address order,
+//  2. decides its status (exactly once, by CAS from Null),
+//  3. agrees on the old values of its data set (set-once per word, so every
+//     helper observes the same snapshot),
+//  4. computes new values with a deterministic update function,
+//  5. writes the new values and releases ownership.
+//
+// If acquisition finds a word owned by another transaction, the transaction
+// fails itself (CAS status to Failure) and the initiating goroutine helps
+// the blocking transaction run to completion before retrying — the paper's
+// "non-redundant helping": only the transaction that blocked you, and
+// helpers never help further (no recursion). Ordered acquisition makes the
+// whole construction non-blocking: among any set of conflicting
+// transactions, the one holding the highest contested address can always
+// complete.
+//
+// # LL/SC on a garbage-collected host
+//
+// The paper specifies the protocol with Load-Linked/Store-Conditional. This
+// package gets equivalent ABA-safe semantics from Go's garbage collector:
+// every memory word is an atomic.Pointer to an immutable boxed value, and
+// every store allocates a fresh box. A CompareAndSwap on the pointer
+// succeeds only if the word was not written since it was read, because a
+// live box pointer is never recycled. Transaction records are likewise
+// allocated fresh per attempt, so a helper can never confuse two attempts —
+// the role played by version numbers in the paper's (non-GC) setting. The
+// simulator build (internal/simstm) keeps the paper's exact reused,
+// versioned records instead, because simulated memory has no GC.
+//
+// # Benign races inherited from the paper
+//
+// A maximally stale helper can acquire a word on behalf of a transaction
+// that already committed and released. This leaves the word owned by a
+// decided record. The protocol self-heals: the next transaction that needs
+// the word helps the decided record, and helping a decided record simply
+// re-runs its idempotent completion phases, which release the word. The
+// paper's versioned records exhibit the same window between version check
+// and SC; see DESIGN.md §4.
+package core

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Validation errors returned by Memory methods.
+var (
+	// ErrAddrRange reports a data-set address outside [0, Size).
+	ErrAddrRange = errors.New("core: address out of range")
+	// ErrAddrOrder reports a data set that is not strictly ascending.
+	ErrAddrOrder = errors.New("core: data set must be strictly ascending (sorted, no duplicates)")
+	// ErrEmptyDataSet reports an empty data set.
+	ErrEmptyDataSet = errors.New("core: empty data set")
+	// ErrNilUpdate reports a nil update function.
+	ErrNilUpdate = errors.New("core: nil update function")
+)
+
+// Memory is a software transactional memory of fixed size: a vector of
+// uint64 words supporting static transactions per Shavit–Touitou. All
+// methods are safe for concurrent use.
+//
+// Words are stored as pointers to immutable boxes so that pointer
+// CompareAndSwap provides LL/SC semantics (see package documentation).
+type Memory struct {
+	cells  []atomic.Pointer[uint64]
+	owners []atomic.Pointer[Rec]
+
+	versions atomic.Uint64 // attempt identity source
+	stats    Stats
+}
+
+// NewMemory returns a Memory of size words, all initialized to zero.
+func NewMemory(size int) (*Memory, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("core: memory size must be positive, got %d", size)
+	}
+	m := &Memory{
+		cells:  make([]atomic.Pointer[uint64], size),
+		owners: make([]atomic.Pointer[Rec], size),
+	}
+	zero := new(uint64)
+	for i := range m.cells {
+		// All cells may share one zero box: boxes are immutable.
+		m.cells[i].Store(zero)
+	}
+	return m, nil
+}
+
+// Size returns the number of words in the memory.
+func (m *Memory) Size() int { return len(m.cells) }
+
+// Peek reads a single word without transactional protection. The value is
+// an atomic snapshot of one word but carries no consistency guarantee
+// relative to other words; use a transaction for multi-word reads.
+func (m *Memory) Peek(loc int) uint64 { return *m.cells[loc].Load() }
+
+// Stats returns a snapshot of the memory's protocol counters.
+func (m *Memory) Stats() StatsSnapshot { return m.stats.snapshot() }
+
+// ValidateDataSet checks that addrs is non-empty, strictly ascending, and
+// within bounds. It is exported so callers can validate once and then run
+// many attempts with the same data set.
+func (m *Memory) ValidateDataSet(addrs []int) error {
+	if len(addrs) == 0 {
+		return ErrEmptyDataSet
+	}
+	for i, a := range addrs {
+		if a < 0 || a >= len(m.cells) {
+			return fmt.Errorf("%w: addrs[%d]=%d, size %d", ErrAddrRange, i, a, len(m.cells))
+		}
+		if i > 0 && addrs[i-1] >= a {
+			return fmt.Errorf("%w: addrs[%d]=%d follows %d", ErrAddrOrder, i, a, addrs[i-1])
+		}
+	}
+	return nil
+}
+
+// TryOnce executes a single transaction attempt over the given data set:
+// StartTransaction in the paper. addrs must satisfy ValidateDataSet (the
+// check is repeated here; use TryOnceValidated to skip it in hot loops).
+//
+// On success it returns the agreed old values of the data set — the
+// consistent snapshot against which f computed the installed new values —
+// and ok=true. On failure (the attempt was blocked by a conflicting
+// transaction, which this call then helped to completion) it returns
+// ok=false and the caller should retry, typically after backoff.
+func (m *Memory) TryOnce(addrs []int, f UpdateFunc) (old []uint64, ok bool, err error) {
+	if err := m.ValidateDataSet(addrs); err != nil {
+		return nil, false, err
+	}
+	if f == nil {
+		return nil, false, ErrNilUpdate
+	}
+	old, ok = m.TryOnceValidated(addrs, f)
+	return old, ok, nil
+}
+
+// TryOnceValidated is TryOnce without argument validation. addrs must be
+// strictly ascending, in bounds, and must not be mutated while the attempt
+// runs; f must be non-nil, deterministic, and side-effect free.
+func (m *Memory) TryOnceValidated(addrs []int, f UpdateFunc) (old []uint64, ok bool) {
+	rec := newRec(addrs, f, m.versions.Add(1))
+	m.stats.attempts.Add(1)
+
+	rec.stable.Store(true)
+	m.transaction(rec, true)
+	rec.stable.Store(false)
+
+	if rec.Succeeded() {
+		m.stats.commits.Add(1)
+		return rec.snapshot(), true
+	}
+	m.stats.failures.Add(1)
+	return nil, false
+}
+
+// transaction runs the protocol for rec to completion, from any phase. It
+// is executed by the initiating goroutine and, under contention, by helpers
+// (initiator=false), for whom the helping clause is disabled — the paper's
+// non-redundant helping.
+func (m *Memory) transaction(rec *Rec, initiator bool) {
+	m.acquireOwnerships(rec)
+
+	st := rec.status.Load()
+	if st == statusNull {
+		// All ownerships acquired (by us and/or helpers): decide Success.
+		// The CAS can lose only to a concurrent decision; reload either way.
+		rec.status.CompareAndSwap(statusNull, statusSuccess)
+		st = rec.status.Load()
+	}
+
+	if st == statusSuccess {
+		m.agreeOldValues(rec)
+		newv := rec.newValues()
+		m.updateMemory(rec, newv)
+		m.releaseOwnerships(rec)
+		return
+	}
+
+	// Failure: release whatever this record did acquire, then help the
+	// transaction that blocked us so its stall cannot block the system.
+	m.releaseOwnerships(rec)
+	if !initiator {
+		return
+	}
+	idx := failureIndex(st)
+	owner := m.owners[rec.addrs[idx]].Load()
+	if owner != nil && owner != rec && owner.stable.Load() {
+		m.stats.helps.Add(1)
+		m.transaction(owner, false)
+	}
+}
+
+// acquireOwnerships claims the record's data set in ascending address
+// order. It returns when every word is owned by rec (leaving status Null
+// for the caller to decide Success), or after CASing rec's status to
+// Failure at the first word found owned by another record, or as soon as it
+// observes a decided status (some other helper got further than us).
+func (m *Memory) acquireOwnerships(rec *Rec) {
+	for i, loc := range rec.addrs {
+		for {
+			if rec.status.Load() != statusNull {
+				return
+			}
+			owner := m.owners[loc].Load()
+			if owner == rec {
+				break // already acquired (possibly by a helper)
+			}
+			if owner == nil {
+				if m.owners[loc].CompareAndSwap(nil, rec) {
+					break
+				}
+				continue // lost the race; re-inspect the new owner
+			}
+			// The word is owned by another transaction: fail ourselves.
+			// If the CAS loses, a helper decided our fate concurrently;
+			// either way the status is now decided.
+			rec.status.CompareAndSwap(statusNull, failureAt(i))
+			return
+		}
+	}
+}
+
+// agreeOldValues fills the record's old-value slots from the owned memory
+// words. Slots are set-once so all helpers agree on one snapshot: the first
+// CAS to land fixes the value, and any helper that stalled across the
+// update phase finds every slot already filled and writes nothing.
+func (m *Memory) agreeOldValues(rec *Rec) {
+	for i, loc := range rec.addrs {
+		if rec.old[i].Load() == nil {
+			box := m.cells[loc].Load()
+			rec.old[i].CompareAndSwap(nil, box)
+		}
+	}
+}
+
+// updateMemory installs the new values. Each store is a CAS on the boxed
+// cell pointer, so a maximally stale helper — one that loaded the cell
+// before the transaction completed and released — can never clobber a later
+// transaction's write: the box it read has been replaced and its CAS fails.
+// allWritten cuts the phase short once some participant finished it.
+func (m *Memory) updateMemory(rec *Rec, newv []uint64) {
+	for i, loc := range rec.addrs {
+		for {
+			cur := m.cells[loc].Load()
+			if rec.allWritten.Load() {
+				return
+			}
+			if *cur == newv[i] {
+				break // already installed (by us or a helper)
+			}
+			box := new(uint64)
+			*box = newv[i]
+			if m.cells[loc].CompareAndSwap(cur, box) {
+				break
+			}
+			// Lost to a helper installing the same value (or, if we are
+			// stale, to a later transaction — the next allWritten or value
+			// check will stop us).
+		}
+	}
+	rec.allWritten.Store(true)
+}
+
+// releaseOwnerships returns every word still owned by rec to the free
+// state. On the failure path words past the failing index were never
+// acquired by us, but helpers may have acquired them for us, so the whole
+// data set is scanned unconditionally.
+func (m *Memory) releaseOwnerships(rec *Rec) {
+	for _, loc := range rec.addrs {
+		if m.owners[loc].Load() == rec {
+			m.owners[loc].CompareAndSwap(rec, nil)
+		}
+	}
+}
+
+// Owner reports the record currently owning loc, or nil. Exported for tests
+// and diagnostics.
+func (m *Memory) Owner(loc int) *Rec { return m.owners[loc].Load() }

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// UpdateFunc computes the new values of a transaction's data set from the
+// old values. old[i] is the value of the i-th declared address (in the
+// sorted order of the data set); the returned slice must have the same
+// length and must not retain old.
+//
+// The function MUST be deterministic and side-effect free: under helping,
+// several goroutines may evaluate it concurrently for the same transaction,
+// and all of them must arrive at identical new values. The first computed
+// result is published and shared, but correctness of concurrent evaluation
+// still requires purity.
+type UpdateFunc func(old []uint64) []uint64
+
+// Transaction status encoding. A record's status word starts at statusNull
+// and is decided exactly once, by CompareAndSwap, to either statusSuccess or
+// a failure word carrying the index (within the sorted data set) of the
+// address whose ownership could not be acquired.
+const (
+	statusNull    int64 = 0
+	statusSuccess int64 = 1
+	statusFailed  int64 = 2 // low bits; failing index is stored in the high bits
+)
+
+func failureAt(idx int) int64 { return statusFailed | int64(idx)<<2 }
+
+func isFailure(st int64) bool { return st&3 == statusFailed }
+
+func failureIndex(st int64) int { return int(st >> 2) }
+
+// Rec is a transaction record: the shared descriptor through which the
+// initiating goroutine and any helpers cooperate to execute one transaction
+// attempt. A Rec is allocated fresh per attempt and never reused; see the
+// package documentation for why this stands in for the paper's version
+// numbers.
+type Rec struct {
+	// Immutable after construction (published by the first ownership CAS,
+	// which establishes the necessary happens-before edge).
+	addrs   []int // data set, strictly ascending
+	calc    UpdateFunc
+	version uint64 // diagnostic identity; unique per attempt
+
+	// old holds the agreed snapshot: old[i] is the boxed value of addrs[i]
+	// at the transaction's linearization point. Entries are set-once (CAS
+	// from nil) so all helpers agree.
+	old []atomic.Pointer[uint64]
+
+	// newVals caches the first computed result of calc so helpers do not
+	// recompute it; all computed results are identical by the UpdateFunc
+	// contract.
+	newVals atomic.Pointer[[]uint64]
+
+	status     atomic.Int64
+	allWritten atomic.Bool
+
+	// stable is true while the initiating goroutine is inside
+	// StartTransaction; helpers only volunteer for stable records. Helping
+	// a record that just turned unstable is benign (all completion phases
+	// are idempotent).
+	stable atomic.Bool
+}
+
+// newRec builds a record for one attempt. addrs must already be validated:
+// strictly ascending and within the memory bounds.
+func newRec(addrs []int, f UpdateFunc, version uint64) *Rec {
+	return &Rec{
+		addrs:   addrs,
+		calc:    f,
+		version: version,
+		old:     make([]atomic.Pointer[uint64], len(addrs)),
+	}
+}
+
+// Size returns the number of words in the record's data set.
+func (r *Rec) Size() int { return len(r.addrs) }
+
+// Version returns the record's unique attempt identity.
+func (r *Rec) Version() uint64 { return r.version }
+
+// Succeeded reports whether the record's decided status is Success.
+func (r *Rec) Succeeded() bool { return r.status.Load() == statusSuccess }
+
+// FailedIndex returns the index within the data set at which acquisition
+// failed and true, or 0 and false if the record did not fail.
+func (r *Rec) FailedIndex() (int, bool) {
+	st := r.status.Load()
+	if !isFailure(st) {
+		return 0, false
+	}
+	return failureIndex(st), true
+}
+
+// snapshot returns the agreed old values. It must only be called once the
+// record's status is Success and the agreement phase has filled every slot.
+func (r *Rec) snapshot() []uint64 {
+	out := make([]uint64, len(r.old))
+	for i := range r.old {
+		out[i] = *r.old[i].Load()
+	}
+	return out
+}
+
+// newValues returns the transaction's computed new values, evaluating calc
+// at most usefully-once (concurrent evaluations agree by contract).
+func (r *Rec) newValues() []uint64 {
+	if p := r.newVals.Load(); p != nil {
+		return *p
+	}
+	nv := r.calc(r.snapshot())
+	if len(nv) != len(r.addrs) {
+		// The contract is enforced eagerly in Memory.TryOnce for the
+		// initiator; a violation here means a non-deterministic calc.
+		panic(fmt.Sprintf("core: UpdateFunc returned %d values for a data set of %d", len(nv), len(r.addrs)))
+	}
+	r.newVals.CompareAndSwap(nil, &nv)
+	return *r.newVals.Load()
+}

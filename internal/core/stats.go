@@ -1,0 +1,43 @@
+package core
+
+import "sync/atomic"
+
+// Stats accumulates protocol counters. All fields are updated atomically;
+// the zero value is ready to use.
+type Stats struct {
+	attempts atomic.Uint64
+	commits  atomic.Uint64
+	failures atomic.Uint64
+	helps    atomic.Uint64
+}
+
+// StatsSnapshot is a point-in-time copy of a Memory's protocol counters.
+type StatsSnapshot struct {
+	// Attempts counts calls to TryOnce/TryOnceValidated.
+	Attempts uint64
+	// Commits counts attempts whose status was decided Success.
+	Commits uint64
+	// Failures counts attempts whose status was decided Failure; each such
+	// attempt triggered at most one help.
+	Failures uint64
+	// Helps counts times an initiator executed another transaction's
+	// protocol on its behalf (non-redundant helping).
+	Helps uint64
+}
+
+func (s *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Attempts: s.attempts.Load(),
+		Commits:  s.commits.Load(),
+		Failures: s.failures.Load(),
+		Helps:    s.helps.Load(),
+	}
+}
+
+// FailureRate returns failures per attempt, or 0 for no attempts.
+func (s StatsSnapshot) FailureRate() float64 {
+	if s.Attempts == 0 {
+		return 0
+	}
+	return float64(s.Failures) / float64(s.Attempts)
+}

@@ -1,0 +1,178 @@
+package lin
+
+import (
+	"sync"
+	"testing"
+)
+
+// mkEntry builds an entry with explicit timestamps.
+func mkEntry(proc int, op Op, ret uint64, inv, res int64) Entry {
+	return Entry{Proc: proc, Op: op, Ret: ret, Inv: inv, Res: res}
+}
+
+func TestEmptyHistoryLinearizable(t *testing.T) {
+	if !CheckRegister(nil, 0) {
+		t.Error("empty history must be linearizable")
+	}
+}
+
+func TestSequentialHistory(t *testing.T) {
+	h := History{
+		mkEntry(0, Op{Kind: OpWrite, Arg: 5}, 0, 1, 2),
+		mkEntry(0, Op{Kind: OpRead}, 5, 3, 4),
+		mkEntry(0, Op{Kind: OpSwap, Arg: 9}, 5, 5, 6),
+		mkEntry(0, Op{Kind: OpRead}, 9, 7, 8),
+	}
+	if !CheckRegister(h, 0) {
+		t.Error("valid sequential history rejected")
+	}
+}
+
+func TestSequentialViolation(t *testing.T) {
+	h := History{
+		mkEntry(0, Op{Kind: OpWrite, Arg: 5}, 0, 1, 2),
+		mkEntry(0, Op{Kind: OpRead}, 7, 3, 4), // 7 was never written
+	}
+	if CheckRegister(h, 0) {
+		t.Error("invalid read accepted")
+	}
+}
+
+func TestConcurrentOverlapAllowsEitherOrder(t *testing.T) {
+	// Two overlapping swaps: either order explains the returns.
+	h := History{
+		mkEntry(0, Op{Kind: OpSwap, Arg: 1}, 0, 1, 10), // saw initial 0
+		mkEntry(1, Op{Kind: OpSwap, Arg: 2}, 1, 2, 11), // saw 1 ⇒ op0 first
+	}
+	if !CheckRegister(h, 0) {
+		t.Error("overlapping swaps with consistent returns rejected")
+	}
+}
+
+func TestRealTimeOrderViolation(t *testing.T) {
+	// Op A completed strictly before op B began, yet B's return requires B
+	// to have executed first — not linearizable.
+	h := History{
+		mkEntry(0, Op{Kind: OpSwap, Arg: 1}, 2, 1, 2), // A: returned 2 (needs B first)
+		mkEntry(1, Op{Kind: OpSwap, Arg: 2}, 0, 3, 4), // B: returned initial 0
+	}
+	if CheckRegister(h, 0) {
+		t.Error("real-time precedence violation accepted")
+	}
+}
+
+func TestCASSemantics(t *testing.T) {
+	good := History{
+		mkEntry(0, Op{Kind: OpCAS, Arg: 0, Arg2: 7}, 1, 1, 2), // succeeds
+		mkEntry(0, Op{Kind: OpCAS, Arg: 0, Arg2: 9}, 0, 3, 4), // fails: state is 7
+		mkEntry(0, Op{Kind: OpRead}, 7, 5, 6),
+	}
+	if !CheckRegister(good, 0) {
+		t.Error("valid CAS history rejected")
+	}
+	bad := History{
+		mkEntry(0, Op{Kind: OpCAS, Arg: 0, Arg2: 7}, 1, 1, 2),
+		mkEntry(0, Op{Kind: OpCAS, Arg: 0, Arg2: 9}, 1, 3, 4), // cannot succeed
+	}
+	if CheckRegister(bad, 0) {
+		t.Error("impossible CAS success accepted")
+	}
+}
+
+func TestAddSemantics(t *testing.T) {
+	h := History{
+		mkEntry(0, Op{Kind: OpAdd, Arg: 3}, 0, 1, 2),
+		mkEntry(0, Op{Kind: OpAdd, Arg: 4}, 3, 3, 4),
+		mkEntry(0, Op{Kind: OpRead}, 7, 5, 6),
+	}
+	if !CheckRegister(h, 0) {
+		t.Error("valid fetch-add history rejected")
+	}
+}
+
+func TestConcurrentAddsAnyOrder(t *testing.T) {
+	// Three concurrent adds whose returns correspond to SOME order.
+	h := History{
+		mkEntry(0, Op{Kind: OpAdd, Arg: 1}, 2, 1, 10), // third (saw 2)
+		mkEntry(1, Op{Kind: OpAdd, Arg: 1}, 0, 2, 11), // first
+		mkEntry(2, Op{Kind: OpAdd, Arg: 1}, 1, 3, 12), // second
+	}
+	if !CheckRegister(h, 0) {
+		t.Error("valid concurrent adds rejected")
+	}
+	// Two concurrent adds both claiming to have seen 0: impossible.
+	bad := History{
+		mkEntry(0, Op{Kind: OpAdd, Arg: 1}, 0, 1, 10),
+		mkEntry(1, Op{Kind: OpAdd, Arg: 1}, 0, 2, 11),
+	}
+	if CheckRegister(bad, 0) {
+		t.Error("duplicate-observation adds accepted")
+	}
+}
+
+func TestOversizeHistoryRejected(t *testing.T) {
+	h := make(History, 65)
+	for i := range h {
+		h[i] = mkEntry(0, Op{Kind: OpRead}, 0, int64(2*i+1), int64(2*i+2))
+	}
+	if Check(h, WordModel(0)) {
+		t.Error("oversize history must be rejected, not searched")
+	}
+}
+
+func TestRecorderProducesOrderedCompletedHistory(t *testing.T) {
+	r := NewRecorder()
+	c1 := r.Begin(0, Op{Kind: OpWrite, Arg: 1})
+	c2 := r.Begin(1, Op{Kind: OpRead})
+	r.End(c2, 0)
+	r.End(c1, 0)
+	h := r.History()
+	if len(h) != 2 {
+		t.Fatalf("history has %d entries, want 2", len(h))
+	}
+	if h[0].Proc != 0 || h[1].Proc != 1 {
+		t.Errorf("history not ordered by invocation: %+v", h)
+	}
+	for _, e := range h {
+		if e.Inv >= e.Res {
+			t.Errorf("entry has Inv %d ≥ Res %d", e.Inv, e.Res)
+		}
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c := r.Begin(g, Op{Kind: OpRead})
+				r.End(c, 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	h := r.History()
+	if len(h) != 400 {
+		t.Fatalf("history has %d entries, want 400", len(h))
+	}
+	seen := map[int64]bool{}
+	for _, e := range h {
+		if seen[e.Inv] || seen[e.Res] {
+			t.Fatal("duplicate timestamps in history")
+		}
+		seen[e.Inv] = true
+		seen[e.Res] = true
+	}
+}
+
+func TestCheckIsOrderInsensitive(t *testing.T) {
+	// The entries' slice order must not matter, only timestamps.
+	a := mkEntry(0, Op{Kind: OpWrite, Arg: 3}, 0, 1, 2)
+	b := mkEntry(1, Op{Kind: OpRead}, 3, 3, 4)
+	if !CheckRegister(History{b, a}, 0) {
+		t.Error("checker depends on slice order")
+	}
+}

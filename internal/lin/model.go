@@ -1,0 +1,166 @@
+package lin
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Additional operation kinds for container specifications.
+const (
+	// OpEnq enqueues Arg; Ret is 1 if accepted, 0 if the container was full.
+	OpEnq OpKind = iota + 100
+	// OpDeq dequeues; Ret is the value, or EmptyRet if the container was
+	// empty.
+	OpDeq
+	// OpPush pushes Arg onto a stack; Ret is 1 if accepted, 0 if full.
+	OpPush
+	// OpPop pops from a stack; Ret is the value, or EmptyRet if empty.
+	OpPop
+)
+
+// EmptyRet is the return value encoding "container was empty".
+const EmptyRet = ^uint64(0)
+
+// GModel is a sequential specification with opaque state, for objects whose
+// state does not fit in one word. Key must uniquely encode a state (it
+// drives memoization).
+type GModel struct {
+	Init interface{}
+	Step func(state interface{}, op Op) (next interface{}, ret uint64, ok bool)
+	Key  func(state interface{}) string
+}
+
+// CheckG reports whether h is linearizable with respect to m. Histories of
+// more than 64 operations are rejected.
+func CheckG(h History, m GModel) bool {
+	n := len(h)
+	if n == 0 {
+		return true
+	}
+	if n > 64 {
+		return false
+	}
+	type cfg struct {
+		mask uint64
+		key  string
+	}
+	failed := make(map[cfg]bool)
+	full := uint64(1)<<uint(n) - 1
+
+	var search func(mask uint64, state interface{}) bool
+	search = func(mask uint64, state interface{}) bool {
+		if mask == 0 {
+			return true
+		}
+		c := cfg{mask, m.Key(state)}
+		if failed[c] {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			bit := uint64(1) << uint(i)
+			if mask&bit == 0 {
+				continue
+			}
+			minimal := true
+			for j := 0; j < n; j++ {
+				jbit := uint64(1) << uint(j)
+				if j == i || mask&jbit == 0 {
+					continue
+				}
+				if h[j].Res < h[i].Inv {
+					minimal = false
+					break
+				}
+			}
+			if !minimal {
+				continue
+			}
+			next, ret, ok := m.Step(state, h[i].Op)
+			if !ok || ret != h[i].Ret {
+				continue
+			}
+			if search(mask&^bit, next) {
+				return true
+			}
+		}
+		failed[c] = true
+		return false
+	}
+	return search(full, m.Init)
+}
+
+// queueState is an immutable FIFO snapshot.
+type queueState []uint64
+
+func encodeVals(vals []uint64) string {
+	var b strings.Builder
+	for i, v := range vals {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatUint(v, 10))
+	}
+	return b.String()
+}
+
+// QueueModel is the sequential specification of a bounded FIFO queue with
+// the given capacity, for OpEnq/OpDeq histories.
+func QueueModel(capacity int) GModel {
+	return GModel{
+		Init: queueState(nil),
+		Step: func(state interface{}, op Op) (interface{}, uint64, bool) {
+			q := state.(queueState)
+			switch op.Kind {
+			case OpEnq:
+				if len(q) >= capacity {
+					return q, 0, true
+				}
+				next := make(queueState, len(q)+1)
+				copy(next, q)
+				next[len(q)] = op.Arg
+				return next, 1, true
+			case OpDeq:
+				if len(q) == 0 {
+					return q, EmptyRet, true
+				}
+				next := make(queueState, len(q)-1)
+				copy(next, q[1:])
+				return next, q[0], true
+			default:
+				return q, 0, false
+			}
+		},
+		Key: func(state interface{}) string { return encodeVals(state.(queueState)) },
+	}
+}
+
+// StackModel is the sequential specification of a bounded LIFO stack with
+// the given capacity, for OpPush/OpPop histories.
+func StackModel(capacity int) GModel {
+	return GModel{
+		Init: queueState(nil),
+		Step: func(state interface{}, op Op) (interface{}, uint64, bool) {
+			s := state.(queueState)
+			switch op.Kind {
+			case OpPush:
+				if len(s) >= capacity {
+					return s, 0, true
+				}
+				next := make(queueState, len(s)+1)
+				copy(next, s)
+				next[len(s)] = op.Arg
+				return next, 1, true
+			case OpPop:
+				if len(s) == 0 {
+					return s, EmptyRet, true
+				}
+				next := make(queueState, len(s)-1)
+				copy(next, s[:len(s)-1])
+				return next, s[len(s)-1], true
+			default:
+				return s, 0, false
+			}
+		},
+		Key: func(state interface{}) string { return encodeVals(state.(queueState)) },
+	}
+}

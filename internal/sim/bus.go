@@ -1,0 +1,174 @@
+package sim
+
+// BusConfig parameterizes the shared-bus cache-coherent machine. The
+// defaults approximate the bus-based configuration of the paper's Proteus
+// experiments: single split-transaction bus, snoopy invalidation caches,
+// memory an order of magnitude slower than cache.
+type BusConfig struct {
+	// CacheHit is the cost of reading a word resident in the local cache.
+	CacheHit int64
+	// BusOccupancy is how long one bus transaction occupies the bus.
+	BusOccupancy int64
+	// MemLatency is the additional latency of the memory response.
+	MemLatency int64
+	// WriteBack, when true, lets a processor that holds a word exclusively
+	// write it at cache-hit cost (MESI-style M/E states); otherwise every
+	// write rides the bus (write-through). The experiments default to
+	// write-through; WriteBack exists for the sensitivity analysis of the
+	// Proteus substitution (see DESIGN.md).
+	WriteBack bool
+}
+
+// DefaultBusConfig returns the calibration used by the experiments.
+func DefaultBusConfig() BusConfig {
+	return BusConfig{CacheHit: 1, BusOccupancy: 4, MemLatency: 10}
+}
+
+// WriteBackBusConfig returns the write-back variant of the default
+// calibration.
+func WriteBackBusConfig() BusConfig {
+	cfg := DefaultBusConfig()
+	cfg.WriteBack = true
+	return cfg
+}
+
+// BusModel models a bus-based cache-coherent multiprocessor with snoopy
+// write-invalidate caches. Reads hit for CacheHit cycles while the word is
+// resident; misses and all writes arbitrate for the single bus (FIFO in
+// virtual time) and pay memory latency. Writes invalidate every other
+// cache's copy — so a test-and-test-and-set spin costs one cycle per probe
+// until the lock word is written, then storms the bus, exactly the
+// behaviour the paper's bus figures turn on.
+type BusModel struct {
+	cfg       BusConfig
+	procs     int
+	cached    []uint64 // per-word bitmask of processors with a valid copy (procs ≤ 64)
+	cachedBig [][]bool // fallback when procs > 64
+	busFreeAt int64
+	busOps    int64
+}
+
+var _ CostModel = (*BusModel)(nil)
+
+// NewBusModel builds a bus model for the given processor count and memory
+// size.
+func NewBusModel(procs, words int, cfg BusConfig) *BusModel {
+	b := &BusModel{cfg: cfg, procs: procs}
+	if procs <= 64 {
+		b.cached = make([]uint64, words)
+	} else {
+		b.cachedBig = make([][]bool, words)
+		for i := range b.cachedBig {
+			b.cachedBig[i] = make([]bool, procs)
+		}
+	}
+	return b
+}
+
+// Name implements CostModel.
+func (b *BusModel) Name() string { return "bus" }
+
+// Reset implements CostModel.
+func (b *BusModel) Reset() {
+	for i := range b.cached {
+		b.cached[i] = 0
+	}
+	for i := range b.cachedBig {
+		for j := range b.cachedBig[i] {
+			b.cachedBig[i][j] = false
+		}
+	}
+	b.busFreeAt = 0
+	b.busOps = 0
+}
+
+// BusTransactions returns the number of bus transactions issued so far —
+// the coherence-traffic metric reported by experiment T1.
+func (b *BusModel) BusTransactions() int64 { return b.busOps }
+
+func (b *BusModel) has(p, addr int) bool {
+	if b.cached != nil {
+		return b.cached[addr]&(1<<uint(p)) != 0
+	}
+	return b.cachedBig[addr][p]
+}
+
+func (b *BusModel) addSharer(p, addr int) {
+	if b.cached != nil {
+		b.cached[addr] |= 1 << uint(p)
+		return
+	}
+	b.cachedBig[addr][p] = true
+}
+
+// exclusive reports whether p is the sole holder of addr's line.
+func (b *BusModel) exclusive(p, addr int) bool {
+	if b.cached != nil {
+		return b.cached[addr] == 1<<uint(p)
+	}
+	for i, has := range b.cachedBig[addr] {
+		if has != (i == p) {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *BusModel) setExclusive(p, addr int) {
+	if b.cached != nil {
+		b.cached[addr] = 1 << uint(p)
+		return
+	}
+	for i := range b.cachedBig[addr] {
+		b.cachedBig[addr][i] = false
+	}
+	b.cachedBig[addr][p] = true
+}
+
+// busTransaction queues one transaction behind current bus traffic and
+// returns its total latency from `now`.
+func (b *BusModel) busTransaction(now int64) int64 {
+	start := now
+	if b.busFreeAt > start {
+		start = b.busFreeAt
+	}
+	b.busFreeAt = start + b.cfg.BusOccupancy
+	b.busOps++
+	return (start - now) + b.cfg.BusOccupancy + b.cfg.MemLatency
+}
+
+// Cost implements CostModel.
+func (b *BusModel) Cost(p int, addr int, kind OpKind, now int64) int64 {
+	switch kind {
+	case OpRead, OpLL:
+		if b.has(p, addr) {
+			return b.cfg.CacheHit
+		}
+		c := b.busTransaction(now)
+		b.addSharer(p, addr)
+		return c
+	case OpWrite, OpSC, OpCAS:
+		// Write-invalidate: one bus transaction, everyone else loses the
+		// line, the writer keeps it exclusively. Under write-back, a
+		// writer that already holds the line exclusively pays only the
+		// cache.
+		if b.cfg.WriteBack && b.exclusive(p, addr) {
+			return b.cfg.CacheHit
+		}
+		c := b.busTransaction(now)
+		b.setExclusive(p, addr)
+		return c
+	case OpSCFail, OpCASFail:
+		// A failed conditional still probes the line. If it is cached the
+		// failure is detected locally (the snoop already invalidated or
+		// updated the reservation); otherwise it rides the bus.
+		if b.has(p, addr) {
+			return b.cfg.CacheHit
+		}
+		c := b.busTransaction(now)
+		b.addSharer(p, addr)
+		return c
+	default:
+		return b.cfg.CacheHit
+	}
+}

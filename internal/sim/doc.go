@@ -1,0 +1,29 @@
+// Package sim is a deterministic discrete-event multiprocessor simulator:
+// the stand-in for the Proteus parallel hardware simulator on which the
+// paper's evaluation ran (Shavit & Touitou, PODC 1995; see DESIGN.md for
+// the substitution argument).
+//
+// A Machine simulates P processors sharing a flat memory of 64-bit words.
+// Each processor runs an arbitrary Go function (its Program) in its own
+// goroutine, but the machine schedules processors one at a time in virtual
+// time: every shared-memory operation hands control to the scheduler, which
+// releases the globally earliest processor next. Memory effects therefore
+// occur in a single global order — sequential consistency — while an
+// architecture CostModel charges each operation cycles (cache hits, bus
+// arbitration, network latency, queueing at memory modules) and thereby
+// shapes the interleaving exactly the way contention does on the modelled
+// hardware.
+//
+// The machine provides the primitives the paper's protocol is written
+// against: Read, Write, LL (load-linked), SC (store-conditional, which
+// fails iff the word was written since the matching LL), and CAS. Think
+// advances a processor's clock without touching memory (local
+// computation); it is also the mechanism for stall injection — the
+// multiprogramming/preemption experiments suspend a processor's clock for
+// long stretches while its peers keep running, which is precisely the
+// scenario non-blocking protocols exist for.
+//
+// Determinism: all scheduling randomness derives from Config.Seed, and ties
+// in virtual time break by processor id, so a run is a pure function of
+// (programs, config). Every experiment records its seed.
+package sim

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestLLSCMatchesReferenceModel drives a random single-processor operation
+// sequence and compares every result and the final memory against a
+// reference LL/SC model: one reservation per processor, invalidated by any
+// write (including the processor's own) to the reserved word.
+func TestLLSCMatchesReferenceModel(t *testing.T) {
+	const words = 6
+
+	type refModel struct {
+		mem      [words]uint64
+		stamp    [words]uint64
+		resAddr  int
+		resStamp uint64
+	}
+
+	run := func(script []uint8) bool {
+		m := busMachine(t, 1, words, 9)
+		ref := refModel{resAddr: -1}
+		okRun := true
+
+		prog := func(p *Proc) {
+			for i := 0; i+2 < len(script); i += 3 {
+				op := script[i] % 5
+				addr := int(script[i+1]) % words
+				val := uint64(script[i+2])
+				switch op {
+				case 0: // Read
+					got := p.Read(addr)
+					if got != ref.mem[addr] {
+						okRun = false
+						return
+					}
+				case 1: // Write
+					p.Write(addr, val)
+					ref.mem[addr] = val
+					ref.stamp[addr]++
+				case 2: // LL
+					got := p.LL(addr)
+					if got != ref.mem[addr] {
+						okRun = false
+						return
+					}
+					ref.resAddr = addr
+					ref.resStamp = ref.stamp[addr]
+				case 3: // SC
+					got := p.SC(addr, val)
+					want := ref.resAddr == addr && ref.resStamp == ref.stamp[addr]
+					if got != want {
+						okRun = false
+						return
+					}
+					if want {
+						ref.mem[addr] = val
+						ref.stamp[addr]++
+					}
+					ref.resAddr = -1
+				case 4: // CAS
+					old := uint64(script[i+2]) % 4 // small values collide often
+					got := p.CAS(addr, old, val)
+					want := ref.mem[addr] == old
+					if got != want {
+						okRun = false
+						return
+					}
+					if want {
+						ref.mem[addr] = val
+						ref.stamp[addr]++
+					}
+				}
+			}
+		}
+		if _, err := m.Run([]Program{prog}); err != nil {
+			t.Fatal(err)
+		}
+		if !okRun {
+			return false
+		}
+		for a := 0; a < words; a++ {
+			if m.WordAt(a) != ref.mem[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVirtualTimeMonotone asserts a processor's clock never runs backwards
+// across random operation sequences and that the machine clock covers it.
+func TestVirtualTimeMonotone(t *testing.T) {
+	run := func(script []uint8) bool {
+		if len(script) == 0 {
+			return true
+		}
+		m := busMachine(t, 2, 4, 17)
+		mono := true
+		mk := func() Program {
+			return func(p *Proc) {
+				last := p.Now()
+				for _, b := range script {
+					switch b % 4 {
+					case 0:
+						p.Read(int(b) % 4)
+					case 1:
+						p.Write(int(b)%4, uint64(b))
+					case 2:
+						p.LL(int(b) % 4)
+					case 3:
+						p.SC(int(b)%4, uint64(b))
+					}
+					if p.Now() < last {
+						mono = false
+						return
+					}
+					last = p.Now()
+				}
+			}
+		}
+		res, err := m.Run([]Program{mk(), mk()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mono && res.Time >= 0
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

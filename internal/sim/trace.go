@@ -1,0 +1,54 @@
+package sim
+
+// TraceEvent describes one completed memory operation, for debugging and
+// for offline analysis of protocol behaviour.
+type TraceEvent struct {
+	Proc int
+	Kind OpKind
+	Addr int
+	// Start is the virtual time the operation was issued; Cost its total
+	// latency including queueing.
+	Start int64
+	Cost  int64
+}
+
+// Tracer receives every memory operation in global issue order. Trace is
+// called while the machine's token is held, so implementations need no
+// locking but must not call back into the machine.
+type Tracer interface {
+	Trace(ev TraceEvent)
+}
+
+// SetTracer installs (or, with nil, removes) a tracer. Install before Run;
+// tracing a running machine is not supported.
+func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+
+// CountingTracer tallies operations by kind and processor — the built-in
+// tracer used by tests and by stmsim-style debugging.
+type CountingTracer struct {
+	ByKind map[OpKind]int64
+	ByProc map[int]int64
+	Total  int64
+	// MaxCost tracks the single slowest operation observed.
+	MaxCost int64
+}
+
+var _ Tracer = (*CountingTracer)(nil)
+
+// NewCountingTracer returns an empty tally.
+func NewCountingTracer() *CountingTracer {
+	return &CountingTracer{
+		ByKind: make(map[OpKind]int64),
+		ByProc: make(map[int]int64),
+	}
+}
+
+// Trace implements Tracer.
+func (c *CountingTracer) Trace(ev TraceEvent) {
+	c.ByKind[ev.Kind]++
+	c.ByProc[ev.Proc]++
+	c.Total++
+	if ev.Cost > c.MaxCost {
+		c.MaxCost = ev.Cost
+	}
+}

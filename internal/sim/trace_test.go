@@ -1,0 +1,52 @@
+package sim
+
+import "testing"
+
+func TestCountingTracerTalliesEveryOp(t *testing.T) {
+	m := busMachine(t, 2, 4, 21)
+	tr := NewCountingTracer()
+	m.SetTracer(tr)
+	progs := []Program{
+		func(p *Proc) {
+			p.Write(0, 1)
+			p.Read(0)
+			p.LL(1)
+			p.SC(1, 2)
+		},
+		func(p *Proc) {
+			p.CAS(2, 0, 5)
+			p.CAS(2, 0, 6) // fails
+		},
+	}
+	res, err := m.Run(progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTotal := res.MemOps[0] + res.MemOps[1]
+	if tr.Total != wantTotal {
+		t.Errorf("tracer total = %d, machine counted %d", tr.Total, wantTotal)
+	}
+	if tr.ByKind[OpWrite] != 1 || tr.ByKind[OpRead] != 1 || tr.ByKind[OpLL] != 1 ||
+		tr.ByKind[OpSC] != 1 || tr.ByKind[OpCAS] != 1 || tr.ByKind[OpCASFail] != 1 {
+		t.Errorf("per-kind tally wrong: %v", tr.ByKind)
+	}
+	if tr.ByProc[0] != 4 || tr.ByProc[1] != 2 {
+		t.Errorf("per-proc tally wrong: %v", tr.ByProc)
+	}
+	if tr.MaxCost <= 0 {
+		t.Errorf("MaxCost = %d, want positive", tr.MaxCost)
+	}
+}
+
+func TestTracerRemoval(t *testing.T) {
+	m := busMachine(t, 1, 2, 3)
+	tr := NewCountingTracer()
+	m.SetTracer(tr)
+	m.SetTracer(nil)
+	if _, err := m.Run([]Program{func(p *Proc) { p.Read(0) }}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Total != 0 {
+		t.Errorf("removed tracer still saw %d ops", tr.Total)
+	}
+}

@@ -1,0 +1,218 @@
+// Package simherlihy implements Herlihy's general methodology for
+// non-blocking objects — the non-blocking baseline of the paper's
+// evaluation — on the simulated multiprocessor.
+//
+// The object's entire state lives in a fixed-size block; a root word points
+// to the current block. An operation load-links the root, copies the whole
+// block into a private spare, applies the update to the copy, and
+// store-conditionally swings the root to the copy, retrying with capped
+// exponential backoff on failure. The whole-object copy is exactly why the
+// method degrades as object size and contention grow — the effect the
+// paper's queue figures expose (STM updates only the words it touches;
+// Herlihy's method copies the entire queue every attempt).
+//
+// Block reuse is the standard two-buffer scheme: each processor alternates
+// between two private blocks, switching only after a successful install, so
+// the block it overwrites is never the one the root points to. Readers that
+// race with reuse may observe torn state, but their store-conditional then
+// fails and the computed values are discarded — the paper's own discipline
+// (with LL/SC there is no ABA problem).
+package simherlihy
+
+import (
+	"fmt"
+
+	"github.com/stm-go/stm/internal/sim"
+)
+
+// OpFunc computes the object's next state from its current state and two
+// immediate arguments. It must be deterministic and total: it can observe
+// torn state on attempts that will fail, so it must not panic on any input.
+// The result must have len(old) elements.
+type OpFunc func(arg, arg2 uint64, old []uint64) []uint64
+
+// Config describes an object instance.
+type Config struct {
+	// Procs must equal the machine's processor count.
+	Procs int
+	// StateWords is the object's state size (the block size copied per op).
+	StateWords int
+	// Base is the first simulated-memory word of the instance's region.
+	Base int
+	// Ops registers the update functions invocable by opcode.
+	Ops []OpFunc
+	// CalcCost is the Think cycles charged per state word for computing the
+	// update. Default 2 if zero.
+	CalcCost int64
+	// BackoffMin/BackoffMax bound the exponential retry backoff in cycles.
+	// Defaults 32/8192 if zero.
+	BackoffMin, BackoffMax int64
+}
+
+// Stats counts operation outcomes for one run.
+type Stats struct {
+	Attempts int64
+	Commits  int64
+	Failures int64 // failed SC installs (retried)
+}
+
+// Object is one Herlihy-style non-blocking object placed in simulated
+// memory. Layout (Words = 1 + (2*Procs+1)*StateWords):
+//
+//	base+0:  root (address of the current state block)
+//	base+1:  initial block, then two private blocks per processor
+type Object struct {
+	cfg     Config
+	perProc []Stats
+	toggle  []int // which private block each processor writes next
+}
+
+// New validates cfg and returns an object. The caller must size the
+// machine's memory to cover [cfg.Base, cfg.Base+Words()) and call Init on
+// one processor (or pre-seed memory with SeedInitial) before use.
+func New(cfg Config) (*Object, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("simherlihy: Procs must be ≥ 1, got %d", cfg.Procs)
+	}
+	if cfg.StateWords < 1 {
+		return nil, fmt.Errorf("simherlihy: StateWords must be ≥ 1, got %d", cfg.StateWords)
+	}
+	if len(cfg.Ops) == 0 {
+		return nil, fmt.Errorf("simherlihy: at least one OpFunc is required")
+	}
+	if cfg.Base < 0 {
+		return nil, fmt.Errorf("simherlihy: Base must be ≥ 0, got %d", cfg.Base)
+	}
+	if cfg.CalcCost <= 0 {
+		cfg.CalcCost = 2
+	}
+	if cfg.BackoffMin <= 0 {
+		cfg.BackoffMin = 32
+	}
+	if cfg.BackoffMax < cfg.BackoffMin {
+		cfg.BackoffMax = 8192
+	}
+	return &Object{
+		cfg:     cfg,
+		perProc: make([]Stats, cfg.Procs),
+		toggle:  make([]int, cfg.Procs),
+	}, nil
+}
+
+// Words returns the instance's simulated-memory footprint.
+func (o *Object) Words() int { return 1 + (2*o.cfg.Procs+1)*o.cfg.StateWords }
+
+func (o *Object) rootAddr() int { return o.cfg.Base }
+
+func (o *Object) initialBlock() int { return o.cfg.Base + 1 }
+
+func (o *Object) privateBlock(p, which int) int {
+	return o.cfg.Base + 1 + o.cfg.StateWords + (2*p+which)*o.cfg.StateWords
+}
+
+// SeedInitial writes the object's initial state directly into the machine
+// before a run (zero virtual cost; machine construction time).
+func (o *Object) SeedInitial(m *sim.Machine, state []uint64) error {
+	if len(state) != o.cfg.StateWords {
+		return fmt.Errorf("simherlihy: initial state has %d words, want %d", len(state), o.cfg.StateWords)
+	}
+	for i, v := range state {
+		m.SetWord(o.initialBlock()+i, v)
+	}
+	m.SetWord(o.rootAddr(), uint64(o.initialBlock()))
+	return nil
+}
+
+// Stats sums per-processor counters; call after the run completes.
+func (o *Object) Stats() Stats {
+	var t Stats
+	for _, s := range o.perProc {
+		t.Attempts += s.Attempts
+		t.Commits += s.Commits
+		t.Failures += s.Failures
+	}
+	return t
+}
+
+// ResetStats zeroes the counters.
+func (o *Object) ResetStats() {
+	for i := range o.perProc {
+		o.perProc[i] = Stats{}
+	}
+}
+
+// equal reports element-wise equality.
+func equal(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Update applies the registered op to the object on processor p, retrying
+// until the install succeeds, and returns the state the update was computed
+// from.
+func (o *Object) Update(p *sim.Proc, opcode int, arg, arg2 uint64) []uint64 {
+	if opcode < 0 || opcode >= len(o.cfg.Ops) {
+		panic(fmt.Sprintf("simherlihy: opcode %d outside [0,%d)", opcode, len(o.cfg.Ops)))
+	}
+	me := &o.perProc[p.ID()]
+	backoff := o.cfg.BackoffMin
+	old := make([]uint64, o.cfg.StateWords)
+	for {
+		me.Attempts++
+		root := int(p.LL(o.rootAddr()))
+		// Copy the whole object (the method's defining cost).
+		for i := 0; i < o.cfg.StateWords; i++ {
+			old[i] = p.Read(root + i)
+		}
+		p.Think(o.cfg.CalcCost * int64(o.cfg.StateWords))
+		newState := o.cfg.Ops[opcode](arg, arg2, old)
+		if len(newState) != o.cfg.StateWords {
+			newState = old // defensive: misbehaving op becomes identity
+		}
+		if equal(newState, old) {
+			// Read-only / no-op outcome: Herlihy's methodology does not
+			// install a new block, it only validates that the copied
+			// snapshot was consistent (the reservation is still intact).
+			// Installing here would needlessly invalidate every concurrent
+			// copier and can starve updaters behind a no-op loop.
+			if p.Validate(o.rootAddr()) {
+				me.Commits++
+				out := make([]uint64, len(old))
+				copy(out, old)
+				return out
+			}
+			me.Failures++
+			p.Think(backoff + int64(p.Rand()%uint64(backoff)))
+			if backoff < o.cfg.BackoffMax {
+				backoff *= 2
+				if backoff > o.cfg.BackoffMax {
+					backoff = o.cfg.BackoffMax
+				}
+			}
+			continue
+		}
+		blk := o.privateBlock(p.ID(), o.toggle[p.ID()])
+		for i, v := range newState {
+			p.Write(blk+i, v)
+		}
+		if p.SC(o.rootAddr(), uint64(blk)) {
+			me.Commits++
+			o.toggle[p.ID()] ^= 1
+			out := make([]uint64, len(old))
+			copy(out, old)
+			return out
+		}
+		me.Failures++
+		p.Think(backoff + int64(p.Rand()%uint64(backoff)))
+		if backoff < o.cfg.BackoffMax {
+			backoff *= 2
+			if backoff > o.cfg.BackoffMax {
+				backoff = o.cfg.BackoffMax
+			}
+		}
+	}
+}

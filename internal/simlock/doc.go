@@ -1,0 +1,9 @@
+// Package simlock provides the blocking baselines of the paper's
+// evaluation on the simulated multiprocessor: a test-and-test-and-set
+// spinlock with capped exponential backoff, and the Mellor-Crummey–Scott
+// (MCS) list-based queue lock. Both live entirely in simulated shared
+// memory so their coherence/queueing behaviour is priced by the machine's
+// cost model — TTAS spins locally in cache and storms the bus on release;
+// MCS spins on a processor-private word and hands the lock off with one
+// remote write, which is why it stays flat as processors are added.
+package simlock

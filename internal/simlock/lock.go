@@ -1,0 +1,162 @@
+package simlock
+
+import (
+	"fmt"
+
+	"github.com/stm-go/stm/internal/sim"
+)
+
+// Lock is a mutual-exclusion protocol on the simulated machine.
+type Lock interface {
+	// Acquire blocks (in virtual time) until the lock is held by p.
+	Acquire(p *sim.Proc)
+	// Release releases the lock; the caller must hold it.
+	Release(p *sim.Proc)
+	// Words returns the protocol's simulated-memory footprint.
+	Words() int
+	// Name identifies the protocol in experiment output.
+	Name() string
+}
+
+// spinThink is the loop overhead charged per spin probe, batching the
+// handful of non-memory instructions of a spin iteration.
+const spinThink = 2
+
+// TTAS is a test-and-test-and-set lock with capped exponential backoff.
+// Layout: one word (0 = free, 1 = held) at Base.
+type TTAS struct {
+	base                   int
+	backoffMin, backoffMax int64
+}
+
+var _ Lock = (*TTAS)(nil)
+
+// NewTTAS places a TTAS lock at word base. Backoff bounds of 0 select the
+// defaults (32, 4096).
+func NewTTAS(base int, backoffMin, backoffMax int64) (*TTAS, error) {
+	if base < 0 {
+		return nil, fmt.Errorf("simlock: base must be ≥ 0, got %d", base)
+	}
+	if backoffMin <= 0 {
+		backoffMin = 32
+	}
+	if backoffMax < backoffMin {
+		backoffMax = 4096
+	}
+	return &TTAS{base: base, backoffMin: backoffMin, backoffMax: backoffMax}, nil
+}
+
+// Name implements Lock.
+func (l *TTAS) Name() string { return "ttas" }
+
+// Words implements Lock.
+func (l *TTAS) Words() int { return 1 }
+
+// Acquire implements Lock.
+func (l *TTAS) Acquire(p *sim.Proc) {
+	backoff := l.backoffMin
+	for {
+		// Test: spin on the (cached) value until it looks free.
+		for p.Read(l.base) != 0 {
+			p.Think(spinThink)
+		}
+		// Test-and-set: one atomic attempt.
+		if p.CAS(l.base, 0, 1) {
+			return
+		}
+		// Contention: back off exponentially with jitter.
+		p.Think(backoff + int64(p.Rand()%uint64(backoff)))
+		if backoff < l.backoffMax {
+			backoff *= 2
+			if backoff > l.backoffMax {
+				backoff = l.backoffMax
+			}
+		}
+	}
+}
+
+// Release implements Lock.
+func (l *TTAS) Release(p *sim.Proc) {
+	p.Write(l.base, 0)
+}
+
+// MCS is the Mellor-Crummey–Scott queue lock. Layout (Words = 1 + 2*procs):
+//
+//	base+0:            tail (0 = free, else the queue node address of the holder's last waiter)
+//	base+1+2p+0:       processor p's queue node: next (0 = none)
+//	base+1+2p+1:       processor p's queue node: locked flag
+//
+// Queue-node addresses are strictly positive because they sit above the
+// tail word, so 0 is unambiguous as "no node".
+type MCS struct {
+	base  int
+	procs int
+}
+
+var _ Lock = (*MCS)(nil)
+
+// NewMCS places an MCS lock for the given processor count at word base.
+func NewMCS(base, procs int) (*MCS, error) {
+	if base < 0 {
+		return nil, fmt.Errorf("simlock: base must be ≥ 0, got %d", base)
+	}
+	if procs < 1 {
+		return nil, fmt.Errorf("simlock: procs must be ≥ 1, got %d", procs)
+	}
+	return &MCS{base: base, procs: procs}, nil
+}
+
+// Name implements Lock.
+func (l *MCS) Name() string { return "mcs" }
+
+// Words implements Lock.
+func (l *MCS) Words() int { return 1 + 2*l.procs }
+
+func (l *MCS) node(p int) int { return l.base + 1 + 2*p }
+
+// Acquire implements Lock.
+func (l *MCS) Acquire(p *sim.Proc) {
+	qn := l.node(p.ID())
+	p.Write(qn, 0)   // next = none
+	p.Write(qn+1, 1) // locked = true (cleared by predecessor's handoff)
+
+	// Atomically swap ourselves in as the tail.
+	var pred uint64
+	for {
+		v := p.LL(l.base)
+		if p.SC(l.base, uint64(qn)) {
+			pred = v
+			break
+		}
+	}
+	if pred == 0 {
+		return // lock was free
+	}
+	// Link behind the predecessor and spin on our own node — the local
+	// spin that makes MCS scale.
+	p.Write(int(pred), uint64(qn))
+	for p.Read(qn+1) != 0 {
+		p.Think(spinThink)
+	}
+}
+
+// Release implements Lock.
+func (l *MCS) Release(p *sim.Proc) {
+	qn := l.node(p.ID())
+	next := p.Read(qn)
+	if next == 0 {
+		// No known successor: try to swing the tail back to free.
+		if p.CAS(l.base, uint64(qn), 0) {
+			return
+		}
+		// A successor is in the middle of linking; wait for it.
+		for {
+			next = p.Read(qn)
+			if next != 0 {
+				break
+			}
+			p.Think(spinThink)
+		}
+	}
+	p.Write(int(next)+1, 0) // hand the lock to the successor
+}

@@ -1,0 +1,184 @@
+package simlock
+
+import (
+	"testing"
+
+	"github.com/stm-go/stm/internal/sim"
+)
+
+func machineFor(t *testing.T, procs, words int) *sim.Machine {
+	t.Helper()
+	m, err := sim.NewMachine(sim.Config{
+		Procs:  procs,
+		Words:  words,
+		Model:  sim.NewBusModel(procs, words, sim.DefaultBusConfig()),
+		Seed:   99,
+		Jitter: 1,
+	})
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	return m
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewTTAS(-1, 0, 0); err == nil {
+		t.Error("NewTTAS(-1): want error")
+	}
+	if _, err := NewMCS(-1, 2); err == nil {
+		t.Error("NewMCS(-1,2): want error")
+	}
+	if _, err := NewMCS(0, 0); err == nil {
+		t.Error("NewMCS(0,0): want error")
+	}
+}
+
+func TestLockNamesAndWords(t *testing.T) {
+	ttas, err := NewTTAS(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ttas.Name() != "ttas" || ttas.Words() != 1 {
+		t.Errorf("ttas meta = (%q,%d)", ttas.Name(), ttas.Words())
+	}
+	mcs, err := NewMCS(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mcs.Name() != "mcs" || mcs.Words() != 17 {
+		t.Errorf("mcs meta = (%q,%d), want (mcs,17)", mcs.Name(), mcs.Words())
+	}
+}
+
+// exerciseMutualExclusion runs a critical-section counter under the lock
+// and checks exactness plus actual exclusion (a guard word that would
+// expose overlapping critical sections).
+func exerciseMutualExclusion(t *testing.T, mkLock func(base, procs int) (Lock, error)) {
+	t.Helper()
+	const (
+		procs = 8
+		each  = 80
+	)
+	// Memory: lock region + counter word + in-CS guard word.
+	lk, err := mkLock(0, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counterAddr := lk.Words()
+	guardAddr := counterAddr + 1
+	m := machineFor(t, procs, lk.Words()+2)
+
+	progs := make([]sim.Program, procs)
+	for i := range progs {
+		progs[i] = func(p *sim.Proc) {
+			for k := 0; k < each; k++ {
+				lk.Acquire(p)
+				if g := p.Read(guardAddr); g != 0 {
+					t.Errorf("proc %d entered an occupied critical section (guard=%d)", p.ID(), g)
+				}
+				p.Write(guardAddr, uint64(p.ID())+1)
+				v := p.Read(counterAddr)
+				p.Write(counterAddr, v+1)
+				p.Write(guardAddr, 0)
+				lk.Release(p)
+			}
+		}
+	}
+	if _, err := m.Run(progs); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.WordAt(counterAddr); got != procs*each {
+		t.Errorf("counter = %d, want %d", got, procs*each)
+	}
+}
+
+func TestTTASMutualExclusion(t *testing.T) {
+	exerciseMutualExclusion(t, func(base, procs int) (Lock, error) {
+		return NewTTAS(base, 0, 0)
+	})
+}
+
+func TestMCSMutualExclusion(t *testing.T) {
+	exerciseMutualExclusion(t, func(base, procs int) (Lock, error) {
+		return NewMCS(base, procs)
+	})
+}
+
+func TestMCSFIFOHandoff(t *testing.T) {
+	// With staggered arrival, MCS must grant the lock in arrival order.
+	const procs = 4
+	lk, err := NewMCS(0, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machineFor(t, procs, lk.Words()+1)
+	seqAddr := lk.Words()
+	var order [procs]uint64
+	progs := make([]sim.Program, procs)
+	for i := range progs {
+		i := i
+		progs[i] = func(p *sim.Proc) {
+			p.Think(int64(i) * 2000) // arrival order by id
+			lk.Acquire(p)
+			seq := p.Read(seqAddr)
+			order[i] = seq
+			p.Write(seqAddr, seq+1)
+			p.Think(500) // hold the lock so the queue builds up
+			lk.Release(p)
+		}
+	}
+	if _, err := m.Run(progs); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < procs; i++ {
+		if order[i] != uint64(i) {
+			t.Errorf("proc %d got lock at position %d, want %d (FIFO)", i, order[i], i)
+		}
+	}
+}
+
+func TestTTASUncontendedCheap(t *testing.T) {
+	// Acquire+release with no contention should take only a handful of
+	// operations (read + CAS + write).
+	lk, err := NewTTAS(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machineFor(t, 1, 2)
+	res, err := m.Run([]sim.Program{func(p *sim.Proc) {
+		lk.Acquire(p)
+		lk.Release(p)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemOps[0] > 4 {
+		t.Errorf("uncontended TTAS used %d memory ops, want ≤ 4", res.MemOps[0])
+	}
+}
+
+func TestLockReleaseMakesLockReacquirable(t *testing.T) {
+	for _, mk := range []func() (Lock, error){
+		func() (Lock, error) { return NewTTAS(0, 0, 0) },
+		func() (Lock, error) { return NewMCS(0, 1) },
+	} {
+		lk, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := machineFor(t, 1, lk.Words()+1)
+		done := 0
+		if _, err := m.Run([]sim.Program{func(p *sim.Proc) {
+			for k := 0; k < 10; k++ {
+				lk.Acquire(p)
+				lk.Release(p)
+				done++
+			}
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		if done != 10 {
+			t.Errorf("%s: completed %d acquire/release cycles, want 10", lk.Name(), done)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Package simstm is the paper-faithful implementation of Shavit–Touitou
+// software transactional memory on the simulated multiprocessor
+// (internal/sim): the system actually measured by the reproduction's
+// figures.
+//
+// Unlike the host build (internal/core), which leans on Go's garbage
+// collector for ABA-safety, this build follows the paper's original
+// memory discipline:
+//
+//   - every structure — the transactional data words, the per-word
+//     ownership records, and the per-processor transaction records — lives
+//     in simulated shared memory, so every protocol step pays the modelled
+//     hardware cost (cache misses, bus arbitration, remote-module queueing);
+//   - transaction records are owned by one processor each and REUSED across
+//     attempts, stamped with a version number; helpers validate the version
+//     before every store-conditional so a helper that stalls across the
+//     owner's next attempt can never corrupt it;
+//   - ownership words pack (record base, version) so a conflicting
+//     processor can distinguish a live claim (help it) from a stale claim
+//     left by a decided attempt (heal it by freeing the word).
+//
+// The protocol phases — ordered acquisition, one-shot status decision,
+// set-once old-value agreement, guarded update, release, and non-redundant
+// helping — mirror internal/core; see that package and DESIGN.md §4 for the
+// algorithm and its invariants.
+//
+// Variants (helping disabled, unsorted acquisition) exist solely for the
+// ablation experiment F6.
+package simstm

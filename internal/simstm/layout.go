@@ -1,0 +1,65 @@
+package simstm
+
+// Memory layout. An STM instance occupies a contiguous region of simulated
+// memory:
+//
+//	base ........ base+D-1        data words (the transactional memory)
+//	base+D ...... base+2D-1       ownership words, one per data word
+//	base+2D ..... base+2D+P*R-1   transaction records, R words per processor
+//
+// A record's R = recHeaderWords + 2*MaxK words are laid out as:
+//
+//	+0 version     monotonically increasing per attempt (owner-written)
+//	+1 status      0 = Null, 1 = Success, 2|i<<2 = Failure at data-set index i
+//	+2 allWritten  1 once the update phase completed
+//	+3 stable      1 while the owner is inside its attempt loop
+//	+4 size        number of words in the data set (≤ MaxK)
+//	+5 opcode      index into the instance's registered OpFuncs
+//	+6 oparg       first immediate argument passed to the op function
+//	+7 oparg2      second immediate argument passed to the op function
+//	+8 … +8+K-1        addrs: data-word indices
+//	+8+K … +8+2K-1     old values; emptyOld means "not yet agreed"
+const (
+	offVersion     = 0
+	offStatus      = 1
+	offAllWritten  = 2
+	offStable      = 3
+	offSize        = 4
+	offOpcode      = 5
+	offOpArg       = 6
+	offOpArg2      = 7
+	recHeaderWords = 8
+)
+
+// Status word values.
+const (
+	statusNull    uint64 = 0
+	statusSuccess uint64 = 1
+	statusFailBit uint64 = 2
+)
+
+func failureAt(idx int) uint64 { return statusFailBit | uint64(idx)<<2 }
+
+func isFailure(st uint64) bool { return st&3 == statusFailBit }
+
+func failureIndex(st uint64) int { return int(st >> 2) }
+
+// emptyOld is the in-band "old value not yet agreed" marker. Data words
+// must never hold this value; NewSTM's op registry is documented
+// accordingly. (The paper uses pointer/nil for the same purpose.)
+const emptyOld = ^uint64(0)
+
+// Ownership words pack (record base, version) so that stale claims are
+// distinguishable from live ones: base in the high 32 bits, the low 32
+// bits of the claiming attempt's version below. 0 means unowned, which is
+// unambiguous because record bases are strictly positive (the data region
+// precedes the record region and is non-empty).
+const ownVersionMask = (1 << 32) - 1
+
+func packOwner(recBase int, version uint64) uint64 {
+	return uint64(recBase)<<32 | (version & ownVersionMask)
+}
+
+func unpackOwner(w uint64) (recBase int, version32 uint64) {
+	return int(w >> 32), w & ownVersionMask
+}

@@ -1,0 +1,454 @@
+package simstm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/stm-go/stm/internal/sim"
+	"github.com/stm-go/stm/internal/stats"
+)
+
+// OpFunc computes a transaction's new values from its agreed old values and
+// an immediate argument, both of which live in simulated shared memory.
+// Implementations must be deterministic, side-effect free, and TOTAL: a
+// maximally stale helper can invoke them with garbage inputs (its results
+// are then discarded by version guards), so they must not panic on any
+// input. The result must have len(old) elements.
+type OpFunc func(arg, arg2 uint64, old []uint64) []uint64
+
+// Variant selects protocol ablations for experiment F6. The zero value is
+// the paper's protocol (helping on, sorted acquisition).
+type Variant struct {
+	// NoHelping disables cooperative helping: a blocked transaction just
+	// fails and retries after backoff.
+	NoHelping bool
+	// Unsorted acquires ownerships in the caller-supplied order instead of
+	// increasing address order, forfeiting the paper's progress guarantee.
+	Unsorted bool
+}
+
+// Config describes an STM instance inside a simulated machine.
+type Config struct {
+	// Procs must equal the machine's processor count.
+	Procs int
+	// DataWords is the size of the transactional memory.
+	DataWords int
+	// MaxK is the largest data-set size any transaction will use.
+	MaxK int
+	// Base is the first simulated-memory word of the instance's region.
+	Base int
+	// Ops registers the op functions transactions can invoke by opcode.
+	Ops []OpFunc
+	// Variant selects ablations; zero value = the paper's protocol.
+	Variant Variant
+	// CalcCost is the Think cycles charged per data-set word for computing
+	// new values (models the transaction body). Default 2 if zero.
+	CalcCost int64
+	// BackoffMin/BackoffMax bound the exponential retry backoff in cycles.
+	// Defaults 32/8192 if zero.
+	BackoffMin, BackoffMax int64
+}
+
+// Stats aggregates per-processor protocol counters for one run.
+type Stats struct {
+	Attempts int64
+	Commits  int64
+	Failures int64
+	Helps    int64
+	Heals    int64 // stale ownership words freed
+}
+
+// STM is one transactional-memory instance placed in a simulated machine's
+// memory. Create with NewSTM, then have each simulated processor call Run.
+// The instance itself holds only immutable layout plus per-processor
+// counters; all shared protocol state lives in simulated memory.
+type STM struct {
+	cfg      Config
+	recWords int
+	perProc  []Stats     // indexed by processor id; written only by that processor's program
+	latency  [][]float64 // per-processor commit latencies in cycles (Run entry → commit)
+}
+
+// NewSTM validates cfg and returns an instance. The caller must size the
+// machine's memory to cover [cfg.Base, cfg.Base+Words()).
+func NewSTM(cfg Config) (*STM, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("simstm: Procs must be ≥ 1, got %d", cfg.Procs)
+	}
+	if cfg.DataWords < 1 {
+		return nil, fmt.Errorf("simstm: DataWords must be ≥ 1, got %d", cfg.DataWords)
+	}
+	if cfg.MaxK < 1 || cfg.MaxK > cfg.DataWords {
+		return nil, fmt.Errorf("simstm: MaxK must be in [1,%d], got %d", cfg.DataWords, cfg.MaxK)
+	}
+	if len(cfg.Ops) == 0 {
+		return nil, errors.New("simstm: at least one OpFunc is required")
+	}
+	if cfg.Base < 0 {
+		return nil, fmt.Errorf("simstm: Base must be ≥ 0, got %d", cfg.Base)
+	}
+	if cfg.CalcCost <= 0 {
+		cfg.CalcCost = 2
+	}
+	if cfg.BackoffMin <= 0 {
+		cfg.BackoffMin = 32
+	}
+	if cfg.BackoffMax < cfg.BackoffMin {
+		cfg.BackoffMax = 8192
+	}
+	return &STM{
+		cfg:      cfg,
+		recWords: recHeaderWords + 2*cfg.MaxK,
+		perProc:  make([]Stats, cfg.Procs),
+		latency:  make([][]float64, cfg.Procs),
+	}, nil
+}
+
+// Words returns the total simulated-memory footprint of the instance.
+func (s *STM) Words() int {
+	return 2*s.cfg.DataWords + s.cfg.Procs*s.recWords
+}
+
+// DataAddr maps a data-word index to its simulated-memory address.
+func (s *STM) DataAddr(i int) int { return s.cfg.Base + i }
+
+func (s *STM) ownAddr(i int) int { return s.cfg.Base + s.cfg.DataWords + i }
+
+func (s *STM) recBase(proc int) int {
+	return s.cfg.Base + 2*s.cfg.DataWords + proc*s.recWords
+}
+
+// Stats sums the per-processor counters. Call only after the machine run
+// completes.
+func (s *STM) Stats() Stats {
+	var total Stats
+	for _, st := range s.perProc {
+		total.Attempts += st.Attempts
+		total.Commits += st.Commits
+		total.Failures += st.Failures
+		total.Helps += st.Helps
+		total.Heals += st.Heals
+	}
+	return total
+}
+
+// ProcStats returns processor p's counters.
+func (s *STM) ProcStats(p int) Stats { return s.perProc[p] }
+
+// ResetStats zeroes all counters and latency samples (for reusing an
+// instance across runs).
+func (s *STM) ResetStats() {
+	for i := range s.perProc {
+		s.perProc[i] = Stats{}
+		s.latency[i] = nil
+	}
+}
+
+// LatencySummary summarizes commit latency (cycles from Run entry to
+// commit, including failed attempts and backoff) across all processors.
+// Call after the machine run completes.
+func (s *STM) LatencySummary() stats.Summary {
+	var all []float64
+	for _, l := range s.latency {
+		all = append(all, l...)
+	}
+	return stats.Summarize(all)
+}
+
+// Run executes one static transaction on processor p, retrying with
+// exponential backoff until it commits: StartTransaction in the paper.
+// addrs are data-word indices (deduplicated by the caller); opcode selects
+// a registered OpFunc, which receives arg and arg2. It returns the agreed old
+// values, index-aligned with addrs as passed.
+func (s *STM) Run(p *sim.Proc, addrs []int, opcode int, arg, arg2 uint64) []uint64 {
+	if len(addrs) == 0 || len(addrs) > s.cfg.MaxK {
+		panic(fmt.Sprintf("simstm: data set size %d outside [1,%d]", len(addrs), s.cfg.MaxK))
+	}
+	if opcode < 0 || opcode >= len(s.cfg.Ops) {
+		panic(fmt.Sprintf("simstm: opcode %d outside [0,%d)", opcode, len(s.cfg.Ops)))
+	}
+
+	// Engine order: ascending addresses unless the Unsorted ablation.
+	order := make([]int, len(addrs))
+	copy(order, addrs)
+	if !s.cfg.Variant.Unsorted {
+		sort.Ints(order)
+	}
+	// perm[i] = engine index of caller's addrs[i].
+	perm := make([]int, len(addrs))
+	for i, a := range addrs {
+		for j, b := range order {
+			if b == a {
+				perm[i] = j
+				break
+			}
+		}
+	}
+
+	rb := s.recBase(p.ID())
+	me := &s.perProc[p.ID()]
+	started := p.Now()
+
+	// Write the attempt-invariant record fields once per Run.
+	p.Write(rb+offSize, uint64(len(order)))
+	p.Write(rb+offOpcode, uint64(opcode))
+	p.Write(rb+offOpArg, arg)
+	p.Write(rb+offOpArg2, arg2)
+	for i, a := range order {
+		p.Write(rb+recHeaderWords+i, uint64(a))
+	}
+
+	backoff := s.cfg.BackoffMin
+	for {
+		// Initialize the attempt: bump version, clear decision state,
+		// blank the old-value slots, then declare the record stable.
+		version := p.Read(rb+offVersion) + 1
+		p.Write(rb+offVersion, version)
+		p.Write(rb+offStatus, statusNull)
+		p.Write(rb+offAllWritten, 0)
+		for i := range order {
+			p.Write(rb+recHeaderWords+s.cfg.MaxK+i, emptyOld)
+		}
+		p.Write(rb+offStable, 1)
+
+		me.Attempts++
+		s.transaction(p, rb, version, order, true)
+
+		st := p.Read(rb + offStatus)
+		p.Write(rb+offStable, 0)
+
+		if st == statusSuccess {
+			me.Commits++
+			s.latency[p.ID()] = append(s.latency[p.ID()], float64(p.Now()-started))
+			// Read back the agreed snapshot (charged, like any consumer of
+			// the transaction's result) and undo the sort permutation.
+			oldSorted := make([]uint64, len(order))
+			for i := range order {
+				oldSorted[i] = p.Read(rb + recHeaderWords + s.cfg.MaxK + i)
+			}
+			old := make([]uint64, len(addrs))
+			for i := range addrs {
+				old[i] = oldSorted[perm[i]]
+			}
+			return old
+		}
+
+		me.Failures++
+		// Exponential backoff with deterministic jitter before retrying.
+		wait := backoff + int64(p.Rand()%uint64(backoff))
+		p.Think(wait)
+		if backoff < s.cfg.BackoffMax {
+			backoff *= 2
+			if backoff > s.cfg.BackoffMax {
+				backoff = s.cfg.BackoffMax
+			}
+		}
+	}
+}
+
+// transaction drives the record at rb (attempt `version`) from any phase to
+// completion. addrsHint carries the initiator's locally-known engine-order
+// data set; helpers pass nil and read the data set from shared memory under
+// version guards.
+func (s *STM) transaction(p *sim.Proc, rb int, version uint64, addrsHint []int, initiator bool) {
+	me := &s.perProc[p.ID()]
+
+	addrs := addrsHint
+	if addrs == nil {
+		size := int(p.Read(rb + offSize))
+		if size < 1 || size > s.cfg.MaxK {
+			return // torn read of a recycled record; nothing to do
+		}
+		if p.Read(rb+offVersion) != version {
+			return
+		}
+		addrs = make([]int, size)
+		for i := 0; i < size; i++ {
+			a := int(p.Read(rb + recHeaderWords + i))
+			if a < 0 || a >= s.cfg.DataWords {
+				return // torn read; version guard will also fire on stores
+			}
+			addrs[i] = a
+		}
+	}
+
+	s.acquireOwnerships(p, rb, version, addrs)
+
+	st := p.LL(rb + offStatus)
+	if st == statusNull {
+		if p.Read(rb+offVersion) != version {
+			return
+		}
+		p.SC(rb+offStatus, statusSuccess)
+		st = p.Read(rb + offStatus)
+	}
+
+	if st == statusSuccess {
+		s.agreeOldValues(p, rb, version, addrs)
+		newv := s.calcNewValues(p, rb, version, addrs)
+		s.updateMemory(p, rb, version, addrs, newv)
+		s.releaseOwnerships(p, rb, version, addrs)
+		return
+	}
+
+	s.releaseOwnerships(p, rb, version, addrs)
+
+	if !initiator || s.cfg.Variant.NoHelping || !isFailure(st) {
+		return
+	}
+	// Non-redundant helping: complete the transaction that blocked us, but
+	// never recurse (the helpee's own conflicts are its initiator's job).
+	idx := failureIndex(st)
+	if idx < 0 || idx >= len(addrs) {
+		return
+	}
+	owner := p.Read(s.ownAddr(addrs[idx]))
+	if owner == 0 {
+		return
+	}
+	orb, over32 := unpackOwner(owner)
+	if orb == rb {
+		return
+	}
+	fullVer := p.Read(orb + offVersion)
+	if fullVer&ownVersionMask != over32 {
+		return // the claim is stale; the acquire path will heal it
+	}
+	if p.Read(orb+offStable) != 1 {
+		return
+	}
+	me.Helps++
+	s.transaction(p, orb, fullVer, nil, false)
+}
+
+// acquireOwnerships claims the data set in engine order. It leaves the
+// record's status Null when every word is claimed, or CASes it to Failure
+// at the first index blocked by a live claim. Stale claims (version
+// mismatch: their attempt already decided) are healed in place.
+func (s *STM) acquireOwnerships(p *sim.Proc, rb int, version uint64, addrs []int) {
+	me := &s.perProc[p.ID()]
+	want := packOwner(rb, version)
+	for i, loc := range addrs {
+		ownAddr := s.ownAddr(loc)
+		for {
+			if p.Read(rb+offStatus) != statusNull {
+				return
+			}
+			owner := p.LL(ownAddr)
+			if p.Read(rb+offVersion) != version {
+				return
+			}
+			if owner == want {
+				break // already claimed (possibly by a helper)
+			}
+			if owner == 0 {
+				if p.SC(ownAddr, want) {
+					break
+				}
+				continue // lost the race; re-inspect
+			}
+			orb, over32 := unpackOwner(owner)
+			if orb == rb || p.Read(orb+offVersion)&ownVersionMask != over32 {
+				// A stale claim: by our own earlier attempt, or by another
+				// record's decided attempt. Free it and retry. Safe because
+				// a version bump happens only after the attempt decided and
+				// ran its release phase.
+				if p.SC(ownAddr, 0) {
+					me.Heals++
+				}
+				continue
+			}
+			// Live conflicting claim: fail ourselves at index i.
+			stw := p.LL(rb + offStatus)
+			if stw == statusNull && p.Read(rb+offVersion) == version {
+				p.SC(rb+offStatus, failureAt(i))
+			}
+			return
+		}
+	}
+}
+
+// agreeOldValues fills the record's old-value slots from the claimed data
+// words, set-once via LL/SC so every helper agrees on one snapshot.
+func (s *STM) agreeOldValues(p *sim.Proc, rb int, version uint64, addrs []int) {
+	for i, loc := range addrs {
+		slot := rb + recHeaderWords + s.cfg.MaxK + i
+		if p.LL(slot) != emptyOld {
+			continue
+		}
+		if p.Read(rb+offVersion) != version {
+			return
+		}
+		v := p.Read(s.DataAddr(loc))
+		p.SC(slot, v) // failure means another helper agreed first
+	}
+}
+
+// calcNewValues reads the agreed snapshot and computes the new values,
+// charging CalcCost cycles per word for the transaction body.
+func (s *STM) calcNewValues(p *sim.Proc, rb int, version uint64, addrs []int) []uint64 {
+	old := make([]uint64, len(addrs))
+	for i := range addrs {
+		old[i] = p.Read(rb + recHeaderWords + s.cfg.MaxK + i)
+	}
+	opcode := int(p.Read(rb + offOpcode))
+	arg := p.Read(rb + offOpArg)
+	arg2 := p.Read(rb + offOpArg2)
+	if opcode < 0 || opcode >= len(s.cfg.Ops) {
+		return old // torn read on a recycled record; guards discard stores
+	}
+	if p.Read(rb+offVersion) != version {
+		return old
+	}
+	p.Think(s.cfg.CalcCost * int64(len(addrs)))
+	newv := s.cfg.Ops[opcode](arg, arg2, old)
+	if len(newv) != len(addrs) {
+		return old // defensive: treat a misbehaving op as identity
+	}
+	return newv
+}
+
+// updateMemory installs the new values under LL/SC and version guards, then
+// raises allWritten to cut lagging helpers short.
+func (s *STM) updateMemory(p *sim.Proc, rb int, version uint64, addrs []int, newv []uint64) {
+	for i, loc := range addrs {
+		dataAddr := s.DataAddr(loc)
+		for {
+			cur := p.LL(dataAddr)
+			if p.Read(rb+offAllWritten) == 1 {
+				return
+			}
+			if p.Read(rb+offVersion) != version {
+				return
+			}
+			if cur == newv[i] {
+				break
+			}
+			if p.SC(dataAddr, newv[i]) {
+				break
+			}
+			// SC lost to a helper writing the same value (or our claim is
+			// gone; the guards above stop us next iteration).
+		}
+	}
+	if p.LL(rb+offAllWritten) == 0 {
+		if p.Read(rb+offVersion) != version {
+			return
+		}
+		p.SC(rb+offAllWritten, 1)
+	}
+}
+
+// releaseOwnerships frees every data word still claimed by this exact
+// attempt (record base AND version), scanning the whole data set because
+// helpers may have claimed words the failing path never reached.
+func (s *STM) releaseOwnerships(p *sim.Proc, rb int, version uint64, addrs []int) {
+	mine := packOwner(rb, version)
+	for _, loc := range addrs {
+		ownAddr := s.ownAddr(loc)
+		if p.LL(ownAddr) == mine {
+			p.SC(ownAddr, 0)
+		}
+	}
+}

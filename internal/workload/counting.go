@@ -1,0 +1,207 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/stm-go/stm/internal/sim"
+	"github.com/stm-go/stm/internal/simherlihy"
+	"github.com/stm-go/stm/internal/simlock"
+	"github.com/stm-go/stm/internal/simstm"
+)
+
+// runCounting is the paper's counting benchmark: every processor repeatedly
+// performs an atomic fetch-and-increment on one shared counter. This is the
+// smallest possible transaction (data set of one word), so it isolates the
+// constant protocol overheads and the contention behaviour of each method.
+func runCounting(spec Spec) (Outcome, error) {
+	switch spec.Method {
+	case MethodSTM, MethodSTMNoHelp, MethodSTMUnsorted:
+		return countingSTM(spec)
+	case MethodHerlihy:
+		return countingHerlihy(spec)
+	case MethodTTAS, MethodMCS:
+		return countingLock(spec)
+	default:
+		return Outcome{}, fmt.Errorf("workload: unknown method %q", spec.Method)
+	}
+}
+
+// stmVariant maps the method name to protocol ablation switches.
+func stmVariant(m Method) simstm.Variant {
+	switch m {
+	case MethodSTMNoHelp:
+		return simstm.Variant{NoHelping: true}
+	case MethodSTMUnsorted:
+		return simstm.Variant{Unsorted: true}
+	default:
+		return simstm.Variant{}
+	}
+}
+
+// stmAddOp adds arg to every word of the data set.
+func stmAddOp(arg, _ uint64, old []uint64) []uint64 {
+	nv := make([]uint64, len(old))
+	for i, v := range old {
+		nv[i] = v + arg
+	}
+	return nv
+}
+
+func countingSTM(spec Spec) (Outcome, error) {
+	s, err := simstm.NewSTM(simstm.Config{
+		Procs:     spec.Procs,
+		DataWords: 2, // counter at word 0 plus padding
+		MaxK:      1,
+		Base:      0,
+		Ops:       []simstm.OpFunc{stmAddOp},
+		Variant:   stmVariant(spec.Method),
+	})
+	if err != nil {
+		return Outcome{}, err
+	}
+	m, err := machine(spec, s.Words())
+	if err != nil {
+		return Outcome{}, err
+	}
+
+	counted := make([]int64, spec.Procs)
+	progs := make([]sim.Program, spec.Procs)
+	for i := range progs {
+		i := i
+		progs[i] = func(p *sim.Proc) {
+			for {
+				s.Run(p, []int{0}, 0, 1, 0)
+				counted[i]++
+			}
+		}
+	}
+	if _, err := m.Run(progs); err != nil {
+		return Outcome{}, err
+	}
+
+	var total int64
+	for _, n := range counted {
+		total += n
+	}
+	if err := slackCheck("counter", int64(m.WordAt(s.DataAddr(0))), total, int64(spec.Procs)); err != nil {
+		return Outcome{}, err
+	}
+
+	st := s.Stats()
+	lat := s.LatencySummary()
+	extra := map[string]float64{
+		"attempts": float64(st.Attempts),
+		"failures": float64(st.Failures),
+		"helps":    float64(st.Helps),
+		"heals":    float64(st.Heals),
+		"lat_p50":  lat.P50,
+		"lat_p95":  lat.P95,
+	}
+	archExtra(extra, m.Model())
+	return outcome(spec, counted, extra), nil
+}
+
+func countingHerlihy(spec Spec) (Outcome, error) {
+	o, err := simherlihy.New(simherlihy.Config{
+		Procs:      spec.Procs,
+		StateWords: 1,
+		Base:       0,
+		Ops:        []simherlihy.OpFunc{simherlihy.OpFunc(stmAddOp)},
+	})
+	if err != nil {
+		return Outcome{}, err
+	}
+	m, err := machine(spec, o.Words())
+	if err != nil {
+		return Outcome{}, err
+	}
+	if err := o.SeedInitial(m, []uint64{0}); err != nil {
+		return Outcome{}, err
+	}
+
+	counted := make([]int64, spec.Procs)
+	progs := make([]sim.Program, spec.Procs)
+	for i := range progs {
+		i := i
+		progs[i] = func(p *sim.Proc) {
+			for {
+				o.Update(p, 0, 1, 0)
+				counted[i]++
+			}
+		}
+	}
+	if _, err := m.Run(progs); err != nil {
+		return Outcome{}, err
+	}
+
+	var total int64
+	for _, n := range counted {
+		total += n
+	}
+	root := int(m.WordAt(0))
+	if err := slackCheck("counter", int64(m.WordAt(root)), total, int64(spec.Procs)); err != nil {
+		return Outcome{}, err
+	}
+
+	st := o.Stats()
+	extra := map[string]float64{
+		"attempts": float64(st.Attempts),
+		"failures": float64(st.Failures),
+	}
+	archExtra(extra, m.Model())
+	return outcome(spec, counted, extra), nil
+}
+
+func countingLock(spec Spec) (Outcome, error) {
+	lk, err := buildLock(spec.Method, 0, spec.Procs)
+	if err != nil {
+		return Outcome{}, err
+	}
+	counterAddr := lk.Words()
+	m, err := machine(spec, lk.Words()+1)
+	if err != nil {
+		return Outcome{}, err
+	}
+
+	counted := make([]int64, spec.Procs)
+	progs := make([]sim.Program, spec.Procs)
+	for i := range progs {
+		i := i
+		progs[i] = func(p *sim.Proc) {
+			for {
+				lk.Acquire(p)
+				v := p.Read(counterAddr)
+				p.Write(counterAddr, v+1)
+				lk.Release(p)
+				counted[i]++
+			}
+		}
+	}
+	if _, err := m.Run(progs); err != nil {
+		return Outcome{}, err
+	}
+
+	var total int64
+	for _, n := range counted {
+		total += n
+	}
+	if err := slackCheck("counter", int64(m.WordAt(counterAddr)), total, int64(spec.Procs)); err != nil {
+		return Outcome{}, err
+	}
+
+	extra := map[string]float64{}
+	archExtra(extra, m.Model())
+	return outcome(spec, counted, extra), nil
+}
+
+// buildLock constructs the requested lock at base for procs processors.
+func buildLock(method Method, base, procs int) (simlock.Lock, error) {
+	switch method {
+	case MethodTTAS:
+		return simlock.NewTTAS(base, 0, 0)
+	case MethodMCS:
+		return simlock.NewMCS(base, procs)
+	default:
+		return nil, fmt.Errorf("workload: %q is not a lock method", method)
+	}
+}

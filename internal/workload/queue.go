@@ -1,0 +1,348 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/stm-go/stm/internal/sim"
+	"github.com/stm-go/stm/internal/simherlihy"
+	"github.com/stm-go/stm/internal/simstm"
+)
+
+// runQueue is the paper's doubly-linked queue benchmark: half the
+// processors enqueue at the tail, half dequeue at the head, on a bounded
+// queue (a single processor alternates roles). Transactions touch three
+// words — head, tail, and one slot — so the methods are exercised on
+// multi-word data sets, and producers/consumers genuinely conflict only
+// through the shared end words (and through the same slot when the queue
+// is short). Herlihy's method must copy the entire queue per operation,
+// which is the contrast the paper draws.
+func runQueue(spec Spec) (Outcome, error) {
+	if spec.QueueCap == 0 {
+		spec.QueueCap = 32
+	}
+	if spec.QueueCap < 1 {
+		return Outcome{}, fmt.Errorf("workload: QueueCap must be ≥ 1, got %d", spec.QueueCap)
+	}
+	switch spec.Method {
+	case MethodSTM, MethodSTMNoHelp, MethodSTMUnsorted:
+		return queueSTM(spec)
+	case MethodHerlihy:
+		return queueHerlihy(spec)
+	case MethodTTAS, MethodMCS:
+		return queueLock(spec)
+	default:
+		return Outcome{}, fmt.Errorf("workload: unknown method %q", spec.Method)
+	}
+}
+
+// Queue layout inside the STM data region / lock-protected region /
+// Herlihy state block: word 0 = head index, word 1 = tail index, words
+// 2..2+cap-1 = slots. Indices increase monotonically; index%cap names the
+// slot; tail-head is the length.
+
+// queueOps returns the STM op functions for the queue:
+//
+//	opcode 0 — enqueue(v=arg, expectedTail=arg2): data set [head, tail, slot(expectedTail)]
+//	opcode 1 — dequeue(expectedHead=arg2):        data set [head, tail, slot(expectedHead)]
+//
+// Both validate the optimistic pre-read (arg2) against the transactional
+// snapshot and otherwise commit a no-op, which the driver detects from the
+// returned old values and retries with a fresh pre-read.
+func queueOps(capacity uint64) []simstm.OpFunc {
+	return []simstm.OpFunc{
+		func(arg, arg2 uint64, old []uint64) []uint64 {
+			nv := make([]uint64, len(old))
+			copy(nv, old)
+			if len(old) != 3 {
+				return nv
+			}
+			head, tail := old[0], old[1]
+			if tail != arg2 || tail-head >= capacity {
+				return nv
+			}
+			nv[1] = tail + 1
+			nv[2] = arg
+			return nv
+		},
+		func(_, arg2 uint64, old []uint64) []uint64 {
+			nv := make([]uint64, len(old))
+			copy(nv, old)
+			if len(old) != 3 {
+				return nv
+			}
+			head, tail := old[0], old[1]
+			if head != arg2 || tail == head {
+				return nv
+			}
+			nv[0] = head + 1
+			return nv
+		},
+	}
+}
+
+// buildQueuePrograms wires per-operation closures into programs. enqOnce
+// and deqOnce attempt one operation, returning whether it took effect
+// (false = queue full/empty). With one processor, roles alternate.
+func buildQueuePrograms(procs int, enqOnce, deqOnce func(p *sim.Proc) bool, enq, deq []int64) []sim.Program {
+	progs := make([]sim.Program, procs)
+	for i := range progs {
+		i := i
+		switch {
+		case procs == 1:
+			progs[i] = func(p *sim.Proc) {
+				for {
+					if enqOnce(p) {
+						enq[i]++
+					}
+					if deqOnce(p) {
+						deq[i]++
+					}
+				}
+			}
+		case isEnqueuer(i, procs):
+			progs[i] = func(p *sim.Proc) {
+				for {
+					if enqOnce(p) {
+						enq[i]++
+					} else {
+						p.Think(64) // full: let consumers drain
+					}
+				}
+			}
+		default:
+			progs[i] = func(p *sim.Proc) {
+				for {
+					if deqOnce(p) {
+						deq[i]++
+					} else {
+						p.Think(64) // empty: let producers fill
+					}
+				}
+			}
+		}
+	}
+	return progs
+}
+
+func queueSTM(spec Spec) (Outcome, error) {
+	capacity := uint64(spec.QueueCap)
+	s, err := simstm.NewSTM(simstm.Config{
+		Procs:     spec.Procs,
+		DataWords: 2 + spec.QueueCap,
+		MaxK:      3,
+		Base:      0,
+		Ops:       queueOps(capacity),
+		Variant:   stmVariant(spec.Method),
+	})
+	if err != nil {
+		return Outcome{}, err
+	}
+	m, err := machine(spec, s.Words())
+	if err != nil {
+		return Outcome{}, err
+	}
+
+	enqOnce := func(p *sim.Proc) bool {
+		for {
+			tail := p.Read(s.DataAddr(1)) // optimistic pre-read
+			slot := 2 + int(tail%capacity)
+			old := s.Run(p, []int{0, 1, slot}, 0, p.Rand()>>1, tail)
+			if old[1] != tail {
+				continue // stale pre-read; rebuild the data set
+			}
+			return old[1]-old[0] < capacity
+		}
+	}
+	deqOnce := func(p *sim.Proc) bool {
+		for {
+			head := p.Read(s.DataAddr(0))
+			slot := 2 + int(head%capacity)
+			old := s.Run(p, []int{0, 1, slot}, 1, 0, head)
+			if old[0] != head {
+				continue
+			}
+			return old[1] != old[0]
+		}
+	}
+
+	enq := make([]int64, spec.Procs)
+	deq := make([]int64, spec.Procs)
+	progs := buildQueuePrograms(spec.Procs, enqOnce, deqOnce, enq, deq)
+	if _, err := m.Run(progs); err != nil {
+		return Outcome{}, err
+	}
+
+	if err := checkQueueState(int64(m.WordAt(s.DataAddr(0))), int64(m.WordAt(s.DataAddr(1))),
+		spec, enq, deq); err != nil {
+		return Outcome{}, err
+	}
+
+	st := s.Stats()
+	lat := s.LatencySummary()
+	extra := map[string]float64{
+		"attempts": float64(st.Attempts),
+		"failures": float64(st.Failures),
+		"helps":    float64(st.Helps),
+		"heals":    float64(st.Heals),
+		"lat_p50":  lat.P50,
+		"lat_p95":  lat.P95,
+	}
+	archExtra(extra, m.Model())
+	return outcome(spec, sum2(enq, deq), extra), nil
+}
+
+func queueHerlihy(spec Spec) (Outcome, error) {
+	capacity := uint64(spec.QueueCap)
+	state := 2 + spec.QueueCap
+	o, err := simherlihy.New(simherlihy.Config{
+		Procs:      spec.Procs,
+		StateWords: state,
+		Base:       0,
+		Ops: []simherlihy.OpFunc{
+			// opcode 0: arg2 selects enqueue (0, value=arg) or dequeue (1).
+			func(arg, arg2 uint64, old []uint64) []uint64 {
+				nv := make([]uint64, len(old))
+				copy(nv, old)
+				if len(old) < 3 {
+					return nv
+				}
+				head, tail := old[0], old[1]
+				if tail-head > capacity {
+					return nv // torn state; the SC will fail
+				}
+				if arg2 == 0 {
+					if tail-head < capacity {
+						nv[2+int(tail%capacity)] = arg
+						nv[1] = tail + 1
+					}
+				} else if tail != head {
+					nv[0] = head + 1
+				}
+				return nv
+			},
+		},
+	})
+	if err != nil {
+		return Outcome{}, err
+	}
+	m, err := machine(spec, o.Words())
+	if err != nil {
+		return Outcome{}, err
+	}
+	if err := o.SeedInitial(m, make([]uint64, state)); err != nil {
+		return Outcome{}, err
+	}
+
+	enqOnce := func(p *sim.Proc) bool {
+		old := o.Update(p, 0, p.Rand()>>1, 0)
+		return old[1]-old[0] < capacity
+	}
+	deqOnce := func(p *sim.Proc) bool {
+		old := o.Update(p, 0, 0, 1)
+		return old[1] != old[0]
+	}
+
+	enq := make([]int64, spec.Procs)
+	deq := make([]int64, spec.Procs)
+	progs := buildQueuePrograms(spec.Procs, enqOnce, deqOnce, enq, deq)
+	if _, err := m.Run(progs); err != nil {
+		return Outcome{}, err
+	}
+
+	root := int(m.WordAt(0))
+	if err := checkQueueState(int64(m.WordAt(root)), int64(m.WordAt(root+1)), spec, enq, deq); err != nil {
+		return Outcome{}, err
+	}
+
+	st := o.Stats()
+	extra := map[string]float64{
+		"attempts": float64(st.Attempts),
+		"failures": float64(st.Failures),
+	}
+	archExtra(extra, m.Model())
+	return outcome(spec, sum2(enq, deq), extra), nil
+}
+
+func queueLock(spec Spec) (Outcome, error) {
+	capacity := uint64(spec.QueueCap)
+	lk, err := buildLock(spec.Method, 0, spec.Procs)
+	if err != nil {
+		return Outcome{}, err
+	}
+	qBase := lk.Words() // head, tail, slots...
+	m, err := machine(spec, qBase+2+spec.QueueCap)
+	if err != nil {
+		return Outcome{}, err
+	}
+
+	enqOnce := func(p *sim.Proc) bool {
+		lk.Acquire(p)
+		head, tail := p.Read(qBase), p.Read(qBase+1)
+		ok := tail-head < capacity
+		if ok {
+			p.Write(qBase+2+int(tail%capacity), p.Rand()>>1)
+			p.Write(qBase+1, tail+1)
+		}
+		lk.Release(p)
+		return ok
+	}
+	deqOnce := func(p *sim.Proc) bool {
+		lk.Acquire(p)
+		head, tail := p.Read(qBase), p.Read(qBase+1)
+		ok := tail != head
+		if ok {
+			p.Read(qBase + 2 + int(head%capacity)) // consume the value
+			p.Write(qBase, head+1)
+		}
+		lk.Release(p)
+		return ok
+	}
+
+	enq := make([]int64, spec.Procs)
+	deq := make([]int64, spec.Procs)
+	progs := buildQueuePrograms(spec.Procs, enqOnce, deqOnce, enq, deq)
+	if _, err := m.Run(progs); err != nil {
+		return Outcome{}, err
+	}
+
+	if err := checkQueueState(int64(m.WordAt(qBase)), int64(m.WordAt(qBase+1)), spec, enq, deq); err != nil {
+		return Outcome{}, err
+	}
+
+	extra := map[string]float64{}
+	archExtra(extra, m.Model())
+	return outcome(spec, sum2(enq, deq), extra), nil
+}
+
+// isEnqueuer splits processors into producer/consumer halves.
+func isEnqueuer(id, procs int) bool { return id%2 == 0 }
+
+// checkQueueState validates head/tail against recorded operations with
+// unwind slack.
+func checkQueueState(head, tail int64, spec Spec, enq, deq []int64) error {
+	var e, d int64
+	for i := range enq {
+		e += enq[i]
+		d += deq[i]
+	}
+	if head > tail {
+		return fmt.Errorf("workload: queue head %d > tail %d", head, tail)
+	}
+	if tail-head > int64(spec.QueueCap) {
+		return fmt.Errorf("workload: queue length %d exceeds capacity %d", tail-head, spec.QueueCap)
+	}
+	slack := int64(spec.Procs)
+	if err := slackCheck("queue enqueues", tail, e, slack); err != nil {
+		return err
+	}
+	return slackCheck("queue dequeues", head, d, slack)
+}
+
+// sum2 concatenates two per-processor op-count vectors element-wise.
+func sum2(a, b []int64) []int64 {
+	out := make([]int64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}

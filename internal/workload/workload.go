@@ -1,0 +1,185 @@
+// Package workload builds and runs the paper's benchmarks — the shared
+// counter and the doubly-linked queue, plus the k-way resource-allocation
+// workload used by the ablation experiment — for every synchronization
+// method in the evaluation matrix: the paper's STM (and its ablation
+// variants), Herlihy's non-blocking methodology, and TTAS/MCS locks, on the
+// bus and network architecture models.
+//
+// Runs are time-bounded in virtual cycles: every processor loops on the
+// workload's operation until the machine's clock passes Spec.Duration, and
+// throughput is completed operations per million cycles. Each run also
+// performs workload-specific sanity checks (e.g., the counter's final value
+// must match the number of recorded increments up to a one-op-per-processor
+// unwind slack) so every benchmark doubles as a correctness test.
+package workload
+
+import (
+	"fmt"
+
+	"github.com/stm-go/stm/internal/sim"
+)
+
+// Arch selects the architecture cost model.
+type Arch string
+
+// Supported architectures. ArchIdeal is the unit-cost machine used by the
+// protocol-footprint analysis (every operation costs one cycle); ArchBusWB
+// is the bus machine with write-back caches, used for the sensitivity
+// analysis of the cache-policy substitution.
+const (
+	ArchBus   Arch = "bus"
+	ArchBusWB Arch = "bus-wb"
+	ArchNet   Arch = "net"
+	ArchIdeal Arch = "ideal"
+)
+
+// Method selects the synchronization protocol under test.
+type Method string
+
+// Supported methods. The stm-nohelp and stm-unsorted variants exist for the
+// ablation experiment F6.
+const (
+	MethodSTM         Method = "stm"
+	MethodSTMNoHelp   Method = "stm-nohelp"
+	MethodSTMUnsorted Method = "stm-unsorted"
+	MethodHerlihy     Method = "herlihy"
+	MethodTTAS        Method = "ttas"
+	MethodMCS         Method = "mcs"
+)
+
+// Methods lists every method in canonical order.
+var Methods = []Method{MethodSTM, MethodHerlihy, MethodTTAS, MethodMCS}
+
+// Kind selects the benchmark.
+type Kind string
+
+// Supported benchmarks.
+const (
+	KindCounting Kind = "counting"
+	KindQueue    Kind = "queue"
+	KindResAlloc Kind = "resalloc"
+)
+
+// Spec fully describes one benchmark run.
+type Spec struct {
+	Kind   Kind
+	Method Method
+	Arch   Arch
+	Procs  int
+	// Duration is the run length in virtual cycles.
+	Duration int64
+	// Seed drives all randomness (deterministic replay).
+	Seed uint64
+	// QueueCap is the queue capacity (KindQueue; default 32).
+	QueueCap int
+	// Pools and K parameterize KindResAlloc: K distinct pools out of Pools
+	// are acquired per operation (defaults 16 and 3).
+	Pools, K int
+	// Stall optionally injects periodic long delays (experiment F5).
+	Stall *sim.StallPlan
+}
+
+// Outcome reports one run's results.
+type Outcome struct {
+	// Ops is the number of completed workload operations.
+	Ops int64
+	// Time is the nominal run duration in cycles (the Spec's Duration).
+	Time int64
+	// Throughput is Ops per million cycles.
+	Throughput float64
+	// Extra carries method-specific counters: attempts, failures, helps,
+	// heals (STM), sc failures (Herlihy), bus transactions / remote ops.
+	Extra map[string]float64
+}
+
+// Run executes the benchmark described by spec.
+func Run(spec Spec) (Outcome, error) {
+	if spec.Procs < 1 {
+		return Outcome{}, fmt.Errorf("workload: Procs must be ≥ 1, got %d", spec.Procs)
+	}
+	if spec.Duration <= 0 {
+		return Outcome{}, fmt.Errorf("workload: Duration must be positive, got %d", spec.Duration)
+	}
+	switch spec.Kind {
+	case KindCounting:
+		return runCounting(spec)
+	case KindQueue:
+		return runQueue(spec)
+	case KindResAlloc:
+		return runResAlloc(spec)
+	default:
+		return Outcome{}, fmt.Errorf("workload: unknown kind %q", spec.Kind)
+	}
+}
+
+// model builds the architecture cost model for spec over `words` of memory.
+func model(spec Spec, words int) (sim.CostModel, error) {
+	switch spec.Arch {
+	case ArchBus:
+		return sim.NewBusModel(spec.Procs, words, sim.DefaultBusConfig()), nil
+	case ArchBusWB:
+		return sim.NewBusModel(spec.Procs, words, sim.WriteBackBusConfig()), nil
+	case ArchNet:
+		return sim.NewNetModel(spec.Procs, words, sim.DefaultNetConfig()), nil
+	case ArchIdeal:
+		return sim.NewIdealModel(), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown arch %q", spec.Arch)
+	}
+}
+
+// machine builds the simulated machine for spec.
+func machine(spec Spec, words int) (*sim.Machine, error) {
+	m, err := model(spec, words)
+	if err != nil {
+		return nil, err
+	}
+	return sim.NewMachine(sim.Config{
+		Procs:   spec.Procs,
+		Words:   words,
+		Model:   m,
+		Seed:    spec.Seed,
+		Jitter:  1,
+		MaxTime: spec.Duration,
+		Stall:   spec.Stall,
+	})
+}
+
+// archExtra records architecture-level traffic counters into extra.
+func archExtra(extra map[string]float64, m sim.CostModel) {
+	switch c := m.(type) {
+	case *sim.BusModel:
+		extra["bus_transactions"] = float64(c.BusTransactions())
+	case *sim.NetModel:
+		extra["remote_ops"] = float64(c.RemoteOps())
+	case *sim.IdealModel:
+		extra["mem_ops"] = float64(c.Ops())
+	}
+}
+
+// outcome assembles the common outcome fields.
+func outcome(spec Spec, perProcOps []int64, extra map[string]float64) Outcome {
+	var ops int64
+	for _, n := range perProcOps {
+		ops += n
+	}
+	return Outcome{
+		Ops:        ops,
+		Time:       spec.Duration,
+		Throughput: float64(ops) / float64(spec.Duration) * 1e6,
+		Extra:      extra,
+	}
+}
+
+// slackCheck verifies |got-want| ≤ slack, used by the post-run invariant
+// checks (processors unwound mid-operation contribute up to one op each).
+func slackCheck(what string, got, want, slack int64) error {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	if d > slack {
+		return fmt.Errorf("workload: %s = %d, want %d (±%d)", what, got, want, slack)
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d identical draws of 64", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestInt63nRange(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 500; i++ {
+		v := r.Int63n(1000)
+		if v < 0 || v >= 1000 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Int63n(-1) should panic")
+		}
+	}()
+	r.Int63n(-1)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %f", f)
+		}
+	}
+}
+
+func TestBoolRoughlyBalanced(t *testing.T) {
+	r := New(13)
+	trues := 0
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	if trues < n/2-500 || trues > n/2+500 {
+		t.Errorf("Bool heavily biased: %d/%d true", trues, n)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(5)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Error("sibling splits produced identical first draws")
+	}
+	// Splits are deterministic: same parent seed, same split order.
+	p2 := New(5)
+	d1 := p2.Split()
+	d2 := p2.Split()
+	r1, r2 := New(0), New(0)
+	*r1, *r2 = *c1, *d1
+	_ = r2
+	if d1.Uint64() == 0 && d2.Uint64() == 0 {
+		t.Error("suspicious all-zero splits")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%32) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var r RNG
+	// Must not panic and must produce values.
+	a, b := r.Uint64(), r.Uint64()
+	if a == b {
+		t.Error("zero-value RNG produced identical consecutive draws")
+	}
+}
+
+func TestUniformityCoarse(t *testing.T) {
+	// 16 buckets over 64k draws: each bucket within ±25% of the mean.
+	r := New(77)
+	const (
+		buckets = 16
+		draws   = 1 << 16
+	)
+	var count [buckets]int
+	for i := 0; i < draws; i++ {
+		count[r.Uint64()>>60]++
+	}
+	mean := draws / buckets
+	for i, c := range count {
+		if c < mean*3/4 || c > mean*5/4 {
+			t.Errorf("bucket %d = %d, mean %d — distribution badly skewed", i, c, mean)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package stm
+
+import "strconv"
+
+// Derived multi-word operations built on static transactions. Each is a
+// convenience over Prepare + Run; hot paths that reuse a data set should
+// prepare their own Tx.
+
+// ReadAll returns a consistent snapshot of the words at addrs (any order,
+// no duplicates): the values all existed simultaneously at the
+// transaction's linearization point.
+func (m *Memory) ReadAll(addrs ...int) ([]uint64, error) {
+	return m.Atomically(addrs, func(old []uint64) []uint64 {
+		nv := make([]uint64, len(old))
+		copy(nv, old)
+		return nv
+	})
+}
+
+// Snapshot returns a consistent snapshot of the entire memory. It is one
+// transaction over every word, so it conflicts with every concurrent
+// writer; prefer ReadAll over the words you need on hot paths.
+func (m *Memory) Snapshot() ([]uint64, error) {
+	addrs := make([]int, m.Size())
+	for i := range addrs {
+		addrs[i] = i
+	}
+	return m.ReadAll(addrs...)
+}
+
+// WriteAll atomically stores vals[i] into addrs[i].
+func (m *Memory) WriteAll(addrs []int, vals []uint64) error {
+	if len(addrs) != len(vals) {
+		return errLengthMismatch(len(addrs), len(vals))
+	}
+	stored := make([]uint64, len(vals))
+	copy(stored, vals)
+	_, err := m.Atomically(addrs, func(old []uint64) []uint64 { return stored })
+	return err
+}
+
+// Add atomically adds delta to the word at loc and returns the old value.
+// Subtraction is delta's two's complement (wrap-around semantics).
+func (m *Memory) Add(loc int, delta uint64) (uint64, error) {
+	old, err := m.Atomically([]int{loc}, func(old []uint64) []uint64 {
+		return []uint64{old[0] + delta}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return old[0], nil
+}
+
+// Swap atomically stores v at loc and returns the old value.
+func (m *Memory) Swap(loc int, v uint64) (uint64, error) {
+	old, err := m.Atomically([]int{loc}, func([]uint64) []uint64 {
+		return []uint64{v}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return old[0], nil
+}
+
+// CompareAndSwap atomically replaces the word at loc with new if it equals
+// old, reporting whether the replacement happened.
+func (m *Memory) CompareAndSwap(loc int, old, new uint64) (bool, error) {
+	swapped, _, err := m.CompareAndSwapN([]int{loc}, []uint64{old}, []uint64{new})
+	return swapped, err
+}
+
+// CompareAndSwapN is a k-word compare-and-swap: if every word at addrs[i]
+// equals expected[i], replace all of them with new[i]; otherwise change
+// nothing. It returns whether the swap happened and the observed snapshot
+// (index-aligned with addrs) either way. CASN is the classic consumer of
+// static transactions and the primitive several of the examples build on.
+func (m *Memory) CompareAndSwapN(addrs []int, expected, new []uint64) (bool, []uint64, error) {
+	if len(addrs) != len(expected) {
+		return false, nil, errLengthMismatch(len(addrs), len(expected))
+	}
+	if len(addrs) != len(new) {
+		return false, nil, errLengthMismatch(len(addrs), len(new))
+	}
+	exp := make([]uint64, len(expected))
+	copy(exp, expected)
+	nv := make([]uint64, len(new))
+	copy(nv, new)
+	old, err := m.Atomically(addrs, func(old []uint64) []uint64 {
+		for i := range old {
+			if old[i] != exp[i] {
+				out := make([]uint64, len(old))
+				copy(out, old)
+				return out
+			}
+		}
+		return nv
+	})
+	if err != nil {
+		return false, nil, err
+	}
+	for i := range old {
+		if old[i] != exp[i] {
+			return false, old, nil
+		}
+	}
+	return true, old, nil
+}
+
+func errLengthMismatch(a, b int) error {
+	return lengthMismatchError{addrs: a, vals: b}
+}
+
+// lengthMismatchError reports addrs/values slices of different lengths.
+type lengthMismatchError struct{ addrs, vals int }
+
+func (e lengthMismatchError) Error() string {
+	return "stm: addrs and values lengths differ: " +
+		strconv.Itoa(e.addrs) + " vs " + strconv.Itoa(e.vals)
+}

@@ -1,0 +1,90 @@
+package stm
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/stm-go/stm/internal/backoff"
+	"github.com/stm-go/stm/internal/core"
+)
+
+// UpdateFunc computes new values for a transaction's data set from the old
+// values, index-aligned with the addresses the caller declared (in the
+// caller's order). It must be deterministic and side-effect free, and must
+// return exactly len(old) values.
+type UpdateFunc func(old []uint64) []uint64
+
+// Validation errors. These alias the engine's sentinels so errors.Is works
+// across the API boundary.
+var (
+	ErrAddrRange    = core.ErrAddrRange
+	ErrAddrOrder    = core.ErrAddrOrder
+	ErrEmptyDataSet = core.ErrEmptyDataSet
+	ErrNilUpdate    = core.ErrNilUpdate
+)
+
+// Memory is a software transactional memory: a fixed-size vector of uint64
+// words supporting static multi-word transactions. All methods are safe for
+// concurrent use by any number of goroutines.
+type Memory struct {
+	eng   *core.Memory
+	seeds atomic.Uint64 // decorrelates per-call backoff
+}
+
+// New returns a Memory of size words, all zero.
+func New(size int) (*Memory, error) {
+	eng, err := core.NewMemory(size)
+	if err != nil {
+		return nil, err
+	}
+	return &Memory{eng: eng}, nil
+}
+
+// Size returns the number of words.
+func (m *Memory) Size() int { return m.eng.Size() }
+
+// Peek reads one word without transactional protection: an atomic read of
+// that word with no cross-word consistency guarantee. Use ReadAll for a
+// consistent multi-word snapshot.
+func (m *Memory) Peek(loc int) uint64 { return m.eng.Peek(loc) }
+
+// Stats returns a snapshot of protocol counters (attempts, commits,
+// failures, helps) accumulated by this Memory.
+func (m *Memory) Stats() core.StatsSnapshot { return m.eng.Stats() }
+
+// Atomically applies f to the words at addrs as one atomic transaction,
+// retrying with backoff until it commits. It returns the old values (the
+// consistent snapshot f's result was computed from), index-aligned with
+// addrs. addrs may be in any order but must not contain duplicates.
+//
+// For hot paths that reuse a data set, Prepare once and call Tx.Run.
+func (m *Memory) Atomically(addrs []int, f UpdateFunc) ([]uint64, error) {
+	tx, err := m.Prepare(addrs)
+	if err != nil {
+		return nil, err
+	}
+	if f == nil {
+		return nil, ErrNilUpdate
+	}
+	return tx.Run(f), nil
+}
+
+// Try makes a single transaction attempt (no retry). ok=false means the
+// attempt was blocked by a conflicting transaction — which this call helped
+// to completion — and the caller should retry.
+func (m *Memory) Try(addrs []int, f UpdateFunc) (old []uint64, ok bool, err error) {
+	tx, err := m.Prepare(addrs)
+	if err != nil {
+		return nil, false, err
+	}
+	if f == nil {
+		return nil, false, ErrNilUpdate
+	}
+	old, ok = tx.Try(f)
+	return old, ok, nil
+}
+
+// newBackoff returns a retry backoff decorrelated across calls.
+func (m *Memory) newBackoff() *backoff.Exp {
+	return backoff.New(500*time.Nanosecond, 100*time.Microsecond, m.seeds.Add(1)*0x9e3779b97f4a7c15)
+}

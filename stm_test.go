@@ -1,0 +1,357 @@
+package stm_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	stm "github.com/stm-go/stm"
+)
+
+func mustNew(t *testing.T, size int) *stm.Memory {
+	t.Helper()
+	m, err := stm.New(size)
+	if err != nil {
+		t.Fatalf("New(%d): %v", size, err)
+	}
+	return m
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := stm.New(0); err == nil {
+		t.Error("New(0): want error")
+	}
+	if _, err := stm.New(-1); err == nil {
+		t.Error("New(-1): want error")
+	}
+}
+
+func TestPrepareValidation(t *testing.T) {
+	m := mustNew(t, 8)
+	tests := []struct {
+		name  string
+		addrs []int
+		want  error
+	}{
+		{name: "empty", addrs: nil, want: stm.ErrEmptyDataSet},
+		{name: "out of range", addrs: []int{8}, want: stm.ErrAddrRange},
+		{name: "negative", addrs: []int{-2}, want: stm.ErrAddrRange},
+		{name: "duplicate", addrs: []int{3, 3}, want: stm.ErrAddrOrder},
+		{name: "duplicate far apart", addrs: []int{3, 1, 3}, want: stm.ErrAddrOrder},
+		{name: "ok unsorted", addrs: []int{5, 1, 3}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := m.Prepare(tt.addrs)
+			if tt.want == nil {
+				if err != nil {
+					t.Fatalf("Prepare(%v) = %v, want nil", tt.addrs, err)
+				}
+				return
+			}
+			if !errors.Is(err, tt.want) {
+				t.Fatalf("Prepare(%v) = %v, want %v", tt.addrs, err, tt.want)
+			}
+		})
+	}
+}
+
+func TestCallerOrderPreserved(t *testing.T) {
+	// Addresses declared in descending order: old values and update results
+	// must still be index-aligned with the caller's slice.
+	m := mustNew(t, 10)
+	if err := m.WriteAll([]int{2, 7}, []uint64{200, 700}); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := m.Prepare([]int{7, 2}) // descending on purpose
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := tx.Run(func(old []uint64) []uint64 {
+		// old[0] must be word 7, old[1] word 2.
+		return []uint64{old[0] + 1, old[1] + 2}
+	})
+	if old[0] != 700 || old[1] != 200 {
+		t.Fatalf("old = %v, want [700 200] (caller order)", old)
+	}
+	if got := m.Peek(7); got != 701 {
+		t.Errorf("Peek(7) = %d, want 701", got)
+	}
+	if got := m.Peek(2); got != 202 {
+		t.Errorf("Peek(2) = %d, want 202", got)
+	}
+}
+
+func TestTxAddrs(t *testing.T) {
+	m := mustNew(t, 10)
+	in := []int{9, 0, 4}
+	tx, err := m.Prepare(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tx.Addrs()
+	if len(got) != 3 || got[0] != 9 || got[1] != 0 || got[2] != 4 {
+		t.Errorf("Addrs() = %v, want %v", got, in)
+	}
+}
+
+func TestAtomicallyNilUpdate(t *testing.T) {
+	m := mustNew(t, 2)
+	if _, err := m.Atomically([]int{0}, nil); !errors.Is(err, stm.ErrNilUpdate) {
+		t.Errorf("err = %v, want ErrNilUpdate", err)
+	}
+	if _, _, err := m.Try([]int{0}, nil); !errors.Is(err, stm.ErrNilUpdate) {
+		t.Errorf("Try err = %v, want ErrNilUpdate", err)
+	}
+}
+
+func TestRunWhenBlocksUntilGuardHolds(t *testing.T) {
+	// A consumer waits for a word to become non-zero; a producer sets it.
+	m := mustNew(t, 1)
+	tx, err := m.Prepare([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan uint64, 1)
+	go func() {
+		old := tx.RunWhen(
+			func(old []uint64) bool { return old[0] != 0 },
+			func(old []uint64) []uint64 { return []uint64{old[0] - 1} },
+		)
+		done <- old[0]
+	}()
+
+	if _, err := m.Swap(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	got := <-done
+	if got != 5 {
+		t.Errorf("RunWhen observed %d, want 5", got)
+	}
+	if v := m.Peek(0); v != 4 {
+		t.Errorf("Peek(0) = %d, want 4", v)
+	}
+}
+
+func TestConcurrentAddExact(t *testing.T) {
+	const (
+		goroutines = 8
+		each       = 1500
+	)
+	m := mustNew(t, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if _, err := m.Add(0, 1); err != nil {
+					t.Errorf("Add: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := m.Peek(0), uint64(goroutines*each); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+}
+
+// TestCASNMatchesSequentialSpec drives a single-goroutine CASN against a
+// model vector with property-based inputs: for every random op the observed
+// snapshot, success flag, and resulting state must match the specification.
+func TestCASNMatchesSequentialSpec(t *testing.T) {
+	const size = 6
+	m := mustNew(t, size)
+	model := make([]uint64, size)
+
+	step := func(rawAddrs []uint8, rawExp, rawNew []uint8) bool {
+		if len(rawAddrs) == 0 {
+			return true
+		}
+		// Build a duplicate-free address set in caller order.
+		seen := make(map[int]bool, len(rawAddrs))
+		var addrs []int
+		for _, a := range rawAddrs {
+			loc := int(a) % size
+			if !seen[loc] {
+				seen[loc] = true
+				addrs = append(addrs, loc)
+			}
+		}
+		expected := make([]uint64, len(addrs))
+		newv := make([]uint64, len(addrs))
+		for i := range addrs {
+			// Half the time use the true current value so swaps succeed.
+			if i < len(rawExp) && rawExp[i]%2 == 0 {
+				expected[i] = model[addrs[i]]
+			} else if i < len(rawExp) {
+				expected[i] = uint64(rawExp[i])
+			}
+			if i < len(rawNew) {
+				newv[i] = uint64(rawNew[i])
+			}
+		}
+
+		swapped, old, err := m.CompareAndSwapN(addrs, expected, newv)
+		if err != nil {
+			t.Fatalf("CASN: %v", err)
+		}
+		// Spec: old must equal the model's current values.
+		wantSwap := true
+		for i, loc := range addrs {
+			if old[i] != model[loc] {
+				t.Fatalf("observed old[%d]=%d, model=%d", i, old[i], model[loc])
+			}
+			if model[loc] != expected[i] {
+				wantSwap = false
+			}
+		}
+		if swapped != wantSwap {
+			t.Fatalf("swapped=%v, spec says %v", swapped, wantSwap)
+		}
+		if wantSwap {
+			for i, loc := range addrs {
+				model[loc] = newv[i]
+			}
+		}
+		// Memory must equal the model.
+		for loc := 0; loc < size; loc++ {
+			if m.Peek(loc) != model[loc] {
+				t.Fatalf("memory[%d]=%d, model=%d", loc, m.Peek(loc), model[loc])
+			}
+		}
+		return true
+	}
+
+	if err := quick.Check(step, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareAndSwapSingle(t *testing.T) {
+	m := mustNew(t, 2)
+	ok, err := m.CompareAndSwap(1, 0, 42)
+	if err != nil || !ok {
+		t.Fatalf("CAS(1,0,42) = (%v,%v), want (true,nil)", ok, err)
+	}
+	ok, err = m.CompareAndSwap(1, 0, 99)
+	if err != nil || ok {
+		t.Fatalf("CAS(1,0,99) = (%v,%v), want (false,nil)", ok, err)
+	}
+	if got := m.Peek(1); got != 42 {
+		t.Errorf("Peek(1) = %d, want 42", got)
+	}
+}
+
+func TestWriteAllReadAll(t *testing.T) {
+	m := mustNew(t, 5)
+	if err := m.WriteAll([]int{4, 0, 2}, []uint64{40, 0, 20}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadAll(0, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 || got[1] != 20 || got[2] != 40 {
+		t.Errorf("ReadAll = %v, want [0 20 40]", got)
+	}
+	if err := m.WriteAll([]int{1}, []uint64{1, 2}); err == nil {
+		t.Error("WriteAll length mismatch: want error")
+	}
+	if _, _, err := m.CompareAndSwapN([]int{1}, []uint64{0, 0}, []uint64{1}); err == nil {
+		t.Error("CASN expected-length mismatch: want error")
+	}
+	if _, _, err := m.CompareAndSwapN([]int{1}, []uint64{0}, []uint64{1, 1}); err == nil {
+		t.Error("CASN new-length mismatch: want error")
+	}
+}
+
+func TestSwapReturnsOld(t *testing.T) {
+	m := mustNew(t, 1)
+	old, err := m.Swap(0, 7)
+	if err != nil || old != 0 {
+		t.Fatalf("Swap = (%d,%v), want (0,nil)", old, err)
+	}
+	old, err = m.Swap(0, 9)
+	if err != nil || old != 7 {
+		t.Fatalf("Swap = (%d,%v), want (7,nil)", old, err)
+	}
+}
+
+func TestAddTwosComplementSubtraction(t *testing.T) {
+	m := mustNew(t, 1)
+	if _, err := m.Add(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Add(0, ^uint64(0)); err != nil { // -1
+		t.Fatal(err)
+	}
+	if got := m.Peek(0); got != 9 {
+		t.Errorf("Peek = %d, want 9", got)
+	}
+}
+
+func TestSnapshotConsistentUnderTransfers(t *testing.T) {
+	const size = 6
+	m := mustNew(t, size)
+	for i := 0; i < size; i++ {
+		if _, err := m.Swap(i, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		n := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			a, b := n%size, (n+1)%size
+			lo, hi := a, b
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if _, err := m.Atomically([]int{lo, hi}, func(old []uint64) []uint64 {
+				return []uint64{old[0] - 1, old[1] + 1}
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+			n++
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		snap, err := m.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum uint64
+		for _, v := range snap {
+			sum += v
+		}
+		if sum != size*100 {
+			t.Fatalf("snapshot sum = %d, want %d", sum, size*100)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestStatsExposed(t *testing.T) {
+	m := mustNew(t, 1)
+	if _, err := m.Add(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Attempts == 0 || st.Commits == 0 {
+		t.Errorf("stats not accumulating: %+v", st)
+	}
+}

@@ -1,0 +1,150 @@
+package stm
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/stm-go/stm/internal/core"
+)
+
+// Tx is a prepared static transaction: a validated data set bound to a
+// Memory. Preparing once amortizes validation, sorting, and the
+// caller-order↔engine-order mapping across many executions. A Tx is
+// immutable and safe for concurrent use; each Run/Try call is an
+// independent transaction.
+type Tx struct {
+	m      *Memory
+	sorted []int // engine order: strictly ascending
+	perm   []int // perm[i] = index in sorted of the caller's addrs[i]
+	single bool  // len==1 fast path needs no remapping
+}
+
+// Prepare validates addrs (any order, no duplicates, in bounds) and returns
+// a reusable transaction handle over that data set.
+func (m *Memory) Prepare(addrs []int) (*Tx, error) {
+	if len(addrs) == 0 {
+		return nil, ErrEmptyDataSet
+	}
+	type slot struct{ addr, pos int }
+	slots := make([]slot, len(addrs))
+	for i, a := range addrs {
+		if a < 0 || a >= m.Size() {
+			return nil, fmt.Errorf("%w: addrs[%d]=%d, size %d", ErrAddrRange, i, a, m.Size())
+		}
+		slots[i] = slot{addr: a, pos: i}
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i].addr < slots[j].addr })
+	sorted := make([]int, len(slots))
+	perm := make([]int, len(slots))
+	for si, s := range slots {
+		if si > 0 && sorted[si-1] == s.addr {
+			return nil, fmt.Errorf("%w: address %d appears more than once", ErrAddrOrder, s.addr)
+		}
+		sorted[si] = s.addr
+		perm[s.pos] = si
+	}
+	return &Tx{m: m, sorted: sorted, perm: perm, single: len(addrs) == 1}, nil
+}
+
+// Addrs returns a copy of the data set in the caller's original order.
+func (tx *Tx) Addrs() []int {
+	out := make([]int, len(tx.perm))
+	for i, si := range tx.perm {
+		out[i] = tx.sorted[si]
+	}
+	return out
+}
+
+// adapt wraps a caller-order UpdateFunc into the engine's sorted-order
+// convention.
+func (tx *Tx) adapt(f UpdateFunc) core.UpdateFunc {
+	if tx.single {
+		return core.UpdateFunc(f)
+	}
+	perm := tx.perm
+	return func(oldSorted []uint64) []uint64 {
+		oldCaller := make([]uint64, len(perm))
+		for i, si := range perm {
+			oldCaller[i] = oldSorted[si]
+		}
+		newCaller := f(oldCaller)
+		if len(newCaller) != len(perm) {
+			panic(fmt.Sprintf("stm: UpdateFunc returned %d values for a data set of %d", len(newCaller), len(perm)))
+		}
+		newSorted := make([]uint64, len(perm))
+		for i, si := range perm {
+			newSorted[si] = newCaller[i]
+		}
+		return newSorted
+	}
+}
+
+// toCallerOrder maps an engine-order snapshot back to the caller's order.
+func (tx *Tx) toCallerOrder(sorted []uint64) []uint64 {
+	if tx.single {
+		return sorted
+	}
+	out := make([]uint64, len(tx.perm))
+	for i, si := range tx.perm {
+		out[i] = sorted[si]
+	}
+	return out
+}
+
+// Try makes one attempt. On commit it returns the old values (caller order)
+// and true; on conflict it returns nil and false after helping the blocking
+// transaction.
+func (tx *Tx) Try(f UpdateFunc) ([]uint64, bool) {
+	old, ok := tx.m.eng.TryOnceValidated(tx.sorted, tx.adapt(f))
+	if !ok {
+		return nil, false
+	}
+	return tx.toCallerOrder(old), true
+}
+
+// Run retries (with capped exponential backoff between failed attempts)
+// until the transaction commits, and returns the old values in caller
+// order.
+func (tx *Tx) Run(f UpdateFunc) []uint64 {
+	eng := tx.adapt(f)
+	if old, ok := tx.m.eng.TryOnceValidated(tx.sorted, eng); ok {
+		return tx.toCallerOrder(old)
+	}
+	bo := tx.m.newBackoff()
+	for {
+		bo.Wait()
+		if old, ok := tx.m.eng.TryOnceValidated(tx.sorted, eng); ok {
+			return tx.toCallerOrder(old)
+		}
+	}
+}
+
+// RunWhen retries until a committed attempt's old values satisfy guard,
+// then applies f to them; attempts whose guard fails commit the data set
+// unchanged (a validated no-op) and retry. This is the building block for
+// blocking-style operations — semaphores, bounded queues — in the paper's
+// static-transaction model. It returns the old values guard accepted.
+//
+// guard, like f, must be deterministic and side-effect free: both may be
+// evaluated by helping goroutines. Whether the guard passed is decided from
+// the committed snapshot, never from shared state.
+func (tx *Tx) RunWhen(guard func(old []uint64) bool, f UpdateFunc) []uint64 {
+	wrapped := func(old []uint64) []uint64 {
+		if guard(old) {
+			return f(old)
+		}
+		nv := make([]uint64, len(old))
+		copy(nv, old)
+		return nv
+	}
+	bo := tx.m.newBackoff()
+	for {
+		if old, ok := tx.Try(wrapped); ok {
+			if guard(old) {
+				return old
+			}
+			bo.Reset() // committed but guard unmet: condition wait, not contention
+		}
+		bo.Wait()
+	}
+}
