@@ -261,6 +261,167 @@ func BenchmarkHostCASN(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Uncontended hot-path benchmarks: single-goroutine latency of the pooled
+// fast paths, the numbers tracked in BENCH_hotpath.json (cmd/stmbench -json).
+// The loop bodies mirror cmd/stmbench/hotpath.go — keep the two in lockstep
+// so the JSON trajectory stays comparable to local `go test -bench` runs.
+
+// BenchmarkUncontendedRun measures the legacy prepared single-word Run.
+func BenchmarkUncontendedRun(b *testing.B) {
+	m, err := stm.New(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tx, err := m.Prepare([]int{0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := func(old []uint64) []uint64 { return []uint64{old[0] + 1} }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.Run(f)
+	}
+}
+
+// BenchmarkUncontendedRunInto measures the zero-allocation prepared
+// single-word RunInto.
+func BenchmarkUncontendedRunInto(b *testing.B) {
+	m, err := stm.New(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tx, err := m.Prepare([]int{0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var old [1]uint64
+	f := func(o, n []uint64) { n[0] = o[0] + 1 }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.RunInto(f, old[:])
+	}
+}
+
+// BenchmarkUncontendedRunIntoK measures k-word RunInto as the data set
+// grows (ascending addresses: the identity fast path).
+func BenchmarkUncontendedRunIntoK(b *testing.B) {
+	for _, k := range []int{2, 4, 8} {
+		k := k
+		b.Run(strconv.Itoa(k), func(b *testing.B) {
+			m, err := stm.New(k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			addrs := make([]int, k)
+			for i := range addrs {
+				addrs[i] = i
+			}
+			tx, err := m.Prepare(addrs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			old := make([]uint64, k)
+			f := func(o, n []uint64) {
+				for i := range n {
+					n[i] = o[i] + 1
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx.RunInto(f, old)
+			}
+		})
+	}
+}
+
+// BenchmarkAllocAdd measures the single-word fetch-and-add fast path.
+func BenchmarkAllocAdd(b *testing.B) {
+	m, err := stm.New(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Add(0, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocSwap measures the single-word swap fast path.
+func BenchmarkAllocSwap(b *testing.B) {
+	m, err := stm.New(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Swap(0, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocReadAllInto measures the zero-allocation consistent read.
+func BenchmarkAllocReadAllInto(b *testing.B) {
+	const k = 8
+	m, err := stm.New(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	addrs := make([]int, k)
+	for i := range addrs {
+		addrs[i] = i
+	}
+	dst := make([]uint64, k)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.ReadAllInto(addrs, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocCASN measures the ascending-addrs k-word compare-and-swap
+// fast path (its one allocation is the returned snapshot).
+func BenchmarkAllocCASN(b *testing.B) {
+	const k = 8
+	m, err := stm.New(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	addrs := make([]int, k)
+	expected := make([]uint64, k)
+	next := make([]uint64, k)
+	for i := range addrs {
+		addrs[i] = i
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var v uint64
+	for i := 0; i < b.N; i++ {
+		for j := range next {
+			expected[j] = v
+			next[j] = v + 1
+		}
+		ok, _, err := m.CompareAndSwapN(addrs, expected, next)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ok {
+			b.Fatal("single-threaded CASN failed")
+		}
+		v++
+	}
+}
+
 // BenchmarkHostSnapshot measures consistent multi-word reads vs size.
 func BenchmarkHostSnapshot(b *testing.B) {
 	for _, k := range []int{2, 8, 32} {

@@ -1,0 +1,202 @@
+package main
+
+// The HOT experiment: host-mode hot-path latency and allocation
+// measurements, emitted as BENCH_hotpath.json so the perf trajectory of
+// the pooled engine is tracked from PR to PR. Unlike the simulator
+// experiments (F1..F7, T0, T1), these run the real-goroutine library on
+// the host and report ns/op, B/op, and allocs/op via testing.Benchmark.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	stm "github.com/stm-go/stm"
+)
+
+// hotpathBaseline records the seed-tree measurements these paths are
+// judged against (Intel Xeon @ 2.10GHz, Go 1.24, pre-pooling engine).
+// They are frozen reference data, not recomputed.
+var hotpathBaseline = []hotpathResult{
+	{Name: "PreparedRun1", NsPerOp: 259.4, BytesPerOp: 160, AllocsPerOp: 7},
+	{Name: "Add", NsPerOp: 414.2, BytesPerOp: 296, AllocsPerOp: 13},
+	{Name: "CASN1", NsPerOp: 432.9, BytesPerOp: 352, AllocsPerOp: 14},
+	{Name: "CASN8", NsPerOp: 1243, BytesPerOp: 1216, AllocsPerOp: 27},
+	{Name: "ReadAll8", NsPerOp: 959.4, BytesPerOp: 1024, AllocsPerOp: 17},
+}
+
+// hotpathResult is one measured benchmark point.
+type hotpathResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations,omitempty"`
+}
+
+// hotpathReport is the BENCH_hotpath.json document.
+type hotpathReport struct {
+	Note     string          `json:"note"`
+	Baseline []hotpathResult `json:"baseline_seed"`
+	Results  []hotpathResult `json:"results"`
+}
+
+// runHotpath measures the hot-path suite and returns the report plus a
+// human-readable table. The loop bodies mirror the BenchmarkUncontended*/
+// BenchmarkAlloc* entries in the root package's bench_test.go — keep the
+// two in lockstep so BENCH_hotpath.json stays comparable to local
+// `go test -bench` runs.
+func runHotpath() (hotpathReport, string) {
+	var results []hotpathResult
+	measure := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		results = append(results, hotpathResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		})
+	}
+
+	measure("PreparedRun1", func(b *testing.B) {
+		m, _ := stm.New(4)
+		tx, _ := m.Prepare([]int{0})
+		f := func(old []uint64) []uint64 { return []uint64{old[0] + 1} }
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tx.Run(f)
+		}
+	})
+	measure("PreparedRunInto1", func(b *testing.B) {
+		m, _ := stm.New(4)
+		tx, _ := m.Prepare([]int{0})
+		var old [1]uint64
+		f := func(o, n []uint64) { n[0] = o[0] + 1 }
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tx.RunInto(f, old[:])
+		}
+	})
+	measure("PreparedRunInto8", func(b *testing.B) {
+		m, _ := stm.New(8)
+		addrs := make([]int, 8)
+		for i := range addrs {
+			addrs[i] = i
+		}
+		tx, _ := m.Prepare(addrs)
+		old := make([]uint64, 8)
+		f := func(o, n []uint64) {
+			for i := range n {
+				n[i] = o[i] + 1
+			}
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tx.RunInto(f, old)
+		}
+	})
+	measure("Add", func(b *testing.B) {
+		m, _ := stm.New(4)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.Add(0, 1)
+		}
+	})
+	measure("Swap", func(b *testing.B) {
+		m, _ := stm.New(4)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.Swap(0, uint64(i))
+		}
+	})
+	measure("CASN1", func(b *testing.B) {
+		m, _ := stm.New(1)
+		b.ReportAllocs()
+		var v uint64
+		for i := 0; i < b.N; i++ {
+			ok, _, _ := m.CompareAndSwapN([]int{0}, []uint64{v}, []uint64{v + 1})
+			if !ok {
+				b.Fatal("CASN1 failed")
+			}
+			v++
+		}
+	})
+	measure("CASN8", func(b *testing.B) {
+		const k = 8
+		m, _ := stm.New(k)
+		addrs := make([]int, k)
+		exp := make([]uint64, k)
+		next := make([]uint64, k)
+		for i := range addrs {
+			addrs[i] = i
+		}
+		b.ReportAllocs()
+		var v uint64
+		for i := 0; i < b.N; i++ {
+			for j := range next {
+				exp[j] = v
+				next[j] = v + 1
+			}
+			ok, _, _ := m.CompareAndSwapN(addrs, exp, next)
+			if !ok {
+				b.Fatal("CASN8 failed")
+			}
+			v++
+		}
+	})
+	measure("ReadAll8", func(b *testing.B) {
+		const k = 8
+		m, _ := stm.New(k)
+		addrs := make([]int, k)
+		for i := range addrs {
+			addrs[i] = i
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.ReadAll(addrs...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	measure("ReadAllInto8", func(b *testing.B) {
+		const k = 8
+		m, _ := stm.New(k)
+		addrs := make([]int, k)
+		for i := range addrs {
+			addrs[i] = i
+		}
+		dst := make([]uint64, k)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := m.ReadAllInto(addrs, dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	report := hotpathReport{
+		Note: "host-mode hot-path microbenchmarks (cmd/stmbench -json); " +
+			"baseline_seed is the frozen pre-pooling engine measurement",
+		Baseline: hotpathBaseline,
+		Results:  results,
+	}
+
+	var sb strings.Builder
+	sb.WriteString("HOT: host hot-path latency and allocations\n")
+	fmt.Fprintf(&sb, "%-18s %12s %10s %12s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%-18s %12.1f %10d %12d\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	return report, sb.String()
+}
+
+// hotpathJSON marshals the report for -json output.
+func hotpathJSON(rep hotpathReport) ([]byte, error) {
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -7,11 +7,14 @@
 //	stmbench -exp all            # run everything (full sweep, slow)
 //	stmbench -exp F1 -quick      # one experiment, reduced sweep
 //	stmbench -exp F3 -csv out/   # also write out/F3.csv
+//	stmbench -json BENCH_hotpath.json   # host hot-path suite, JSON out
 //
 // Experiments: T0 protocol footprint (ideal machine), F1/F2 counting
 // benchmark (bus/net), F3/F4 queue benchmark (bus/net), T1 STM overhead
 // breakdown, F5 preemption (non-blocking advantage), F6 design-choice
-// ablation, F7 transaction-size sweep.
+// ablation, F7 transaction-size sweep, HOT host hot-path latency and
+// allocation microbenchmarks (the numbers tracked in BENCH_hotpath.json;
+// see DESIGN.md §6).
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
 	"strconv"
 	"strings"
 
@@ -42,6 +46,7 @@ func run(args []string, out *os.File) error {
 		procs    = fs.String("procs", "", "override processor sweep, e.g. 1,2,4,8")
 		seed     = fs.Uint64("seed", 0, "override random seed")
 		csvDir   = fs.String("csv", "", "directory to write per-experiment CSV files")
+		jsonOut  = fs.String("json", "", "run the HOT hot-path suite and write its JSON report to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,11 +68,35 @@ func run(args []string, out *os.File) error {
 	}
 
 	ids := []string{"T0", "F1", "F2", "F3", "F4", "T1", "F5", "F6", "F7"}
-	if *exp != "all" {
+	switch {
+	case *exp != "all":
 		ids = []string{strings.ToUpper(*exp)}
+	case *jsonOut != "":
+		// -json alone means "measure the hot path": don't drag the full
+		// simulator sweep along unless an experiment was asked for.
+		ids = nil
+	}
+	if *jsonOut != "" && !slices.Contains(ids, "HOT") {
+		// -json always delivers its file, whatever experiments run with it.
+		ids = append(ids, "HOT")
 	}
 
 	for _, id := range ids {
+		if id == "HOT" {
+			report, table := runHotpath()
+			fmt.Fprintln(out, table)
+			if *jsonOut != "" {
+				data, err := hotpathJSON(report)
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "wrote %s\n\n", *jsonOut)
+			}
+			continue
+		}
 		table, csv, err := runExperiment(id, opt)
 		if err != nil {
 			return err
@@ -118,7 +147,7 @@ func runExperiment(id string, opt bench.Options) (table, csv string, err error) 
 		d, err := bench.StepCounts(opt)
 		return d.Table(), d.CSV(), err
 	default:
-		return "", "", fmt.Errorf("unknown experiment %q (want T0, F1..F7, T1, all)", id)
+		return "", "", fmt.Errorf("unknown experiment %q (want T0, F1..F7, T1, HOT, all)", id)
 	}
 }
 

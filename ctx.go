@@ -7,9 +7,10 @@ import "context"
 // error. A transaction that already committed is never reported as
 // cancelled.
 func (tx *Tx) RunContext(ctx context.Context, f UpdateFunc) ([]uint64, error) {
-	eng := tx.adapt(f)
-	if old, ok := tx.m.eng.TryOnceValidated(tx.sorted, eng); ok {
-		return tx.toCallerOrder(old), nil
+	out := make([]uint64, len(tx.sorted))
+	wrapped := wrapInto(f)
+	if tx.attemptInto(wrapped, out) {
+		return out, nil
 	}
 	bo := tx.m.newBackoff()
 	for {
@@ -17,8 +18,8 @@ func (tx *Tx) RunContext(ctx context.Context, f UpdateFunc) ([]uint64, error) {
 			return nil, err
 		}
 		bo.Wait()
-		if old, ok := tx.m.eng.TryOnceValidated(tx.sorted, eng); ok {
-			return tx.toCallerOrder(old), nil
+		if tx.attemptInto(wrapped, out) {
+			return out, nil
 		}
 	}
 }

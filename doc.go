@@ -28,4 +28,29 @@
 // Update functions must be deterministic and side-effect free: under
 // contention the protocol lets several goroutines evaluate the same
 // transaction's function, and all evaluations must agree.
+//
+// # Performance model
+//
+// The engine recycles transaction records, their buffers, and the
+// per-word value boxes through a pool (DESIGN.md §4), so the hot paths
+// are allocation-free in steady state:
+//
+//   - Tx.RunInto and Tx.TryInto write old values into a caller-supplied
+//     buffer and take an UpdateInto that writes new values into an
+//     engine buffer: zero heap allocations per committed transaction
+//     (amortized) when the addresses were declared in ascending order
+//     (and for permuted declarations up to 16 words; larger permuted
+//     data sets stage one snapshot buffer per call).
+//   - Add, Swap, CompareAndSwap, ReadAllInto, and WriteAll/ReadAll over
+//     already-ascending address sets run on the same pooled fast path;
+//     ReadAll and CompareAndSwapN allocate only their returned snapshot.
+//   - Tx.Run/Try keep the slice-returning UpdateFunc API and therefore
+//     allocate the result and an adapter per call; Atomically and
+//     non-ascending k-word operations additionally re-Prepare (sort +
+//     permutation) per call.
+//
+// Prefer RunInto/TryInto (and a once-Prepared Tx) on hot paths; use the
+// slice-returning forms where convenience matters more than allocation.
+// Into-style update functions receive engine-owned buffers and must not
+// retain them. See DESIGN.md §6 for the full accounting.
 package stm

@@ -1,0 +1,3 @@
+module github.com/stm-go/stm
+
+go 1.24

@@ -1,0 +1,166 @@
+package stm
+
+import (
+	"fmt"
+
+	"github.com/stm-go/stm/internal/core"
+)
+
+// Hot-path plumbing: allocation-free attempt execution.
+//
+// Every attempt on the fast path draws a pooled record from the engine
+// (core.Begin/RunAttempt) and parameterizes a package-level core.CalcFunc
+// through a *scratch attached to the record's Env. Because calc functions
+// are plain functions and the scratch rides the record through the engine's
+// pool, a steady-state attempt builds no closures and allocates nothing;
+// see DESIGN.md §6.
+
+// UpdateInto computes a transaction's new values from the old values,
+// writing them into new (len(new) == len(old), both index-aligned with the
+// addresses the caller declared, in the caller's order). It is the
+// allocation-free counterpart of UpdateFunc, used by Tx.RunInto/TryInto.
+//
+// Like UpdateFunc, it must be deterministic and side-effect free, and must
+// not retain old or new: under helping, several goroutines may evaluate it
+// concurrently for the same transaction over distinct buffers, and all
+// evaluations must produce identical values.
+type UpdateInto func(old, new []uint64)
+
+// scratch is the per-record parameter block for the package-level calc
+// functions. It persists across pool cycles attached to a record's Env, so
+// its buffers amortize to zero allocations. The engine guarantees the
+// scratch is quiescent whenever its record is handed out by Begin.
+//
+// Fields are written only between Begin and RunAttempt (by the initiating
+// goroutine, which owns the record exclusively then) and read — never
+// written — by calc evaluations afterwards, except for the caller-order
+// buffers, which only the exclusive (initiator) evaluation of calcTx may
+// use; helpers bring their own.
+type scratch struct {
+	// calcTx parameters (prepared-transaction remap).
+	fInto     UpdateInto
+	perm      []int // caller order -> engine order; nil for identity
+	callerOld []uint64
+	callerNew []uint64
+
+	// Single-word op parameters (calcAdd, calcSwap, calcCAS1).
+	arg0 uint64
+	arg1 uint64
+
+	// k-word op parameters (calcCASN, calcStore).
+	exp  []uint64
+	repl []uint64
+}
+
+// ResetForPool drops the references staged for the last attempt (the
+// caller's update closure and the prepared-transaction permutation) so an
+// idle pooled record retains nothing of its last caller. The value buffers
+// stay: they are the amortization.
+func (s *scratch) ResetForPool() {
+	s.fInto = nil
+	s.perm = nil
+}
+
+// scratchOf returns the scratch riding r, attaching a fresh one on first
+// use of a record.
+func scratchOf(r *core.Rec) *scratch {
+	if s, ok := r.Env().(*scratch); ok {
+		return s
+	}
+	s := &scratch{}
+	r.SetEnv(s)
+	return s
+}
+
+// ensureCaller sizes the exclusive caller-order buffers for a k-word
+// remapped transaction.
+func (s *scratch) ensureCaller(k int) {
+	if cap(s.callerOld) < k {
+		s.callerOld = make([]uint64, k)
+		s.callerNew = make([]uint64, k)
+	}
+	s.callerOld = s.callerOld[:k]
+	s.callerNew = s.callerNew[:k]
+}
+
+// calcAdd: new[0] = old[0] + arg0.
+func calcAdd(env any, old, new []uint64, _ bool) {
+	new[0] = old[0] + env.(*scratch).arg0
+}
+
+// calcSwap: new[0] = arg0.
+func calcSwap(env any, _, new []uint64, _ bool) {
+	new[0] = env.(*scratch).arg0
+}
+
+// calcCAS1: new[0] = arg1 if old[0] == arg0, else old[0]. Whether the swap
+// happened is decided afterwards from the committed old value — calc
+// evaluations must not write to the shared scratch.
+func calcCAS1(env any, old, new []uint64, _ bool) {
+	s := env.(*scratch)
+	if old[0] == s.arg0 {
+		new[0] = s.arg1
+	} else {
+		new[0] = old[0]
+	}
+}
+
+// calcIdentity commits the data set unchanged: a validated consistent read.
+func calcIdentity(_ any, old, new []uint64, _ bool) {
+	copy(new, old)
+}
+
+// calcStore overwrites the data set with repl.
+func calcStore(env any, _, new []uint64, _ bool) {
+	copy(new, env.(*scratch).repl)
+}
+
+// calcCASN: if every old[i] equals exp[i], install repl; otherwise commit
+// the data set unchanged. The swap decision is re-derived by the caller
+// from the committed old values.
+func calcCASN(env any, old, new []uint64, _ bool) {
+	s := env.(*scratch)
+	for i := range old {
+		if old[i] != s.exp[i] {
+			copy(new, old)
+			return
+		}
+	}
+	copy(new, s.repl)
+}
+
+// calcTx evaluates a prepared transaction's UpdateInto, remapping between
+// the engine's sorted order and the caller's declared order. The exclusive
+// (initiator) evaluation uses the scratch's caller-order buffers; helpers
+// allocate their own so concurrent evaluations never share mutable state.
+func calcTx(env any, old, new []uint64, exclusive bool) {
+	s := env.(*scratch)
+	if s.perm == nil {
+		s.fInto(old, new)
+		return
+	}
+	co, cn := s.callerOld, s.callerNew
+	if !exclusive {
+		co = make([]uint64, len(old))
+		cn = make([]uint64, len(old))
+	}
+	for i, si := range s.perm {
+		co[i] = old[si]
+	}
+	s.fInto(co, cn)
+	for i, si := range s.perm {
+		new[si] = cn[i]
+	}
+}
+
+// wrapInto adapts a slice-returning UpdateFunc to the into-style contract,
+// preserving the public API's length-contract panic.
+func wrapInto(f UpdateFunc) UpdateInto {
+	return func(old, new []uint64) {
+		nv := f(old)
+		if len(nv) != len(new) {
+			panic(fmt.Sprintf("stm: UpdateFunc returned %d values for a data set of %d", len(nv), len(new)))
+		}
+		copy(new, nv)
+	}
+}

@@ -26,13 +26,30 @@
 // The paper specifies the protocol with Load-Linked/Store-Conditional. This
 // package gets equivalent ABA-safe semantics from Go's garbage collector:
 // every memory word is an atomic.Pointer to an immutable boxed value, and
-// every store allocates a fresh box. A CompareAndSwap on the pointer
-// succeeds only if the word was not written since it was read, because a
-// live box pointer is never recycled. Transaction records are likewise
+// every committed store publishes a box address that has never been
+// published before. A CompareAndSwap on the pointer succeeds only if the
+// word was not written since it was read, because a live box pointer is
+// never recycled. On the legacy TryOnce path transaction records are
 // allocated fresh per attempt, so a helper can never confuse two attempts —
-// the role played by version numbers in the paper's (non-GC) setting. The
-// simulator build (internal/simstm) keeps the paper's exact reused,
-// versioned records instead, because simulated memory has no GC.
+// the role played by version numbers in the paper's (non-GC) setting; the
+// pooled Begin/RunAttempt path recovers the same guarantee under record
+// reuse with the seal/pin generation guard (DESIGN.md §4). The simulator
+// build (internal/simstm) keeps the paper's exact reused, versioned records
+// instead, because simulated memory has no GC.
+//
+// # Hot-path memory behavior
+//
+// The pooled path is allocation-free in steady state: records (with their
+// old-value slots, evaluation buffers, and attached Env scratch) recycle
+// through a per-Memory sync.Pool, and value boxes are carved from a
+// per-record backing chunk — one allocation amortized over boxChunk
+// committed words, with each carved address published at most once, ever,
+// preserving the LL/SC argument. Each memory word packs its value cell and
+// ownership record into one padded cache line, and the protocol counters
+// are sharded per cache line, so neither adjacent words nor bookkeeping
+// false-share (DESIGN.md §3). Helpers stay off the pooled buffers: they
+// evaluate update functions into fresh allocations of their own, bounded
+// by the helping rate.
 //
 // # Benign races inherited from the paper
 //

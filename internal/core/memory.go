@@ -3,7 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 // Validation errors returned by Memory methods.
@@ -18,6 +20,23 @@ var (
 	ErrNilUpdate = errors.New("core: nil update function")
 )
 
+// cacheLineSize is the assumed coherence granularity. 64 bytes covers
+// x86-64 and most arm64 server parts; on CPUs with larger lines the layout
+// degrades gracefully (two words per line instead of one).
+const cacheLineSize = 64
+
+// word is one transactional memory word: the value cell and its ownership
+// record, packed into a single cache line. A transaction touching address i
+// CASes the owner, loads the cell, and CASes the cell — all on one line —
+// and transactions on adjacent addresses never false-share. The padding is
+// computed from the actual pointer sizes so the layout holds on 32-bit
+// platforms too. See DESIGN.md §3 for the layout rationale.
+type word struct {
+	cell  atomic.Pointer[uint64]
+	owner atomic.Pointer[Rec]
+	_     [cacheLineSize - (unsafe.Sizeof(atomic.Pointer[uint64]{})+unsafe.Sizeof(atomic.Pointer[Rec]{}))%cacheLineSize]byte
+}
+
 // Memory is a software transactional memory of fixed size: a vector of
 // uint64 words supporting static transactions per Shavit–Touitou. All
 // methods are safe for concurrent use.
@@ -25,11 +44,11 @@ var (
 // Words are stored as pointers to immutable boxes so that pointer
 // CompareAndSwap provides LL/SC semantics (see package documentation).
 type Memory struct {
-	cells  []atomic.Pointer[uint64]
-	owners []atomic.Pointer[Rec]
+	words []word
 
-	versions atomic.Uint64 // attempt identity source
+	versions atomic.Uint64 // attempt identity source (legacy path)
 	stats    Stats
+	pool     sync.Pool // of *Rec; see pool.go
 }
 
 // NewMemory returns a Memory of size words, all initialized to zero.
@@ -37,25 +56,22 @@ func NewMemory(size int) (*Memory, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("core: memory size must be positive, got %d", size)
 	}
-	m := &Memory{
-		cells:  make([]atomic.Pointer[uint64], size),
-		owners: make([]atomic.Pointer[Rec], size),
-	}
+	m := &Memory{words: make([]word, size)}
 	zero := new(uint64)
-	for i := range m.cells {
+	for i := range m.words {
 		// All cells may share one zero box: boxes are immutable.
-		m.cells[i].Store(zero)
+		m.words[i].cell.Store(zero)
 	}
 	return m, nil
 }
 
 // Size returns the number of words in the memory.
-func (m *Memory) Size() int { return len(m.cells) }
+func (m *Memory) Size() int { return len(m.words) }
 
 // Peek reads a single word without transactional protection. The value is
 // an atomic snapshot of one word but carries no consistency guarantee
 // relative to other words; use a transaction for multi-word reads.
-func (m *Memory) Peek(loc int) uint64 { return *m.cells[loc].Load() }
+func (m *Memory) Peek(loc int) uint64 { return *m.words[loc].cell.Load() }
 
 // Stats returns a snapshot of the memory's protocol counters.
 func (m *Memory) Stats() StatsSnapshot { return m.stats.snapshot() }
@@ -68,8 +84,8 @@ func (m *Memory) ValidateDataSet(addrs []int) error {
 		return ErrEmptyDataSet
 	}
 	for i, a := range addrs {
-		if a < 0 || a >= len(m.cells) {
-			return fmt.Errorf("%w: addrs[%d]=%d, size %d", ErrAddrRange, i, a, len(m.cells))
+		if a < 0 || a >= len(m.words) {
+			return fmt.Errorf("%w: addrs[%d]=%d, size %d", ErrAddrRange, i, a, len(m.words))
 		}
 		if i > 0 && addrs[i-1] >= a {
 			return fmt.Errorf("%w: addrs[%d]=%d follows %d", ErrAddrOrder, i, a, addrs[i-1])
@@ -101,19 +117,23 @@ func (m *Memory) TryOnce(addrs []int, f UpdateFunc) (old []uint64, ok bool, err 
 // TryOnceValidated is TryOnce without argument validation. addrs must be
 // strictly ascending, in bounds, and must not be mutated while the attempt
 // runs; f must be non-nil, deterministic, and side-effect free.
+//
+// This is the compatibility path: it allocates a fresh single-use record
+// per attempt. Hot paths should use Begin/RunAttempt (or the public
+// package's prepared transactions), which recycle records and buffers.
 func (m *Memory) TryOnceValidated(addrs []int, f UpdateFunc) (old []uint64, ok bool) {
 	rec := newRec(addrs, f, m.versions.Add(1))
-	m.stats.attempts.Add(1)
+	m.stats.attempt(rec.shard)
 
 	rec.stable.Store(true)
 	m.transaction(rec, true)
 	rec.stable.Store(false)
 
 	if rec.Succeeded() {
-		m.stats.commits.Add(1)
+		m.stats.commit(rec.shard)
 		return rec.snapshot(), true
 	}
-	m.stats.failures.Add(1)
+	m.stats.failure(rec.shard)
 	return nil, false
 }
 
@@ -134,8 +154,8 @@ func (m *Memory) transaction(rec *Rec, initiator bool) {
 
 	if st == statusSuccess {
 		m.agreeOldValues(rec)
-		newv := rec.newValues()
-		m.updateMemory(rec, newv)
+		newv := m.newValuesFor(rec, initiator)
+		m.updateMemory(rec, newv, initiator)
 		m.releaseOwnerships(rec)
 		return
 	}
@@ -147,10 +167,13 @@ func (m *Memory) transaction(rec *Rec, initiator bool) {
 		return
 	}
 	idx := failureIndex(st)
-	owner := m.owners[rec.addrs[idx]].Load()
-	if owner != nil && owner != rec && owner.stable.Load() {
-		m.stats.helps.Add(1)
-		m.transaction(owner, false)
+	owner := m.words[rec.addrs[idx]].owner.Load()
+	if owner != nil && owner != rec && owner.pin() {
+		if owner.stable.Load() {
+			m.stats.help(rec.shard)
+			m.transaction(owner, false)
+		}
+		owner.unpin()
 	}
 }
 
@@ -161,16 +184,17 @@ func (m *Memory) transaction(rec *Rec, initiator bool) {
 // observes a decided status (some other helper got further than us).
 func (m *Memory) acquireOwnerships(rec *Rec) {
 	for i, loc := range rec.addrs {
+		w := &m.words[loc]
 		for {
 			if rec.status.Load() != statusNull {
 				return
 			}
-			owner := m.owners[loc].Load()
+			owner := w.owner.Load()
 			if owner == rec {
 				break // already acquired (possibly by a helper)
 			}
 			if owner == nil {
-				if m.owners[loc].CompareAndSwap(nil, rec) {
+				if w.owner.CompareAndSwap(nil, rec) {
 					break
 				}
 				continue // lost the race; re-inspect the new owner
@@ -191,10 +215,35 @@ func (m *Memory) acquireOwnerships(rec *Rec) {
 func (m *Memory) agreeOldValues(rec *Rec) {
 	for i, loc := range rec.addrs {
 		if rec.old[i].Load() == nil {
-			box := m.cells[loc].Load()
+			box := m.words[loc].cell.Load()
 			rec.old[i].CompareAndSwap(nil, box)
 		}
 	}
+}
+
+// newValuesFor returns the transaction's computed new values, evaluating
+// calc at most usefully-once (concurrent evaluations agree by contract).
+// The initiating goroutine evaluates into the record's private buffers and
+// publishes through the record's preallocated slice-header box; helpers
+// evaluate into fresh buffers of their own. Whichever publication CAS wins
+// is the result every participant installs.
+func (m *Memory) newValuesFor(rec *Rec, initiator bool) []uint64 {
+	if p := rec.newVals.Load(); p != nil {
+		return *p
+	}
+	k := len(rec.addrs)
+	var old, nv []uint64
+	var hdr *[]uint64
+	if initiator {
+		old, nv, hdr = rec.oldBuf[:k], rec.newBuf[:k], rec.newHdr
+	} else {
+		old, nv, hdr = make([]uint64, k), make([]uint64, k), new([]uint64)
+	}
+	rec.snapshotInto(old)
+	rec.calc(rec.env, old, nv, initiator)
+	*hdr = nv
+	rec.newVals.CompareAndSwap(nil, hdr)
+	return *rec.newVals.Load()
 }
 
 // updateMemory installs the new values. Each store is a CAS on the boxed
@@ -202,24 +251,38 @@ func (m *Memory) agreeOldValues(rec *Rec) {
 // before the transaction completed and released — can never clobber a later
 // transaction's write: the box it read has been replaced and its CAS fails.
 // allWritten cuts the phase short once some participant finished it.
-func (m *Memory) updateMemory(rec *Rec, newv []uint64) {
+//
+// The initiating goroutine carves value boxes from the record's backing
+// chunk (one allocation amortized over boxChunk commits on the pooled
+// path); helpers box individually.
+func (m *Memory) updateMemory(rec *Rec, newv []uint64, initiator bool) {
 	for i, loc := range rec.addrs {
+		w := &m.words[loc]
 		for {
-			cur := m.cells[loc].Load()
+			cur := w.cell.Load()
 			if rec.allWritten.Load() {
 				return
 			}
 			if *cur == newv[i] {
 				break // already installed (by us or a helper)
 			}
-			box := new(uint64)
+			var box *uint64
+			if initiator {
+				box = rec.carveBox()
+			} else {
+				box = new(uint64)
+			}
 			*box = newv[i]
-			if m.cells[loc].CompareAndSwap(cur, box) {
+			if w.cell.CompareAndSwap(cur, box) {
+				if initiator {
+					rec.commitBox()
+				}
 				break
 			}
 			// Lost to a helper installing the same value (or, if we are
 			// stale, to a later transaction — the next allWritten or value
-			// check will stop us).
+			// check will stop us). A carved box that lost its CAS was never
+			// published and is simply rewritten on the next iteration.
 		}
 	}
 	rec.allWritten.Store(true)
@@ -231,12 +294,13 @@ func (m *Memory) updateMemory(rec *Rec, newv []uint64) {
 // data set is scanned unconditionally.
 func (m *Memory) releaseOwnerships(rec *Rec) {
 	for _, loc := range rec.addrs {
-		if m.owners[loc].Load() == rec {
-			m.owners[loc].CompareAndSwap(rec, nil)
+		w := &m.words[loc]
+		if w.owner.Load() == rec {
+			w.owner.CompareAndSwap(rec, nil)
 		}
 	}
 }
 
 // Owner reports the record currently owning loc, or nil. Exported for tests
 // and diagnostics.
-func (m *Memory) Owner(loc int) *Rec { return m.owners[loc].Load() }
+func (m *Memory) Owner(loc int) *Rec { return m.words[loc].owner.Load() }

@@ -342,7 +342,7 @@ func TestFailureAndHelpCompleteStalledTransaction(t *testing.T) {
 
 	stalled := newRec([]int{2, 5}, addFunc(100), m.versions.Add(1))
 	stalled.stable.Store(true)
-	if !m.owners[2].CompareAndSwap(nil, stalled) {
+	if !m.words[2].owner.CompareAndSwap(nil, stalled) {
 		t.Fatal("could not install stalled owner")
 	}
 
@@ -384,9 +384,9 @@ func TestHelpingDecidedRecordHealsOwnership(t *testing.T) {
 	done := newRec([]int{1}, addFunc(0), m.versions.Add(1))
 	done.stable.Store(true)
 	done.status.Store(statusSuccess)
-	done.old[0].CompareAndSwap(nil, m.cells[1].Load())
+	done.old[0].CompareAndSwap(nil, m.words[1].cell.Load())
 	done.allWritten.Store(true)
-	if !m.owners[1].CompareAndSwap(nil, done) {
+	if !m.words[1].owner.CompareAndSwap(nil, done) {
 		t.Fatal("could not install decided owner")
 	}
 
@@ -407,7 +407,7 @@ func TestFailedIndexReporting(t *testing.T) {
 	blocker := newRec([]int{4}, addFunc(0), m.versions.Add(1))
 	// Deliberately unstable so the conflicting transaction does not help it
 	// and the ownership stays in place for inspection.
-	if !m.owners[4].CompareAndSwap(nil, blocker) {
+	if !m.words[4].owner.CompareAndSwap(nil, blocker) {
 		t.Fatal("could not install blocker")
 	}
 	rec := newRec([]int{0, 4}, addFunc(1), m.versions.Add(1))
@@ -424,7 +424,7 @@ func TestFailedIndexReporting(t *testing.T) {
 	if m.Owner(0) != nil {
 		t.Error("word 0 not released after failure")
 	}
-	m.owners[4].CompareAndSwap(blocker, nil)
+	m.words[4].owner.CompareAndSwap(blocker, nil)
 }
 
 func TestUpdateFuncLengthContractPanics(t *testing.T) {

@@ -17,6 +17,22 @@ import (
 // still requires purity.
 type UpdateFunc func(old []uint64) []uint64
 
+// CalcFunc is the engine's allocation-free update contract, used by the
+// Begin/RunAttempt hot path. It computes the transaction's new values from
+// the agreed old values, writing them into new (len(new) == len(old), both
+// in the engine's sorted address order).
+//
+// env is the opaque per-attempt payload installed with Rec.SetEnv before
+// RunAttempt; under helping several goroutines may evaluate the same
+// CalcFunc concurrently with the same env, so implementations must treat
+// env as read-only and must be deterministic and side-effect free.
+//
+// exclusive is true only for the initiating goroutine's evaluation, which
+// has exclusive use of any scratch buffers attached to env; helpers receive
+// exclusive=false and must use their own (typically freshly allocated)
+// scratch instead of writing to shared env fields.
+type CalcFunc func(env any, old, new []uint64, exclusive bool)
+
 // Transaction status encoding. A record's status word starts at statusNull
 // and is decided exactly once, by CompareAndSwap, to either statusSuccess or
 // a failure word carrying the index (within the sorted data set) of the
@@ -35,15 +51,24 @@ func failureIndex(st int64) int { return int(st >> 2) }
 
 // Rec is a transaction record: the shared descriptor through which the
 // initiating goroutine and any helpers cooperate to execute one transaction
-// attempt. A Rec is allocated fresh per attempt and never reused; see the
-// package documentation for why this stands in for the paper's version
-// numbers.
+// attempt.
+//
+// Records come in two flavors. Legacy records (newRec, used by the
+// TryOnce/TryOnceValidated compatibility path) are allocated fresh per
+// attempt and never reused, so GC alone guarantees a helper can never
+// confuse two attempts — the role played by version numbers in the paper's
+// non-GC setting. Pooled records (Memory.Begin / Memory.RunAttempt) are
+// recycled through a sync.Pool under the seal/pin generation guard below,
+// which restores the same guarantee without the per-attempt allocation; see
+// DESIGN.md §4.
 type Rec struct {
-	// Immutable after construction (published by the first ownership CAS,
-	// which establishes the necessary happens-before edge).
+	// Immutable for the duration of one attempt (published to helpers by
+	// the first ownership CAS, which establishes the necessary
+	// happens-before edge).
 	addrs   []int // data set, strictly ascending
-	calc    UpdateFunc
-	version uint64 // diagnostic identity; unique per attempt
+	calc    CalcFunc
+	env     any    // opaque payload for calc; persists across pool cycles
+	version uint64 // diagnostic identity; bumped per attempt of this record
 
 	// old holds the agreed snapshot: old[i] is the boxed value of addrs[i]
 	// at the transaction's linearization point. Entries are set-once (CAS
@@ -51,7 +76,7 @@ type Rec struct {
 	old []atomic.Pointer[uint64]
 
 	// newVals caches the first computed result of calc so helpers do not
-	// recompute it; all computed results are identical by the UpdateFunc
+	// recompute it; all computed results are identical by the CalcFunc
 	// contract.
 	newVals atomic.Pointer[[]uint64]
 
@@ -63,23 +88,73 @@ type Rec struct {
 	// a record that just turned unstable is benign (all completion phases
 	// are idempotent).
 	stable atomic.Bool
+
+	// Seal/pin generation guard for pooled records. A helper pins the
+	// record before executing its protocol and aborts if the record is
+	// sealed; the owner seals the record after the attempt and recycles it
+	// only if no helper is pinned. sealed.Store(true) → pins.Load()==0 vs
+	// pins.Add(1) → sealed.Load() is a store-load (Dekker) pair: under Go's
+	// sequentially consistent atomics, either the recycler sees the pin and
+	// keeps the record out of the pool, or the helper sees the seal and
+	// backs off before touching any field. Legacy records are never sealed,
+	// so pins are taken and released but never block anything.
+	sealed atomic.Bool
+	pins   atomic.Int32
+
+	// Pooled per-attempt scratch, reused across recycles. oldBuf/newBuf are
+	// the initiating goroutine's private evaluation buffers; helpers
+	// allocate their own. boxes is the backing chunk value boxes are carved
+	// from: each carved slot's address is published into a memory cell at
+	// most once, ever, preserving the GC-based LL/SC argument.
+	addrBuf []int
+	oldBuf  []uint64
+	newBuf  []uint64
+	newHdr  *[]uint64 // initiator's slice-header box for newVals publication
+	boxes   []uint64
+	boxOff  int
+
+	pooled bool // carved from Memory.pool; sized for reuse
+	shard  int  // stats shard, fixed at record creation
 }
 
-// newRec builds a record for one attempt. addrs must already be validated:
-// strictly ascending and within the memory bounds.
+// recSeq spreads records across stats shards; assigned once per record
+// object, so pooled reuse keeps a record on its shard.
+var recSeq atomic.Uint64
+
+// newRec builds a legacy single-use record for one attempt. addrs must
+// already be validated: strictly ascending and within the memory bounds.
 func newRec(addrs []int, f UpdateFunc, version uint64) *Rec {
-	return &Rec{
+	k := len(addrs)
+	r := &Rec{
 		addrs:   addrs,
-		calc:    f,
+		calc:    legacyCalc(f),
 		version: version,
-		old:     make([]atomic.Pointer[uint64], len(addrs)),
+		old:     make([]atomic.Pointer[uint64], k),
+		oldBuf:  make([]uint64, k),
+		newBuf:  make([]uint64, k),
+		newHdr:  new([]uint64),
+		shard:   int(recSeq.Add(1) % statShards),
+	}
+	return r
+}
+
+// legacyCalc adapts a slice-returning UpdateFunc to the engine's into-style
+// contract, preserving the length-contract panic of the original API.
+func legacyCalc(f UpdateFunc) CalcFunc {
+	return func(_ any, old, new []uint64, _ bool) {
+		nv := f(old)
+		if len(nv) != len(new) {
+			panic(fmt.Sprintf("core: UpdateFunc returned %d values for a data set of %d", len(nv), len(new)))
+		}
+		copy(new, nv)
 	}
 }
 
 // Size returns the number of words in the record's data set.
 func (r *Rec) Size() int { return len(r.addrs) }
 
-// Version returns the record's unique attempt identity.
+// Version returns the record's attempt identity: unique per attempt for
+// legacy records, monotonically increasing per reuse for pooled records.
 func (r *Rec) Version() uint64 { return r.version }
 
 // Succeeded reports whether the record's decided status is Success.
@@ -95,28 +170,68 @@ func (r *Rec) FailedIndex() (int, bool) {
 	return failureIndex(st), true
 }
 
-// snapshot returns the agreed old values. It must only be called once the
-// record's status is Success and the agreement phase has filled every slot.
-func (r *Rec) snapshot() []uint64 {
-	out := make([]uint64, len(r.old))
+// Addrs returns the record's data-set buffer for the caller to fill between
+// Begin and RunAttempt. Entries must be strictly ascending and in bounds by
+// the time RunAttempt runs; the engine does not re-validate.
+func (r *Rec) Addrs() []int { return r.addrs }
+
+// Env returns the opaque payload attached to the record. The payload
+// survives pool recycling, so callers that attach a scratch structure get
+// it back — already quiescent — on later attempts that draw the same
+// record.
+func (r *Rec) Env() any { return r.env }
+
+// SetEnv attaches an opaque payload for CalcFunc evaluation. It must only
+// be called between Begin and RunAttempt (helpers read env concurrently
+// once the attempt is running).
+func (r *Rec) SetEnv(v any) { r.env = v }
+
+// pin registers the caller as an active helper of r. It returns false —
+// and registers nothing — if the record is sealed (drained and possibly
+// recycled), in which case the caller must not touch the record further.
+func (r *Rec) pin() bool {
+	r.pins.Add(1)
+	if r.sealed.Load() {
+		r.pins.Add(-1)
+		return false
+	}
+	return true
+}
+
+// unpin deregisters a helper previously registered with pin.
+func (r *Rec) unpin() { r.pins.Add(-1) }
+
+// carveBox returns the next free value box without consuming it; commitBox
+// consumes it once its address has been published by a successful cell CAS.
+// A slot whose CAS lost is rewritten and retried — safe, because a losing
+// CAS published nothing. Chunks are never reused: replaced chunks stay
+// alive exactly as long as some memory cell still points into them.
+func (r *Rec) carveBox() *uint64 {
+	if r.boxOff == len(r.boxes) {
+		n := len(r.addrs)
+		if r.pooled && n < boxChunk {
+			n = boxChunk
+		}
+		r.boxes = make([]uint64, n)
+		r.boxOff = 0
+	}
+	return &r.boxes[r.boxOff]
+}
+
+func (r *Rec) commitBox() { r.boxOff++ }
+
+// snapshotInto copies the agreed old values into out. It must only be
+// called once the record's status is Success and the agreement phase has
+// filled every slot.
+func (r *Rec) snapshotInto(out []uint64) {
 	for i := range r.old {
 		out[i] = *r.old[i].Load()
 	}
-	return out
 }
 
-// newValues returns the transaction's computed new values, evaluating calc
-// at most usefully-once (concurrent evaluations agree by contract).
-func (r *Rec) newValues() []uint64 {
-	if p := r.newVals.Load(); p != nil {
-		return *p
-	}
-	nv := r.calc(r.snapshot())
-	if len(nv) != len(r.addrs) {
-		// The contract is enforced eagerly in Memory.TryOnce for the
-		// initiator; a violation here means a non-deterministic calc.
-		panic(fmt.Sprintf("core: UpdateFunc returned %d values for a data set of %d", len(nv), len(r.addrs)))
-	}
-	r.newVals.CompareAndSwap(nil, &nv)
-	return *r.newVals.Load()
+// snapshot returns the agreed old values as a fresh slice.
+func (r *Rec) snapshot() []uint64 {
+	out := make([]uint64, len(r.old))
+	r.snapshotInto(out)
+	return out
 }

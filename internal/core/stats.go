@@ -2,18 +2,38 @@ package core
 
 import "sync/atomic"
 
-// Stats accumulates protocol counters. All fields are updated atomically;
-// the zero value is ready to use.
-type Stats struct {
+// statShards spreads the protocol counters across independent cache lines.
+// Every attempt bumps attempts and then commits or failures; with a single
+// counter set those lines become the most contended memory in the engine.
+// Each record is bound to one shard for its lifetime (pool reuse keeps the
+// binding, so a record that stays on one P keeps hitting the same line).
+const statShards = 8
+
+// statLine is one shard of counters, padded to a full cache line so shards
+// never false-share.
+type statLine struct {
 	attempts atomic.Uint64
 	commits  atomic.Uint64
 	failures atomic.Uint64
 	helps    atomic.Uint64
+	_        [cacheLineSize - 32]byte
 }
+
+// Stats accumulates protocol counters, sharded and cache-line padded. All
+// updates are atomic; the zero value is ready to use.
+type Stats struct {
+	shards [statShards]statLine
+}
+
+func (s *Stats) attempt(shard int) { s.shards[shard].attempts.Add(1) }
+func (s *Stats) commit(shard int)  { s.shards[shard].commits.Add(1) }
+func (s *Stats) failure(shard int) { s.shards[shard].failures.Add(1) }
+func (s *Stats) help(shard int)    { s.shards[shard].helps.Add(1) }
 
 // StatsSnapshot is a point-in-time copy of a Memory's protocol counters.
 type StatsSnapshot struct {
-	// Attempts counts calls to TryOnce/TryOnceValidated.
+	// Attempts counts protocol attempts (TryOnce, TryOnceValidated, and
+	// RunAttempt calls).
 	Attempts uint64
 	// Commits counts attempts whose status was decided Success.
 	Commits uint64
@@ -26,12 +46,14 @@ type StatsSnapshot struct {
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
-	return StatsSnapshot{
-		Attempts: s.attempts.Load(),
-		Commits:  s.commits.Load(),
-		Failures: s.failures.Load(),
-		Helps:    s.helps.Load(),
+	var out StatsSnapshot
+	for i := range s.shards {
+		out.Attempts += s.shards[i].attempts.Load()
+		out.Commits += s.shards[i].commits.Load()
+		out.Failures += s.shards[i].failures.Load()
+		out.Helps += s.shards[i].helps.Load()
 	}
+	return out
 }
 
 // FailureRate returns failures per attempt, or 0 for no attempts.

@@ -1,20 +1,113 @@
 package stm
 
-import "strconv"
+import (
+	"fmt"
+	"strconv"
 
-// Derived multi-word operations built on static transactions. Each is a
-// convenience over Prepare + Run; hot paths that reuse a data set should
-// prepare their own Tx.
+	"github.com/stm-go/stm/internal/backoff"
+	"github.com/stm-go/stm/internal/core"
+)
+
+// Derived multi-word operations built on static transactions. Single-word
+// operations (Add, Swap, CompareAndSwap) and k-word operations over
+// already-ascending address sets run on cached allocation-free fast paths;
+// everything else falls back to Prepare + Run.
+
+// checkLoc validates a single-word address.
+func (m *Memory) checkLoc(loc int) error {
+	if loc < 0 || loc >= m.Size() {
+		return fmt.Errorf("%w: addr %d, size %d", ErrAddrRange, loc, m.Size())
+	}
+	return nil
+}
+
+// ascendingInBounds reports whether addrs satisfies the engine's data-set
+// precondition (non-empty, strictly ascending, in bounds) — the gate for
+// the engine-order fast path. It defers to the engine's own validator so
+// the two can never disagree; the error (allocated only on the slow path)
+// is discarded because every caller falls back to Prepare, which rebuilds
+// a proper one.
+func (m *Memory) ascendingInBounds(addrs []int) bool {
+	return m.eng.ValidateDataSet(addrs) == nil
+}
+
+// runSingle retries a single-word transaction on the pooled fast path until
+// it commits, returning the old value. calc is parameterized by the two
+// scratch arguments a0/a1.
+func (m *Memory) runSingle(loc int, calc core.CalcFunc, a0, a1 uint64) uint64 {
+	var out [1]uint64
+	var bo *backoff.Exp
+	for {
+		r := m.eng.Begin(1)
+		r.Addrs()[0] = loc
+		s := scratchOf(r)
+		s.arg0, s.arg1 = a0, a1
+		if m.eng.RunAttempt(r, calc, out[:]) {
+			return out[0]
+		}
+		if bo == nil {
+			bo = m.newBackoff()
+		}
+		bo.Wait()
+	}
+}
+
+// runAscending retries a transaction over an ascending data set on the
+// pooled fast path until it commits, writing old values into out (which may
+// be nil). exp and repl are staged into the record's scratch so helpers can
+// evaluate calc without touching caller memory.
+func (m *Memory) runAscending(addrs []int, calc core.CalcFunc, exp, repl, out []uint64) {
+	var bo *backoff.Exp
+	for {
+		r := m.eng.Begin(len(addrs))
+		copy(r.Addrs(), addrs)
+		s := scratchOf(r)
+		s.exp = append(s.exp[:0], exp...)
+		s.repl = append(s.repl[:0], repl...)
+		if m.eng.RunAttempt(r, calc, out) {
+			return
+		}
+		if bo == nil {
+			bo = m.newBackoff()
+		}
+		bo.Wait()
+	}
+}
 
 // ReadAll returns a consistent snapshot of the words at addrs (any order,
 // no duplicates): the values all existed simultaneously at the
 // transaction's linearization point.
 func (m *Memory) ReadAll(addrs ...int) ([]uint64, error) {
-	return m.Atomically(addrs, func(old []uint64) []uint64 {
-		nv := make([]uint64, len(old))
-		copy(nv, old)
-		return nv
-	})
+	out := make([]uint64, len(addrs))
+	if err := m.ReadAllInto(addrs, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadAllInto is ReadAll writing the snapshot into dst (len(dst) must equal
+// len(addrs)); with ascending addrs it performs zero heap allocations
+// (amortized).
+func (m *Memory) ReadAllInto(addrs []int, dst []uint64) error {
+	if len(addrs) != len(dst) {
+		return errLengthMismatch(len(addrs), len(dst))
+	}
+	if !m.ascendingInBounds(addrs) {
+		old, err := m.Atomically(addrs, identityUpdate)
+		if err != nil {
+			return err
+		}
+		copy(dst, old)
+		return nil
+	}
+	m.runAscending(addrs, calcIdentity, nil, nil, dst)
+	return nil
+}
+
+func identityUpdate(old []uint64) []uint64 {
+	nv := make([]uint64, len(old))
+	copy(nv, old)
+	return nv
 }
 
 // Snapshot returns a consistent snapshot of the entire memory. It is one
@@ -33,40 +126,41 @@ func (m *Memory) WriteAll(addrs []int, vals []uint64) error {
 	if len(addrs) != len(vals) {
 		return errLengthMismatch(len(addrs), len(vals))
 	}
-	stored := make([]uint64, len(vals))
-	copy(stored, vals)
-	_, err := m.Atomically(addrs, func(old []uint64) []uint64 { return stored })
-	return err
+	if !m.ascendingInBounds(addrs) {
+		stored := make([]uint64, len(vals))
+		copy(stored, vals)
+		_, err := m.Atomically(addrs, func(old []uint64) []uint64 { return stored })
+		return err
+	}
+	m.runAscending(addrs, calcStore, nil, vals, nil)
+	return nil
 }
 
 // Add atomically adds delta to the word at loc and returns the old value.
 // Subtraction is delta's two's complement (wrap-around semantics).
 func (m *Memory) Add(loc int, delta uint64) (uint64, error) {
-	old, err := m.Atomically([]int{loc}, func(old []uint64) []uint64 {
-		return []uint64{old[0] + delta}
-	})
-	if err != nil {
+	if err := m.checkLoc(loc); err != nil {
 		return 0, err
 	}
-	return old[0], nil
+	return m.runSingle(loc, calcAdd, delta, 0), nil
 }
 
 // Swap atomically stores v at loc and returns the old value.
 func (m *Memory) Swap(loc int, v uint64) (uint64, error) {
-	old, err := m.Atomically([]int{loc}, func([]uint64) []uint64 {
-		return []uint64{v}
-	})
-	if err != nil {
+	if err := m.checkLoc(loc); err != nil {
 		return 0, err
 	}
-	return old[0], nil
+	return m.runSingle(loc, calcSwap, v, 0), nil
 }
 
 // CompareAndSwap atomically replaces the word at loc with new if it equals
 // old, reporting whether the replacement happened.
 func (m *Memory) CompareAndSwap(loc int, old, new uint64) (bool, error) {
-	swapped, _, err := m.CompareAndSwapN([]int{loc}, []uint64{old}, []uint64{new})
-	return swapped, err
+	if err := m.checkLoc(loc); err != nil {
+		return false, err
+	}
+	got := m.runSingle(loc, calcCAS1, old, new)
+	return got == old, nil
 }
 
 // CompareAndSwapN is a k-word compare-and-swap: if every word at addrs[i]
@@ -81,25 +175,31 @@ func (m *Memory) CompareAndSwapN(addrs []int, expected, new []uint64) (bool, []u
 	if len(addrs) != len(new) {
 		return false, nil, errLengthMismatch(len(addrs), len(new))
 	}
-	exp := make([]uint64, len(expected))
-	copy(exp, expected)
-	nv := make([]uint64, len(new))
-	copy(nv, new)
-	old, err := m.Atomically(addrs, func(old []uint64) []uint64 {
-		for i := range old {
-			if old[i] != exp[i] {
-				out := make([]uint64, len(old))
-				copy(out, old)
-				return out
+	old := make([]uint64, len(addrs))
+	if m.ascendingInBounds(addrs) {
+		m.runAscending(addrs, calcCASN, expected, new, old)
+	} else {
+		exp := make([]uint64, len(expected))
+		copy(exp, expected)
+		nv := make([]uint64, len(new))
+		copy(nv, new)
+		got, err := m.Atomically(addrs, func(old []uint64) []uint64 {
+			for i := range old {
+				if old[i] != exp[i] {
+					out := make([]uint64, len(old))
+					copy(out, old)
+					return out
+				}
 			}
+			return nv
+		})
+		if err != nil {
+			return false, nil, err
 		}
-		return nv
-	})
-	if err != nil {
-		return false, nil, err
+		copy(old, got)
 	}
 	for i := range old {
-		if old[i] != exp[i] {
+		if old[i] != expected[i] {
 			return false, old, nil
 		}
 	}

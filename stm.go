@@ -57,7 +57,8 @@ func (m *Memory) Stats() core.StatsSnapshot { return m.eng.Stats() }
 // consistent snapshot f's result was computed from), index-aligned with
 // addrs. addrs may be in any order but must not contain duplicates.
 //
-// For hot paths that reuse a data set, Prepare once and call Tx.Run.
+// For hot paths that reuse a data set, Prepare once and call Tx.Run — or
+// Tx.RunInto for the allocation-free variant.
 func (m *Memory) Atomically(addrs []int, f UpdateFunc) ([]uint64, error) {
 	tx, err := m.Prepare(addrs)
 	if err != nil {

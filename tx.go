@@ -3,8 +3,6 @@ package stm
 import (
 	"fmt"
 	"sort"
-
-	"github.com/stm-go/stm/internal/core"
 )
 
 // Tx is a prepared static transaction: a validated data set bound to a
@@ -13,10 +11,10 @@ import (
 // immutable and safe for concurrent use; each Run/Try call is an
 // independent transaction.
 type Tx struct {
-	m      *Memory
-	sorted []int // engine order: strictly ascending
-	perm   []int // perm[i] = index in sorted of the caller's addrs[i]
-	single bool  // len==1 fast path needs no remapping
+	m        *Memory
+	sorted   []int // engine order: strictly ascending
+	perm     []int // perm[i] = index in sorted of the caller's addrs[i]
+	identity bool  // caller order == engine order: no remapping needed
 }
 
 // Prepare validates addrs (any order, no duplicates, in bounds) and returns
@@ -43,7 +41,14 @@ func (m *Memory) Prepare(addrs []int) (*Tx, error) {
 		sorted[si] = s.addr
 		perm[s.pos] = si
 	}
-	return &Tx{m: m, sorted: sorted, perm: perm, single: len(addrs) == 1}, nil
+	identity := true
+	for i, si := range perm {
+		if si != i {
+			identity = false
+			break
+		}
+	}
+	return &Tx{m: m, sorted: sorted, perm: perm, identity: identity}, nil
 }
 
 // Addrs returns a copy of the data set in the caller's original order.
@@ -55,68 +60,100 @@ func (tx *Tx) Addrs() []int {
 	return out
 }
 
-// adapt wraps a caller-order UpdateFunc into the engine's sorted-order
-// convention.
-func (tx *Tx) adapt(f UpdateFunc) core.UpdateFunc {
-	if tx.single {
-		return core.UpdateFunc(f)
+// attemptInto makes one engine attempt through the pooled hot path. On
+// commit it writes the old values (caller order) into old, unless old is
+// nil.
+func (tx *Tx) attemptInto(f UpdateInto, old []uint64) bool {
+	k := len(tx.sorted)
+	eng := tx.m.eng
+	r := eng.Begin(k)
+	copy(r.Addrs(), tx.sorted)
+	s := scratchOf(r)
+	s.fInto = f
+	if tx.identity {
+		// Engine order is the caller's order: the engine can write the
+		// committed snapshot straight into the caller's buffer.
+		s.perm = nil
+		return eng.RunAttempt(r, calcTx, old)
 	}
-	perm := tx.perm
-	return func(oldSorted []uint64) []uint64 {
-		oldCaller := make([]uint64, len(perm))
-		for i, si := range perm {
-			oldCaller[i] = oldSorted[si]
+	s.perm = tx.perm
+	s.ensureCaller(k)
+	if old == nil {
+		return eng.RunAttempt(r, calcTx, nil)
+	}
+	// The engine reports old values in engine order; stage them in a
+	// caller-owned buffer (the record and its scratch must not be touched
+	// after RunAttempt) and permute into the caller's order.
+	var stack [16]uint64
+	engOld := stack[:]
+	if k > len(stack) {
+		engOld = make([]uint64, k)
+	}
+	engOld = engOld[:k]
+	if !eng.RunAttempt(r, calcTx, engOld) {
+		return false
+	}
+	for i, si := range tx.perm {
+		old[i] = engOld[si]
+	}
+	return true
+}
+
+// TryInto makes one attempt, writing new values computed by f directly into
+// the engine and, on commit, the old values (caller order) into old. old
+// may be nil to discard them; otherwise len(old) must equal the data-set
+// size. It returns whether the attempt committed; on conflict the blocking
+// transaction has been helped and the caller should retry.
+//
+// For a prepared transaction whose addresses were declared in ascending
+// order, a committed TryInto performs zero heap allocations (amortized) —
+// see the package performance notes.
+func (tx *Tx) TryInto(f UpdateInto, old []uint64) bool {
+	tx.checkOld(old)
+	return tx.attemptInto(f, old)
+}
+
+// RunInto retries (with capped exponential backoff between failed attempts)
+// until the transaction commits, writing the old values (caller order) into
+// old unless old is nil. It is the allocation-free counterpart of Run.
+func (tx *Tx) RunInto(f UpdateInto, old []uint64) {
+	tx.checkOld(old)
+	if tx.attemptInto(f, old) {
+		return
+	}
+	bo := tx.m.newBackoff()
+	for {
+		bo.Wait()
+		if tx.attemptInto(f, old) {
+			return
 		}
-		newCaller := f(oldCaller)
-		if len(newCaller) != len(perm) {
-			panic(fmt.Sprintf("stm: UpdateFunc returned %d values for a data set of %d", len(newCaller), len(perm)))
-		}
-		newSorted := make([]uint64, len(perm))
-		for i, si := range perm {
-			newSorted[si] = newCaller[i]
-		}
-		return newSorted
 	}
 }
 
-// toCallerOrder maps an engine-order snapshot back to the caller's order.
-func (tx *Tx) toCallerOrder(sorted []uint64) []uint64 {
-	if tx.single {
-		return sorted
+func (tx *Tx) checkOld(old []uint64) {
+	if old != nil && len(old) != len(tx.sorted) {
+		panic(fmt.Sprintf("stm: old buffer has %d values for a data set of %d", len(old), len(tx.sorted)))
 	}
-	out := make([]uint64, len(tx.perm))
-	for i, si := range tx.perm {
-		out[i] = sorted[si]
-	}
-	return out
 }
 
 // Try makes one attempt. On commit it returns the old values (caller order)
 // and true; on conflict it returns nil and false after helping the blocking
 // transaction.
 func (tx *Tx) Try(f UpdateFunc) ([]uint64, bool) {
-	old, ok := tx.m.eng.TryOnceValidated(tx.sorted, tx.adapt(f))
-	if !ok {
+	out := make([]uint64, len(tx.sorted))
+	if !tx.attemptInto(wrapInto(f), out) {
 		return nil, false
 	}
-	return tx.toCallerOrder(old), true
+	return out, true
 }
 
 // Run retries (with capped exponential backoff between failed attempts)
 // until the transaction commits, and returns the old values in caller
 // order.
 func (tx *Tx) Run(f UpdateFunc) []uint64 {
-	eng := tx.adapt(f)
-	if old, ok := tx.m.eng.TryOnceValidated(tx.sorted, eng); ok {
-		return tx.toCallerOrder(old)
-	}
-	bo := tx.m.newBackoff()
-	for {
-		bo.Wait()
-		if old, ok := tx.m.eng.TryOnceValidated(tx.sorted, eng); ok {
-			return tx.toCallerOrder(old)
-		}
-	}
+	out := make([]uint64, len(tx.sorted))
+	tx.RunInto(wrapInto(f), out)
+	return out
 }
 
 // RunWhen retries until a committed attempt's old values satisfy guard,
