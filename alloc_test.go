@@ -9,8 +9,10 @@ package stm_test
 import (
 	"sync"
 	"testing"
+	"time"
 
 	stm "github.com/stm-go/stm"
+	"github.com/stm-go/stm/contention"
 )
 
 func mustPrepare(t *testing.T, m *stm.Memory, addrs []int) *stm.Tx {
@@ -81,6 +83,39 @@ func TestAllocsReadAllInto(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
+}
+
+func TestAllocsDefaultPolicyWithTelemetry(t *testing.T) {
+	// The contention subsystem's bookkeeping — per-word conflict counters,
+	// the pooled Conflict report, the policy hooks — must not cost the
+	// uncontended hot paths their zero-allocation contract. Checked for an
+	// explicitly configured default policy and for Adaptive, which opts
+	// into clean-commit reports and therefore exercises the report pool on
+	// every single operation.
+	for _, tc := range []struct {
+		name string
+		opt  stm.Option
+	}{
+		{"ExpBackoff", stm.WithPolicy(contention.NewExpBackoff(500*time.Nanosecond, 100*time.Microsecond))},
+		{"Adaptive", stm.WithPolicy(contention.NewAdaptive(contention.AdaptiveConfig{}))},
+	} {
+		m, err := stm.New(8, tc.opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertAllocs(t, tc.name+"/Add", 0, func() {
+			if _, err := m.Add(2, 1); err != nil {
+				t.Fatal(err)
+			}
+		})
+		tx := mustPrepare(t, m, []int{1, 4})
+		var old [2]uint64
+		inc := func(o, n []uint64) { n[0], n[1] = o[0]+1, o[1]+1 }
+		assertAllocs(t, tc.name+"/RunInto", 0, func() { tx.RunInto(inc, old[:]) })
+		if m.Stats().Commits == 0 {
+			t.Errorf("%s: telemetry disabled? no commits counted", tc.name)
+		}
+	}
 }
 
 func TestAllocsLegacyRunReduced(t *testing.T) {

@@ -1,0 +1,237 @@
+package main
+
+// The CONT suite: host-mode contention-policy sweep, emitted as
+// BENCH_contention.json. It runs the shared-counter workload — the paper's
+// own stress case — under every contention.Policy at several contention
+// levels and reports throughput plus the windowed protocol counters
+// (attempts, failures, helps) that explain it.
+//
+// Contention levels vary two knobs: how many words the workers spread over
+// (1 word = every transaction collides) and how often a transaction parks
+// mid-flight (runtime.Gosched inside the update function, modeling the
+// paper's preempted-processor scenario F5). The second knob matters
+// especially on small hosts: without induced preemption a single-core run
+// almost never overlaps transactions, and every policy measures the same.
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	stm "github.com/stm-go/stm"
+	"github.com/stm-go/stm/contention"
+)
+
+// contLevel is one contention setting of the counter workload.
+type contLevel struct {
+	Name string `json:"name"`
+	// Words is the number of counter words the workers spread over
+	// (uniformly at random); 1 means every transaction shares one word.
+	Words int `json:"words"`
+	// YieldEvery makes every n-th transaction yield the processor inside
+	// its update function — while it owns its data set — so other workers
+	// run into it. 0 disables induced preemption.
+	YieldEvery int `json:"yield_every"`
+}
+
+var contLevels = []contLevel{
+	{Name: "low", Words: 256, YieldEvery: 0},
+	{Name: "med", Words: 8, YieldEvery: 16},
+	{Name: "high", Words: 1, YieldEvery: 4},
+}
+
+// contPolicies are the swept policies, constructed fresh per cell so
+// windowed state never leaks between measurements.
+var contPolicies = []struct {
+	name    string
+	factory func() contention.Policy
+}{
+	{"aggressive", func() contention.Policy { return contention.NewAggressive() }},
+	{"expbackoff", func() contention.Policy { return contention.Default() }},
+	{"karma", func() contention.Policy { return contention.NewKarma(0, 0) }},
+	{"adaptive", func() contention.Policy { return contention.NewAdaptive(contention.AdaptiveConfig{}) }},
+}
+
+// contResult is one measured (policy, level) cell.
+type contResult struct {
+	Policy     string  `json:"policy"`
+	Level      string  `json:"level"`
+	Workers    int     `json:"workers"`
+	Words      int     `json:"words"`
+	YieldEvery int     `json:"yield_every"`
+	Ops        uint64  `json:"ops"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	Attempts   uint64  `json:"attempts"`
+	Commits    uint64  `json:"commits"`
+	Failures   uint64  `json:"failures"`
+	Helps      uint64  `json:"helps"`
+	AbortRate  float64 `json:"abort_rate"`
+}
+
+// contReport is the BENCH_contention.json document.
+type contReport struct {
+	Note       string       `json:"note"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Workers    int          `json:"workers"`
+	WarmupMs   int64        `json:"warmup_ms"`
+	MeasureMs  int64        `json:"measure_ms"`
+	Levels     []contLevel  `json:"levels"`
+	Results    []contResult `json:"results"`
+}
+
+// padCounter is a per-worker op counter on its own cache line.
+type padCounter struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// runContCell measures one (policy, level) cell: workers hammering the
+// counter words for the measurement window, with stats reset at its start
+// so the reported rates are windowed, not monotonic.
+func runContCell(factory func() contention.Policy, lv contLevel, workers int, warmup, measure time.Duration) (contResult, error) {
+	m, err := stm.New(lv.Words, stm.WithPolicyFactory(factory))
+	if err != nil {
+		return contResult{}, err
+	}
+	txs := make([]*stm.Tx, lv.Words)
+	for i := range txs {
+		if txs[i], err = m.Prepare([]int{i}); err != nil {
+			return contResult{}, err
+		}
+	}
+
+	inc := func(o, n []uint64) { n[0] = o[0] + 1 }
+	incYield := func(o, n []uint64) {
+		// Park mid-transaction, data set owned: the induced-preemption
+		// knob. Yielding changes no values, so the update stays pure.
+		runtime.Gosched()
+		n[0] = o[0] + 1
+	}
+
+	var stop atomic.Bool
+	counters := make([]padCounter, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := uint64(w)*0x9e3779b97f4a7c15 + 1
+			var old [1]uint64
+			for i := uint64(1); !stop.Load(); i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				tx := txs[rng%uint64(lv.Words)]
+				if lv.YieldEvery > 0 && i%uint64(lv.YieldEvery) == 0 {
+					tx.RunInto(incYield, old[:])
+				} else {
+					tx.RunInto(inc, old[:])
+				}
+				counters[w].n.Add(1)
+			}
+		}(w)
+	}
+
+	time.Sleep(warmup)
+	m.ResetStats()
+	var before uint64
+	for w := range counters {
+		before += counters[w].n.Load()
+	}
+	start := time.Now()
+	time.Sleep(measure)
+	elapsed := time.Since(start)
+	var after uint64
+	for w := range counters {
+		after += counters[w].n.Load()
+	}
+	st := m.Stats()
+	stop.Store(true)
+	wg.Wait()
+
+	// Conservation check: the counter words must hold exactly the number
+	// of committed increments — policies shape timing, never correctness.
+	var total, finished uint64
+	for i := 0; i < lv.Words; i++ {
+		total += m.Peek(i)
+	}
+	for w := range counters {
+		finished += counters[w].n.Load()
+	}
+	if total != finished {
+		return contResult{}, fmt.Errorf("conservation violated: words sum to %d, workers committed %d", total, finished)
+	}
+
+	ops := after - before
+	return contResult{
+		Policy:     "",
+		Level:      lv.Name,
+		Workers:    workers,
+		Words:      lv.Words,
+		YieldEvery: lv.YieldEvery,
+		Ops:        ops,
+		OpsPerSec:  float64(ops) / elapsed.Seconds(),
+		Attempts:   st.Attempts,
+		Commits:    st.Commits,
+		Failures:   st.Failures,
+		Helps:      st.Helps,
+		AbortRate:  st.FailureRate(),
+	}, nil
+}
+
+// runContention sweeps every policy across every contention level and
+// returns the report plus a human-readable table.
+func runContention(quick bool) (contReport, string, error) {
+	const workers = 8
+	warmup, measure := 100*time.Millisecond, 400*time.Millisecond
+	if quick {
+		warmup, measure = 40*time.Millisecond, 100*time.Millisecond
+	}
+
+	var results []contResult
+	for _, lv := range contLevels {
+		for _, pol := range contPolicies {
+			r, err := runContCell(pol.factory, lv, workers, warmup, measure)
+			if err != nil {
+				return contReport{}, "", fmt.Errorf("%s/%s: %w", pol.name, lv.Name, err)
+			}
+			r.Policy = pol.name
+			results = append(results, r)
+		}
+	}
+
+	report := contReport{
+		Note: "host-mode contention-policy sweep (cmd/stmbench -suite cont): " +
+			"shared-counter workload, per-cell windowed stats; yield_every > 0 " +
+			"parks every n-th transaction mid-flight to model preemption",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		WarmupMs:   warmup.Milliseconds(),
+		MeasureMs:  measure.Milliseconds(),
+		Levels:     contLevels,
+		Results:    results,
+	}
+
+	var sb strings.Builder
+	sb.WriteString("CONT: contention-policy sweep (shared counter)\n")
+	fmt.Fprintf(&sb, "%-6s %-12s %12s %10s %10s %8s\n",
+		"level", "policy", "ops/sec", "aborts", "helps", "abort%")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%-6s %-12s %12.0f %10d %10d %7.1f%%\n",
+			r.Level, r.Policy, r.OpsPerSec, r.Failures, r.Helps, 100*r.AbortRate)
+	}
+	return report, sb.String(), nil
+}
+
+// contentionJSON marshals the report for -json output.
+func contentionJSON(rep contReport) ([]byte, error) {
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"github.com/stm-go/stm/contention"
+)
+
+func TestRunContCell(t *testing.T) {
+	lv := contLevel{Name: "test", Words: 4, YieldEvery: 8}
+	r, err := runContCell(
+		func() contention.Policy { return contention.NewAggressive() },
+		lv, 4, 5*time.Millisecond, 20*time.Millisecond,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ops == 0 || r.OpsPerSec <= 0 {
+		t.Errorf("empty measurement: %+v", r)
+	}
+	if r.Commits == 0 || r.Attempts < r.Commits {
+		t.Errorf("implausible windowed stats: %+v", r)
+	}
+	if r.Workers != 4 || r.Words != 4 || r.YieldEvery != 8 || r.Level != "test" {
+		t.Errorf("cell metadata not carried through: %+v", r)
+	}
+}
+
+func TestContentionJSONShape(t *testing.T) {
+	rep := contReport{
+		Note:    "x",
+		Levels:  contLevels,
+		Results: []contResult{{Policy: "p", Level: "l"}},
+	}
+	data, err := contentionJSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || data[len(data)-1] != '\n' {
+		t.Error("JSON output not newline-terminated")
+	}
+}
+
+func TestRunRejectsBadSuite(t *testing.T) {
+	if err := run([]string{"-suite", "nope"}, nil); err == nil {
+		t.Error("bad -suite value accepted")
+	}
+}

@@ -8,13 +8,15 @@
 //	stmbench -exp F1 -quick      # one experiment, reduced sweep
 //	stmbench -exp F3 -csv out/   # also write out/F3.csv
 //	stmbench -json BENCH_hotpath.json   # host hot-path suite, JSON out
+//	stmbench -suite cont -json BENCH_contention.json  # policy sweep
 //
 // Experiments: T0 protocol footprint (ideal machine), F1/F2 counting
 // benchmark (bus/net), F3/F4 queue benchmark (bus/net), T1 STM overhead
 // breakdown, F5 preemption (non-blocking advantage), F6 design-choice
 // ablation, F7 transaction-size sweep, HOT host hot-path latency and
 // allocation microbenchmarks (the numbers tracked in BENCH_hotpath.json;
-// see DESIGN.md §6).
+// see DESIGN.md §6), CONT host contention-policy sweep (the numbers
+// tracked in BENCH_contention.json; see DESIGN.md §7).
 package main
 
 import (
@@ -46,7 +48,8 @@ func run(args []string, out *os.File) error {
 		procs    = fs.String("procs", "", "override processor sweep, e.g. 1,2,4,8")
 		seed     = fs.Uint64("seed", 0, "override random seed")
 		csvDir   = fs.String("csv", "", "directory to write per-experiment CSV files")
-		jsonOut  = fs.String("json", "", "run the HOT hot-path suite and write its JSON report to this path")
+		jsonOut  = fs.String("json", "", "write the host suite's JSON report (HOT by default, CONT with -suite cont) to this path")
+		suite    = fs.String("suite", "", `host suite to run ("hot" or "cont"); overrides -exp`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,6 +72,15 @@ func run(args []string, out *os.File) error {
 
 	ids := []string{"T0", "F1", "F2", "F3", "F4", "T1", "F5", "F6", "F7"}
 	switch {
+	case *suite != "":
+		switch strings.ToLower(*suite) {
+		case "hot":
+			ids = []string{"HOT"}
+		case "cont":
+			ids = []string{"CONT"}
+		default:
+			return fmt.Errorf("unknown suite %q (want hot or cont)", *suite)
+		}
 	case *exp != "all":
 		ids = []string{strings.ToUpper(*exp)}
 	case *jsonOut != "":
@@ -76,12 +88,30 @@ func run(args []string, out *os.File) error {
 		// simulator sweep along unless an experiment was asked for.
 		ids = nil
 	}
-	if *jsonOut != "" && !slices.Contains(ids, "HOT") {
+	if *jsonOut != "" && !slices.Contains(ids, "HOT") && !slices.Contains(ids, "CONT") {
 		// -json always delivers its file, whatever experiments run with it.
 		ids = append(ids, "HOT")
 	}
 
 	for _, id := range ids {
+		if id == "CONT" {
+			report, table, err := runContention(*quick)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, table)
+			if *jsonOut != "" {
+				data, err := contentionJSON(report)
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "wrote %s\n\n", *jsonOut)
+			}
+			continue
+		}
 		if id == "HOT" {
 			report, table := runHotpath()
 			fmt.Fprintln(out, table)
@@ -147,7 +177,7 @@ func runExperiment(id string, opt bench.Options) (table, csv string, err error) 
 		d, err := bench.StepCounts(opt)
 		return d.Table(), d.CSV(), err
 	default:
-		return "", "", fmt.Errorf("unknown experiment %q (want T0, F1..F7, T1, HOT, all)", id)
+		return "", "", fmt.Errorf("unknown experiment %q (want T0, F1..F7, T1, HOT, CONT, all)", id)
 	}
 }
 

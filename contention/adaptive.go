@@ -1,0 +1,254 @@
+package contention
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/stm-go/stm/internal/backoff"
+)
+
+// adaptiveDomains is the number of conflict-domain slots (the hash shift
+// in slot derives from adaptiveDomainBits, keeping the two in lockstep).
+// Domains are identified by the data set's lowest address hashed into this
+// table; collisions merely make two hot regions share a lease, which
+// serializes more than strictly necessary but never less.
+const (
+	adaptiveDomainBits = 6
+	adaptiveDomains    = 1 << adaptiveDomainBits
+)
+
+// AdaptiveConfig tunes an Adaptive policy. The zero value of any field
+// selects its default.
+type AdaptiveConfig struct {
+	// Window is the abort-rate observation window. Default 2ms.
+	Window time.Duration
+	// SerializeAbove is the windowed abort rate (failures per attempt) at
+	// which a domain switches to lease serialization. Default 0.25.
+	SerializeAbove float64
+	// ReleaseBelow is the rate at which a serialized domain switches back
+	// to backoff; it must sit below SerializeAbove (hysteresis). Default
+	// 0.05.
+	ReleaseBelow float64
+	// MinAttempts is the number of attempts a window must contain before
+	// its rate is trusted to flip the mode. Default 24.
+	MinAttempts uint64
+	// HoldFor is the minimum time a domain stays serialized once the
+	// threshold trips, so measured-good windows (which serialization
+	// itself produces) cannot flap the mode every Window. Default 200ms.
+	HoldFor time.Duration
+	// Lease is the serialized domain's wakeup period. The token is a time
+	// lease, not a handed-over lock: conflicted transactions sleep out the
+	// current lease, and each expiry wakes exactly one of them (the claim
+	// winner) to probe the domain again. Expiry both bounds every deferral
+	// and makes the scheme deadlock-proof — a parked, descheduled, or
+	// abandoned claimant simply loses the domain when the clock runs out.
+	// Default 1ms.
+	Lease time.Duration
+	// BackoffMin and BackoffMax shape the below-threshold exponential
+	// backoff. The default maximum is deliberately short (500ns..8µs):
+	// under a mild load a weak backoff costs little, and under a heavy
+	// one it keeps the abort rate visible so the threshold trips and the
+	// lease takes over — long sleeps would mask the very signal the
+	// policy adapts on.
+	BackoffMin, BackoffMax time.Duration
+}
+
+func (cfg AdaptiveConfig) withDefaults() AdaptiveConfig {
+	if cfg.Window <= 0 {
+		cfg.Window = 2 * time.Millisecond
+	}
+	if cfg.SerializeAbove <= 0 {
+		cfg.SerializeAbove = 0.25
+	}
+	if cfg.ReleaseBelow <= 0 {
+		cfg.ReleaseBelow = 0.05
+	}
+	if cfg.MinAttempts == 0 {
+		cfg.MinAttempts = 24
+	}
+	if cfg.HoldFor <= 0 {
+		cfg.HoldFor = 200 * time.Millisecond
+	}
+	if cfg.Lease <= 0 {
+		cfg.Lease = time.Millisecond
+	}
+	if cfg.BackoffMin <= 0 {
+		cfg.BackoffMin = 500 * time.Nanosecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 8 * time.Microsecond
+	}
+	return cfg
+}
+
+// domainSlot is one conflict domain's windowed counters and serialization
+// lease, padded so hot domains never false-share.
+type domainSlot struct {
+	windowStart atomic.Int64 // unix nanos of the current window's start
+	attempts    atomic.Uint64
+	failures    atomic.Uint64
+	serialUntil atomic.Int64 // HoldFor floor: no release before this time
+	serial      atomic.Bool
+	lease       atomic.Int64 // unix-nano expiry of the domain lease; past = free
+	_           [16]byte
+}
+
+// Adaptive behaves like a (deliberately weak) exponential backoff while a
+// conflict domain is healthy and falls back to serializing the domain
+// through a time-leased token once its windowed abort rate crosses
+// SerializeAbove. Serialization collapses N colliding transactions into
+// one streaming at full speed: every conflicted transaction sleeps out the
+// current lease, and each expiry wakes exactly one prober, so the stream
+// is disturbed about once per Lease instead of on every retry — the
+// wasted-helping regime where cooperative STM loses most of its
+// throughput. Hysteresis (ReleaseBelow, HoldFor) keeps the mode from
+// flapping, and lease expiry keeps the policy non-blocking in spirit: a
+// stalled prober delays its domain by at most one Lease, never
+// indefinitely.
+type Adaptive struct {
+	cfg   AdaptiveConfig
+	slots [adaptiveDomains]domainSlot
+}
+
+// NewAdaptive returns an adaptive serializing policy; see AdaptiveConfig
+// for tuning. NewAdaptive(AdaptiveConfig{}) selects all defaults.
+func NewAdaptive(cfg AdaptiveConfig) *Adaptive {
+	return &Adaptive{cfg: cfg.withDefaults()}
+}
+
+// WantsCleanCommits opts into commit reports for uncontended operations:
+// the abort-rate denominator needs them.
+func (*Adaptive) WantsCleanCommits() bool { return true }
+
+// Serialized reports whether the conflict domain containing addr is
+// currently in lease-serialization mode. Exported for tests and telemetry.
+func (p *Adaptive) Serialized(addr int) bool { return p.slot(addr).serial.Load() }
+
+func (p *Adaptive) slot(first int) *domainSlot {
+	return &p.slots[(uint64(first)*0x9e3779b97f4a7c15)>>(64-adaptiveDomainBits)]
+}
+
+// adaptiveState is the per-operation scratch riding Conflict.State.
+type adaptiveState struct {
+	bo      *backoff.Exp
+	counted int // failures already windowed by OnConflict
+}
+
+func (p *Adaptive) state(c *Conflict) *adaptiveState {
+	st, ok := c.State.(*adaptiveState)
+	if !ok {
+		st = &adaptiveState{}
+		c.State = st
+	}
+	return st
+}
+
+// roll closes the current observation window if it has expired, deciding
+// the domain's mode from the closed window's abort rate. Exactly one
+// caller wins the CAS and performs the decision; counter updates racing the
+// roll land in either window, which is fine for an advisory rate.
+func (p *Adaptive) roll(s *domainSlot, now int64) {
+	ws := s.windowStart.Load()
+	if now-ws < int64(p.cfg.Window) || !s.windowStart.CompareAndSwap(ws, now) {
+		return
+	}
+	att := s.attempts.Swap(0)
+	fail := s.failures.Swap(0)
+	if att < p.cfg.MinAttempts {
+		return // too little traffic to judge; keep the current mode
+	}
+	rate := float64(fail) / float64(att)
+	switch {
+	case rate >= p.cfg.SerializeAbove:
+		s.serialUntil.Store(now + int64(p.cfg.HoldFor))
+		s.serial.Store(true)
+	case rate <= p.cfg.ReleaseBelow && s.serial.Load() && now >= s.serialUntil.Load():
+		s.serial.Store(false)
+	}
+}
+
+// stampedeSeq decorrelates the wakeups of transactions sleeping out the
+// same lease, so expiry does not wake every sleeper on the same nanosecond.
+var stampedeSeq atomic.Uint64
+
+// serialWait is the serialized-mode conflict path: the domain lease as a
+// wakeup rate-limiter. A conflicted transaction sleeps out the current
+// lease; when a lease expires, exactly one sleeper wins the claim CAS and
+// returns to probe the domain — everyone else sleeps out the fresh lease.
+// So a domain at peak contention degenerates to the paper's best case: one
+// transaction streaming commits while the rest are parked, disturbed by a
+// single probe per Lease. The probe either finds a gap (commits, and its
+// goroutine inherits the stream) or collides once, helps, and parks again
+// — including when the blocker is a transaction parked mid-flight, which
+// the probe completes on its behalf. There is deliberately no retry-spin
+// for the claimant: on a loaded host every scheduler handoff lands inside
+// the running transaction's ownership window, so spinning loses every race
+// while stealing time from the one goroutine that is making progress.
+// Expiry bounds every deferral (rounds × Lease worst case) and makes the
+// scheme deadlock-proof: nothing is ever held, so nothing needs release.
+func (p *Adaptive) serialWait(s *domainSlot) {
+	for rounds := 0; rounds < 8; rounds++ {
+		now := time.Now().UnixNano()
+		lease := s.lease.Load()
+		if now >= lease && s.lease.CompareAndSwap(lease, now+int64(p.cfg.Lease)) {
+			return // our probe turn
+		}
+		remaining := time.Duration(lease - now)
+		if remaining < 0 {
+			continue // lost the claim race; re-read the fresh lease
+		}
+		// Somebody owns this lease: park for the remainder, plus jitter
+		// so sleepers reach the next claim race spread out rather than on
+		// the same nanosecond.
+		jitter := (stampedeSeq.Add(1) * 0x9e3779b97f4a7c15) % uint64(p.cfg.Lease/8+1)
+		time.Sleep(remaining + time.Duration(jitter))
+	}
+}
+
+// OnConflict counts the failure into the domain window and either enters
+// the lease discipline (serialized mode) or backs off exponentially.
+func (p *Adaptive) OnConflict(c *Conflict) {
+	now := time.Now().UnixNano()
+	s := p.slot(c.First)
+	p.roll(s, now)
+	s.attempts.Add(1)
+	s.failures.Add(1)
+
+	st := p.state(c)
+	st.counted++
+	if s.serial.Load() {
+		p.serialWait(s)
+		return
+	}
+	if st.bo == nil {
+		st.bo = backoff.NewSeeded(p.cfg.BackoffMin, p.cfg.BackoffMax)
+	}
+	st.bo.Wait()
+}
+
+// OnCommit counts the attempt into the domain window. The clock is sampled
+// rather than read per commit — commits are the hot path, and windows only
+// need to roll a few times per Window — and the lease needs no release: it
+// expires on its own.
+func (p *Adaptive) OnCommit(c *Conflict) {
+	s := p.slot(c.First)
+	if s.attempts.Add(1)%128 == 0 {
+		p.roll(s, time.Now().UnixNano())
+	}
+}
+
+// OnAbort windows any failed attempts that never passed through OnConflict:
+// a single-attempt Try reports its failure only here, while a cancelled
+// retry loop already counted everything. A held lease is left to expire.
+func (p *Adaptive) OnAbort(c *Conflict) {
+	counted := 0
+	if st, ok := c.State.(*adaptiveState); ok {
+		counted = st.counted
+	}
+	if missing := c.Attempts - counted; missing > 0 {
+		s := p.slot(c.First)
+		p.roll(s, time.Now().UnixNano())
+		s.attempts.Add(uint64(missing))
+		s.failures.Add(uint64(missing))
+	}
+}

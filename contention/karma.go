@@ -1,0 +1,82 @@
+package contention
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Karma ranks transactions by accumulated misfortune: every failed attempt
+// adds the operation's data-set size (a proxy for the work the attempt
+// wasted) to its priority, and the priority is installed on the next
+// attempt's record where competitors can see it. On conflict, a transaction
+// that outranks its blocker retries promptly — it has suffered more — while
+// one that is outranked defers in proportion to the priority deficit. The
+// aging guarantees the deficit closes, so no transaction defers forever:
+// starvation-freedom by seniority, without a central queue.
+type Karma struct {
+	unit time.Duration // wait per point of priority deficit
+	max  time.Duration // cap on one deferral
+}
+
+// NewKarma returns a karma policy deferring unit per point of priority
+// deficit, at most max per conflict. NewKarma(0, 0) selects the defaults
+// (1µs unit, 100µs cap); a positive max below unit is clamped up to unit,
+// never silently replaced.
+func NewKarma(unit, max time.Duration) *Karma {
+	if unit <= 0 {
+		unit = time.Microsecond
+	}
+	if max <= 0 {
+		max = 100 * time.Microsecond
+	}
+	if max < unit {
+		max = unit
+	}
+	return &Karma{unit: unit, max: max}
+}
+
+// karmaState carries the per-operation jitter stream.
+type karmaState struct {
+	rng uint64
+}
+
+// karmaSeq seeds the per-operation jitter streams: Weyl-sequence stepping
+// keeps concurrent operations decorrelated even when they share a size,
+// domain, and conflict history.
+var karmaSeq atomic.Uint64
+
+// OnConflict accrues karma for the failed attempt and defers if the blocker
+// outranks this operation.
+func (p *Karma) OnConflict(c *Conflict) {
+	c.Priority += uint64(c.Size)
+	st, ok := c.State.(*karmaState)
+	if !ok {
+		st = &karmaState{rng: karmaSeq.Add(1)*0x9e3779b97f4a7c15 | 1}
+		c.State = st
+	}
+	if !c.Owner.Present || c.Owner.Priority <= c.Priority {
+		// We outrank the blocker (or it is already gone): retry at once.
+		// The helping protocol has completed its work for us.
+		runtime.Gosched()
+		return
+	}
+	deficit := c.Owner.Priority - c.Priority
+	wait := time.Duration(deficit) * p.unit
+	if wait > p.max {
+		wait = p.max
+	}
+	// ±25% deterministic jitter decorrelates equal-deficit sleepers.
+	st.rng ^= st.rng >> 12
+	st.rng ^= st.rng << 25
+	st.rng ^= st.rng >> 27
+	jitter := time.Duration(st.rng%uint64(wait/2+1)) - wait/4
+	time.Sleep(wait + jitter)
+}
+
+// OnCommit is a no-op: karma dies with the operation, which is what makes
+// it aging (a fresh operation starts junior again).
+func (*Karma) OnCommit(*Conflict) {}
+
+// OnAbort is a no-op.
+func (*Karma) OnAbort(*Conflict) {}

@@ -1,0 +1,67 @@
+package contention
+
+import (
+	"runtime"
+	"time"
+
+	"github.com/stm-go/stm/internal/backoff"
+)
+
+// Default returns the policy a Memory uses when none is configured:
+// exponential backoff from 500ns to 100µs, the engine's historical retry
+// behavior.
+func Default() Policy {
+	return NewExpBackoff(500*time.Nanosecond, 100*time.Microsecond)
+}
+
+// Aggressive is the paper's baseline: no waiting at all. A failed attempt
+// has already helped its blocker to completion, so the transaction retries
+// immediately (yielding the processor so the helped transaction's initiator
+// can observe its completion). Best when conflicts are short and rare;
+// under sustained contention it burns cycles re-colliding.
+type Aggressive struct{}
+
+// NewAggressive returns the pure-helping policy.
+func NewAggressive() *Aggressive { return &Aggressive{} }
+
+// OnConflict yields once and returns: retry immediately.
+func (*Aggressive) OnConflict(*Conflict) { runtime.Gosched() }
+
+// OnCommit is a no-op: Aggressive keeps no per-operation resources.
+func (*Aggressive) OnCommit(*Conflict) {}
+
+// OnAbort is a no-op.
+func (*Aggressive) OnAbort(*Conflict) {}
+
+// ExpBackoff defers retries by capped exponential backoff with per-operation
+// decorrelated jitter — the policy behind the historical stm retry loops,
+// made pluggable. Each conflicted operation lazily creates its own
+// backoff.Exp (seeded through backoff.NewSeeded, so concurrent operations
+// never share a jitter stream) and doubles its wait on every further
+// conflict.
+type ExpBackoff struct {
+	min, max time.Duration
+}
+
+// NewExpBackoff returns an exponential-backoff policy waiting between min
+// and max per conflict.
+func NewExpBackoff(min, max time.Duration) *ExpBackoff {
+	return &ExpBackoff{min: min, max: max}
+}
+
+// OnConflict waits the operation's current backoff interval and doubles it.
+func (p *ExpBackoff) OnConflict(c *Conflict) {
+	bo, ok := c.State.(*backoff.Exp)
+	if !ok {
+		bo = backoff.NewSeeded(p.min, p.max)
+		c.State = bo
+	}
+	bo.Wait()
+}
+
+// OnCommit is a no-op: the operation's backoff state is discarded with its
+// Conflict report.
+func (*ExpBackoff) OnCommit(*Conflict) {}
+
+// OnAbort is a no-op.
+func (*ExpBackoff) OnAbort(*Conflict) {}

@@ -1,53 +1,69 @@
 package stm
 
-import "context"
+import (
+	"context"
 
-// RunContext is Run with cancellation: it retries (with backoff) until the
-// transaction commits or ctx is done, returning the old values or ctx's
-// error. A transaction that already committed is never reported as
-// cancelled.
+	"github.com/stm-go/stm/contention"
+	"github.com/stm-go/stm/internal/core"
+)
+
+// runIntoCtx is runInto with cancellation: it retries under the contention
+// policy until commit or until ctx is done. ctx is checked between the
+// failed attempt and the policy's (possibly long) deferral, so a cancelled
+// caller returns promptly instead of sleeping out one more wait; the
+// operation is then reported aborted — with its final failure counted — so
+// the policy releases any per-operation resources it granted.
+func (tx *Tx) runIntoCtx(ctx context.Context, f UpdateInto, old []uint64) error {
+	var info core.ConflictInfo
+	var c *contention.Conflict
+	for {
+		if tx.attemptInto(f, old, &info, prioOf(c)) {
+			tx.m.commitConflict(c, tx.first(), len(tx.sorted))
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			if c == nil {
+				tx.m.tryAbort(tx.first(), len(tx.sorted), &info)
+			} else {
+				c.Attempts++ // the final, undeferred failure
+				tx.m.abortConflict(c)
+			}
+			return err
+		}
+		c = tx.m.noteConflict(c, tx.first(), len(tx.sorted), &info)
+	}
+}
+
+// RunContext is Run with cancellation: it retries (under the contention
+// policy) until the transaction commits or ctx is done, returning the old
+// values or ctx's error. A transaction that already committed is never
+// reported as cancelled.
 func (tx *Tx) RunContext(ctx context.Context, f UpdateFunc) ([]uint64, error) {
 	out := make([]uint64, len(tx.sorted))
-	wrapped := wrapInto(f)
-	if tx.attemptInto(wrapped, out) {
-		return out, nil
+	if err := tx.runIntoCtx(ctx, wrapInto(f), out); err != nil {
+		return nil, err
 	}
-	bo := tx.m.newBackoff()
-	for {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		bo.Wait()
-		if tx.attemptInto(wrapped, out) {
-			return out, nil
-		}
-	}
+	return out, nil
 }
 
 // RunWhenContext is RunWhen with cancellation: it retries until a committed
 // attempt's old values satisfy guard (then applies f and returns them) or
 // until ctx is done.
 func (tx *Tx) RunWhenContext(ctx context.Context, guard func(old []uint64) bool, f UpdateFunc) ([]uint64, error) {
-	wrapped := func(old []uint64) []uint64 {
-		if guard(old) {
-			return f(old)
-		}
-		nv := make([]uint64, len(old))
-		copy(nv, old)
-		return nv
-	}
-	bo := tx.m.newBackoff()
+	wrapped := guardedInto(guard, f)
+	out := make([]uint64, len(tx.sorted))
+	cond := tx.m.newCondWaiter()
 	for {
+		if err := tx.runIntoCtx(ctx, wrapped, out); err != nil {
+			return nil, err
+		}
+		if guard(out) {
+			return out, nil
+		}
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if old, ok := tx.Try(wrapped); ok {
-			if guard(old) {
-				return old, nil
-			}
-			bo.Reset()
-		}
-		bo.Wait()
+		cond.wait(out)
 	}
 }
 

@@ -29,6 +29,24 @@
 // contention the protocol lets several goroutines evaluate the same
 // transaction's function, and all evaluations must agree.
 //
+// # Choosing a contention policy
+//
+// How a transaction defers its retries is pluggable per Memory
+// (WithPolicy, WithPolicyFactory; see the contention package). The default,
+// contention.ExpBackoff, is the safe all-rounder. Pick
+// contention.Aggressive when conflicts are rare or short-lived and latency
+// matters more than wasted attempts; contention.Karma when a few large
+// transactions must not be starved by many small ones; and
+// contention.Adaptive when hot spots come and go — it backs off while a
+// conflict domain is healthy and serializes the domain through an expiring
+// time lease when the measured abort rate says helping is being wasted.
+// Policies shape only timing, never correctness: every policy inherits the
+// protocol's non-blocking helping, and the adaptive lease expires rather
+// than being held, so no policy can deadlock a transaction. Live conflict
+// telemetry — Stats, ConflictCount, windowed via ResetStats — shows what
+// the policy is reacting to; `stmbench -suite cont` sweeps the shipped
+// policies across contention levels (see DESIGN.md §7).
+//
 // # Performance model
 //
 // The engine recycles transaction records, their buffers, and the

@@ -3,6 +3,7 @@ package stm
 import (
 	"fmt"
 
+	"github.com/stm-go/stm/contention"
 	"github.com/stm-go/stm/internal/core"
 )
 
@@ -25,6 +26,102 @@ import (
 // concurrently for the same transaction over distinct buffers, and all
 // evaluations must produce identical values.
 type UpdateInto func(old, new []uint64)
+
+// The Memory's confPool recycles contention.Conflict reports so the policy
+// hooks cost no allocation in steady state: one report accompanies one
+// logical operation (a retry loop, or a single Try) and returns to the pool
+// when the operation commits or aborts. Reports cannot ride the record
+// scratch — an operation spans many pooled records — so they pool
+// independently.
+
+// getConflict returns a report armed for an operation over the data set
+// starting at first with size words. Addr starts at -1: "no conflict yet".
+func (m *Memory) getConflict(first, size int) *contention.Conflict {
+	c, ok := m.confPool.Get().(*contention.Conflict)
+	if !ok {
+		c = &contention.Conflict{}
+	}
+	*c = contention.Conflict{Addr: -1, First: first, Size: size}
+	return c
+}
+
+// putConflict recycles a report, dropping any policy state it accumulated
+// so an idle pooled report retains nothing of its last operation.
+func (m *Memory) putConflict(c *contention.Conflict) {
+	*c = contention.Conflict{}
+	m.confPool.Put(c)
+}
+
+// fillConflict copies a failed attempt's engine report into the
+// operation's policy report.
+func fillConflict(c *contention.Conflict, info *core.ConflictInfo) {
+	c.Addr = info.Addr
+	c.Owner = contention.Owner{
+		Present:  info.OwnerPresent,
+		Version:  info.OwnerVersion,
+		Priority: info.OwnerPriority,
+	}
+}
+
+// prioOf reads the policy-assigned priority off an operation's report, or 0
+// before the operation has one.
+func prioOf(c *contention.Conflict) uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.Priority
+}
+
+// noteConflict reports a failed attempt to the contention policy — creating
+// the operation's report on its first conflict — and blocks for however
+// long the policy defers the retry. info must be the ConflictInfo the
+// failed attempt filled.
+func (m *Memory) noteConflict(c *contention.Conflict, first, size int, info *core.ConflictInfo) *contention.Conflict {
+	if c == nil {
+		c = m.getConflict(first, size)
+	}
+	c.Attempts++
+	fillConflict(c, info)
+	m.pol.OnConflict(c)
+	return c
+}
+
+// commitConflict closes an operation as committed, releasing any policy
+// resources (tokens, priorities) its report carries. A nil report means the
+// operation never conflicted; the policy only hears about it if it opted
+// into clean commits.
+func (m *Memory) commitConflict(c *contention.Conflict, first, size int) {
+	if c == nil {
+		if !m.allCommits {
+			return
+		}
+		c = m.getConflict(first, size)
+	}
+	m.pol.OnCommit(c)
+	m.putConflict(c)
+}
+
+// abortConflict closes an operation that is being abandoned mid-retry-loop
+// (context cancellation) without committing.
+func (m *Memory) abortConflict(c *contention.Conflict) {
+	if c == nil {
+		return
+	}
+	m.pol.OnAbort(c)
+	m.putConflict(c)
+}
+
+// tryAbort reports a failed single-attempt operation (Try/TryInto): the
+// caller owns the retry decision, so the policy is told the operation ended
+// — abort-rate observers count the failure — without being asked to defer
+// anything.
+func (m *Memory) tryAbort(first, size int, info *core.ConflictInfo) {
+	c := m.getConflict(first, size)
+	c.Attempts = 1
+	fillConflict(c, info)
+	m.pol.OnAbort(c)
+	m.putConflict(c)
+}
 
 // scratch is the per-record parameter block for the package-level calc
 // functions. It persists across pool cycles attached to a record's Env, so

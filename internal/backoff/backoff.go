@@ -3,7 +3,10 @@
 // lock/Herlihy baselines. It is allocation-free after construction.
 package backoff
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Exp is a capped exponential backoff. The zero value is invalid; use New.
 // Exp is not safe for concurrent use — each goroutine owns its own.
@@ -25,6 +28,19 @@ func New(min, max time.Duration, seed uint64) *Exp {
 		max = min
 	}
 	return &Exp{cur: min, min: min, max: max, rng: seed | 1, spins: 8}
+}
+
+// seedSeq feeds NewSeeded. Weyl-sequence stepping by the golden-ratio
+// increment keeps concurrently drawn seeds maximally decorrelated.
+var seedSeq atomic.Uint64
+
+// NewSeeded is New with a process-wide decorrelated seed: each call —
+// including fully concurrent calls — draws a distinct point of a Weyl
+// sequence, so goroutines that construct their backoff at the same instant
+// never share a jitter stream. Prefer this over hand-rolling seeds from
+// time or goroutine-local state.
+func NewSeeded(min, max time.Duration) *Exp {
+	return New(min, max, seedSeq.Add(1)*0x9e3779b97f4a7c15)
 }
 
 // next returns a pseudo-random uint64 (xorshift64*).

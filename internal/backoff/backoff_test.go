@@ -1,6 +1,7 @@
 package backoff
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -62,6 +63,33 @@ func TestJitterWithinBounds(t *testing.T) {
 	}
 	if elapsed > 50*time.Millisecond {
 		t.Errorf("wait absurdly long: %v", elapsed)
+	}
+}
+
+func TestNewSeededConcurrentDecorrelation(t *testing.T) {
+	// Backoffs constructed concurrently must all start distinct jitter
+	// streams: no two may share an rng state, even when constructed at the
+	// same instant from many goroutines.
+	const n = 64
+	states := make([]uint64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			states[i] = NewSeeded(time.Microsecond, time.Millisecond).rng
+		}(i)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool, n)
+	for i, s := range states {
+		if s == 0 {
+			t.Fatalf("backoff %d has zero rng state", i)
+		}
+		if seen[s] {
+			t.Fatalf("two concurrently seeded backoffs share rng state %#x", s)
+		}
+		seen[s] = true
 	}
 }
 

@@ -25,16 +25,20 @@ var (
 // degrades gracefully (two words per line instead of one).
 const cacheLineSize = 64
 
-// word is one transactional memory word: the value cell and its ownership
-// record, packed into a single cache line. A transaction touching address i
-// CASes the owner, loads the cell, and CASes the cell — all on one line —
-// and transactions on adjacent addresses never false-share. The padding is
-// computed from the actual pointer sizes so the layout holds on 32-bit
+// word is one transactional memory word: the value cell, its ownership
+// record, and its conflict counter, packed into a single cache line. A
+// transaction touching address i CASes the owner, loads the cell, and CASes
+// the cell — all on one line — and transactions on adjacent addresses never
+// false-share. The conflict counter rides the same line because it is only
+// bumped when an attempt fails at this word — a moment when the line is
+// already bouncing — so telemetry adds no new coherence traffic. The padding
+// is computed from the actual field sizes so the layout holds on 32-bit
 // platforms too. See DESIGN.md §3 for the layout rationale.
 type word struct {
-	cell  atomic.Pointer[uint64]
-	owner atomic.Pointer[Rec]
-	_     [cacheLineSize - (unsafe.Sizeof(atomic.Pointer[uint64]{})+unsafe.Sizeof(atomic.Pointer[Rec]{}))%cacheLineSize]byte
+	cell      atomic.Pointer[uint64]
+	owner     atomic.Pointer[Rec]
+	conflicts atomic.Uint64 // failed attempts whose acquisition died at this word
+	_         [cacheLineSize - (unsafe.Sizeof(atomic.Pointer[uint64]{})+unsafe.Sizeof(atomic.Pointer[Rec]{})+unsafe.Sizeof(atomic.Uint64{}))%cacheLineSize]byte
 }
 
 // Memory is a software transactional memory of fixed size: a vector of
@@ -75,6 +79,24 @@ func (m *Memory) Peek(loc int) uint64 { return *m.words[loc].cell.Load() }
 
 // Stats returns a snapshot of the memory's protocol counters.
 func (m *Memory) Stats() StatsSnapshot { return m.stats.snapshot() }
+
+// ConflictCount returns the number of failed attempts whose ownership
+// acquisition died at loc since construction or the last ResetStats. It is
+// the engine's per-word conflict telemetry: a hot word is one whose counter
+// grows fastest.
+func (m *Memory) ConflictCount(loc int) uint64 { return m.words[loc].conflicts.Load() }
+
+// ResetStats zeroes the protocol counters and every per-word conflict
+// counter, opening a fresh observation window. Concurrent transactions keep
+// running — counters are advisory, and a bump racing the reset lands in
+// either the old or the new window — so callers can window abort rates
+// without quiescing the memory.
+func (m *Memory) ResetStats() {
+	m.stats.reset()
+	for i := range m.words {
+		m.words[i].conflicts.Store(0)
+	}
+}
 
 // ValidateDataSet checks that addrs is non-empty, strictly ascending, and
 // within bounds. It is exported so callers can validate once and then run
@@ -201,8 +223,13 @@ func (m *Memory) acquireOwnerships(rec *Rec) {
 			}
 			// The word is owned by another transaction: fail ourselves.
 			// If the CAS loses, a helper decided our fate concurrently;
-			// either way the status is now decided.
-			rec.status.CompareAndSwap(statusNull, failureAt(i))
+			// either way the status is now decided. The CAS winner — and
+			// only the winner — charges the conflict to this word, so the
+			// per-word counters tally exactly one conflict per failed
+			// attempt.
+			if rec.status.CompareAndSwap(statusNull, failureAt(i)) {
+				w.conflicts.Add(1)
+			}
 			return
 		}
 	}

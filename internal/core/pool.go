@@ -64,7 +64,8 @@ func (r *Rec) arm(k int) {
 	r.newVals.Store(nil)
 	r.status.Store(statusNull)
 	r.allWritten.Store(false)
-	r.version++
+	r.prio.Store(0)
+	r.version.Add(1)
 }
 
 // RunAttempt executes one transaction attempt for a record obtained from
@@ -79,6 +80,35 @@ func (r *Rec) arm(k int) {
 // helpers are still pinned) before returning, and the caller must not touch
 // it — including any Env scratch reached through it — afterwards.
 func (m *Memory) RunAttempt(rec *Rec, calc CalcFunc, oldOut []uint64) bool {
+	return m.RunAttemptConflict(rec, calc, oldOut, nil)
+}
+
+// ConflictInfo describes why an attempt failed: the word whose ownership
+// could not be acquired and a snapshot of the record observed blocking it.
+// It is filled by RunAttemptConflict on the failure path so contention
+// policies can be fed without retaining the (recycled) record.
+type ConflictInfo struct {
+	// Index is the position within the sorted data set at which
+	// acquisition failed; Addr is the corresponding word address.
+	Index int
+	Addr  int
+	// OwnerPresent reports whether a blocking record was still installed
+	// at Addr when the failure was inspected; when false the blocker
+	// already completed (or was helped to completion by this very attempt)
+	// and the fields below are zero.
+	OwnerPresent bool
+	// OwnerVersion and OwnerPriority are racy snapshots of the blocking
+	// record's attempt identity and contention-policy priority. They are
+	// advisory: the owner may have moved on to a later attempt between the
+	// conflict and the inspection.
+	OwnerVersion  uint64
+	OwnerPriority uint64
+}
+
+// RunAttemptConflict is RunAttempt with conflict telemetry: on failure it
+// fills info (which may be nil to skip the inspection) before the record is
+// recycled. On success info is left untouched.
+func (m *Memory) RunAttemptConflict(rec *Rec, calc CalcFunc, oldOut []uint64, info *ConflictInfo) bool {
 	rec.calc = calc
 	m.stats.attempt(rec.shard)
 
@@ -99,9 +129,30 @@ func (m *Memory) RunAttempt(rec *Rec, calc CalcFunc, oldOut []uint64) bool {
 		}
 	} else {
 		m.stats.failure(rec.shard)
+		if info != nil {
+			m.fillConflict(rec, info)
+		}
 	}
 	m.recycle(rec)
 	return ok
+}
+
+// fillConflict inspects a failed record before it is recycled. All reads of
+// the blocking record go through atomics, so a concurrently re-armed owner
+// yields stale-but-safe values.
+func (m *Memory) fillConflict(rec *Rec, info *ConflictInfo) {
+	*info = ConflictInfo{Addr: -1}
+	idx, failed := rec.FailedIndex()
+	if !failed {
+		return // decided Success by a helper after the status check; rare
+	}
+	addr := rec.addrs[idx]
+	info.Index, info.Addr = idx, addr
+	if owner := m.words[addr].owner.Load(); owner != nil && owner != rec {
+		info.OwnerPresent = true
+		info.OwnerVersion = owner.version.Load()
+		info.OwnerPriority = owner.prio.Load()
+	}
 }
 
 // PoolResettable lets an Env payload drop caller references — staged

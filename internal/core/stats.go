@@ -26,6 +26,17 @@ type Stats struct {
 }
 
 func (s *Stats) attempt(shard int) { s.shards[shard].attempts.Add(1) }
+
+// reset zeroes every shard. Racing updates land in either the old or the
+// new window; the counters are advisory.
+func (s *Stats) reset() {
+	for i := range s.shards {
+		s.shards[i].attempts.Store(0)
+		s.shards[i].commits.Store(0)
+		s.shards[i].failures.Store(0)
+		s.shards[i].helps.Store(0)
+	}
+}
 func (s *Stats) commit(shard int)  { s.shards[shard].commits.Add(1) }
 func (s *Stats) failure(shard int) { s.shards[shard].failures.Add(1) }
 func (s *Stats) help(shard int)    { s.shards[shard].helps.Add(1) }

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"strconv"
 
-	"github.com/stm-go/stm/internal/backoff"
+	"github.com/stm-go/stm/contention"
 	"github.com/stm-go/stm/internal/core"
 )
 
@@ -33,44 +33,50 @@ func (m *Memory) ascendingInBounds(addrs []int) bool {
 
 // runSingle retries a single-word transaction on the pooled fast path until
 // it commits, returning the old value. calc is parameterized by the two
-// scratch arguments a0/a1.
+// scratch arguments a0/a1. Failed attempts defer as the contention policy
+// directs.
 func (m *Memory) runSingle(loc int, calc core.CalcFunc, a0, a1 uint64) uint64 {
 	var out [1]uint64
-	var bo *backoff.Exp
+	var info core.ConflictInfo
+	var c *contention.Conflict
 	for {
 		r := m.eng.Begin(1)
 		r.Addrs()[0] = loc
+		if p := prioOf(c); p != 0 {
+			r.SetPriority(p)
+		}
 		s := scratchOf(r)
 		s.arg0, s.arg1 = a0, a1
-		if m.eng.RunAttempt(r, calc, out[:]) {
+		if m.eng.RunAttemptConflict(r, calc, out[:], &info) {
+			m.commitConflict(c, loc, 1)
 			return out[0]
 		}
-		if bo == nil {
-			bo = m.newBackoff()
-		}
-		bo.Wait()
+		c = m.noteConflict(c, loc, 1, &info)
 	}
 }
 
 // runAscending retries a transaction over an ascending data set on the
 // pooled fast path until it commits, writing old values into out (which may
 // be nil). exp and repl are staged into the record's scratch so helpers can
-// evaluate calc without touching caller memory.
+// evaluate calc without touching caller memory. Failed attempts defer as
+// the contention policy directs.
 func (m *Memory) runAscending(addrs []int, calc core.CalcFunc, exp, repl, out []uint64) {
-	var bo *backoff.Exp
+	var info core.ConflictInfo
+	var c *contention.Conflict
 	for {
 		r := m.eng.Begin(len(addrs))
 		copy(r.Addrs(), addrs)
+		if p := prioOf(c); p != 0 {
+			r.SetPriority(p)
+		}
 		s := scratchOf(r)
 		s.exp = append(s.exp[:0], exp...)
 		s.repl = append(s.repl[:0], repl...)
-		if m.eng.RunAttempt(r, calc, out) {
+		if m.eng.RunAttemptConflict(r, calc, out, &info) {
+			m.commitConflict(c, addrs[0], len(addrs))
 			return
 		}
-		if bo == nil {
-			bo = m.newBackoff()
-		}
-		bo.Wait()
+		c = m.noteConflict(c, addrs[0], len(addrs), &info)
 	}
 }
 

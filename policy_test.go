@@ -1,0 +1,412 @@
+package stm_test
+
+// Tests for the contention-management subsystem at the public API level:
+// option wiring, hook lifecycle, stats windowing, and the serializing
+// (Adaptive) policy driving real blocking-style workloads without
+// deadlock.
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	stm "github.com/stm-go/stm"
+	"github.com/stm-go/stm/contention"
+)
+
+// recordingPolicy captures every hook invocation. It opts into clean
+// commits so it sees the full operation stream.
+type recordingPolicy struct {
+	mu        sync.Mutex
+	conflicts []contention.Conflict
+	commits   []contention.Conflict
+	aborts    []contention.Conflict
+}
+
+func (p *recordingPolicy) WantsCleanCommits() bool { return true }
+
+func (p *recordingPolicy) OnConflict(c *contention.Conflict) {
+	p.mu.Lock()
+	p.conflicts = append(p.conflicts, *c)
+	p.mu.Unlock()
+}
+
+func (p *recordingPolicy) OnCommit(c *contention.Conflict) {
+	p.mu.Lock()
+	p.commits = append(p.commits, *c)
+	p.mu.Unlock()
+}
+
+func (p *recordingPolicy) OnAbort(c *contention.Conflict) {
+	p.mu.Lock()
+	p.aborts = append(p.aborts, *c)
+	p.mu.Unlock()
+}
+
+func (p *recordingPolicy) counts() (conflicts, commits, aborts int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.conflicts), len(p.commits), len(p.aborts)
+}
+
+func TestWithPolicyCleanCommitReports(t *testing.T) {
+	rec := &recordingPolicy{}
+	m, err := stm.New(8, stm.WithPolicy(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Policy() != contention.Policy(rec) {
+		t.Fatal("Policy() does not return the configured policy")
+	}
+	if _, err := m.Add(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	nc, ncm, na := rec.counts()
+	if nc != 0 || ncm != 1 || na != 0 {
+		t.Fatalf("hooks after one uncontended Add = %d conflicts / %d commits / %d aborts, want 0/1/0", nc, ncm, na)
+	}
+	rec.mu.Lock()
+	c := rec.commits[0]
+	rec.mu.Unlock()
+	if c.Addr != -1 || c.Attempts != 0 || c.First != 3 || c.Size != 1 {
+		t.Errorf("clean-commit report = %+v, want Addr=-1 Attempts=0 First=3 Size=1", c)
+	}
+}
+
+func TestPolicySeesConflicts(t *testing.T) {
+	// Deterministic conflict: transaction A parks inside its update
+	// function while owning word 0; B's Add then fails against it (and
+	// helps). Helpers evaluate A's function too, so everyone blocks until
+	// release closes — after which A (or its helper) completes and B
+	// retries to success.
+	rec := &recordingPolicy{}
+	m, err := stm.New(4, stm.WithPolicy(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := m.Prepare([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	var done sync.WaitGroup
+	done.Add(2)
+	go func() {
+		defer done.Done()
+		tx.RunInto(func(o, n []uint64) {
+			once.Do(func() { close(entered) })
+			<-release
+			n[0] = o[0] + 100
+		}, nil)
+	}()
+	<-entered
+	go func() {
+		defer done.Done()
+		time.Sleep(5 * time.Millisecond) // let B collide with parked A
+		close(release)
+	}()
+	if _, err := m.Add(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	done.Wait()
+
+	if got := m.Peek(0); got != 101 {
+		t.Errorf("word 0 = %d, want 101", got)
+	}
+	nc, _, _ := rec.counts()
+	if nc == 0 {
+		t.Error("policy saw no OnConflict despite a forced collision")
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	for _, c := range rec.conflicts {
+		if c.Addr != 0 {
+			t.Errorf("conflict reported at addr %d, want 0", c.Addr)
+		}
+		if c.Attempts < 1 {
+			t.Errorf("conflict report with Attempts=%d, want >= 1", c.Attempts)
+		}
+	}
+	if m.ConflictCount(0) == 0 {
+		t.Error("per-word conflict counter not bumped by the forced collision")
+	}
+}
+
+func TestWithPolicyFactoryPerMemory(t *testing.T) {
+	var calls atomic.Int32
+	factory := func() contention.Policy {
+		calls.Add(1)
+		// A stateful policy: zero-size instances would share an address
+		// and defeat the distinctness check below.
+		return contention.NewAdaptive(contention.AdaptiveConfig{})
+	}
+	m1, err := stm.New(4, stm.WithPolicyFactory(factory))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := stm.New(4, stm.WithPolicyFactory(factory))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("factory called %d times for two Memories, want 2", got)
+	}
+	if m1.Policy() == nil || m2.Policy() == nil {
+		t.Fatal("factory policies not installed")
+	}
+	if m1.Policy() == m2.Policy() {
+		t.Error("two Memories share one factory-built policy instance")
+	}
+}
+
+func TestDefaultPolicyWhenUnconfigured(t *testing.T) {
+	m := mustNew(t, 4)
+	if _, ok := m.Policy().(*contention.ExpBackoff); !ok {
+		t.Errorf("default policy = %T, want *contention.ExpBackoff", m.Policy())
+	}
+	if m2, err := stm.New(4, stm.WithPolicy(nil)); err != nil {
+		t.Fatal(err)
+	} else if _, ok := m2.Policy().(*contention.ExpBackoff); !ok {
+		t.Errorf("WithPolicy(nil) policy = %T, want *contention.ExpBackoff", m2.Policy())
+	}
+}
+
+func TestMemoryResetStatsWindows(t *testing.T) {
+	m := mustNew(t, 8)
+	for i := 0; i < 10; i++ {
+		if _, err := m.Add(1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := m.Stats(); st.Attempts < 10 || st.Commits < 10 {
+		t.Fatalf("pre-reset stats = %+v, want >= 10 attempts/commits", st)
+	}
+	m.ResetStats()
+	if st := m.Stats(); st.Attempts != 0 || st.Commits != 0 || st.Failures != 0 {
+		t.Errorf("post-reset stats = %+v, want zero", st)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := m.Add(1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := m.Stats(); st.Attempts != 3 || st.Commits != 3 {
+		t.Errorf("windowed stats = %+v, want exactly 3 attempts / 3 commits", st)
+	}
+}
+
+// serializedAdaptive returns an Adaptive policy whose domain for addr 0 has
+// been driven into serialization mode and pinned there.
+func serializedAdaptive(t *testing.T) *contention.Adaptive {
+	t.Helper()
+	p := contention.NewAdaptive(contention.AdaptiveConfig{
+		Window:         200 * time.Microsecond,
+		SerializeAbove: 0.01,
+		ReleaseBelow:   0.001,
+		MinAttempts:    1,
+		HoldFor:        time.Hour, // pinned for the test's duration
+		Lease:          2 * time.Millisecond,
+		BackoffMin:     time.Microsecond,
+		BackoffMax:     8 * time.Microsecond,
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for !p.Serialized(0) {
+		if time.Now().After(deadline) {
+			t.Fatal("could not drive the adaptive policy into serialization")
+		}
+		c := &contention.Conflict{First: 0, Size: 1}
+		for i := 0; i < 8; i++ {
+			c.Attempts++
+			p.OnConflict(c)
+		}
+		p.OnAbort(c)
+		time.Sleep(time.Millisecond)
+		p.OnCommit(&contention.Conflict{First: 0, Size: 1})
+	}
+	return p
+}
+
+func TestRunWhenUnderSerializingPolicy(t *testing.T) {
+	// A producer/consumer pair over one counter word, with the domain
+	// serialized: the consumer's RunWhen parks whenever the counter is
+	// empty. Every RunWhen round commits (guard-unmet rounds are validated
+	// no-ops) and releases the domain token before the condition wait, so
+	// the parked consumer must never starve the producer of the token —
+	// if it did, this test would deadlock and time out.
+	p := serializedAdaptive(t)
+	m, err := stm.New(2, stm.WithPolicy(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := m.Prepare([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const items = 200
+	done := make(chan error, 2)
+	go func() { // consumer
+		for i := 0; i < items; i++ {
+			old := tx.RunWhen(
+				func(old []uint64) bool { return old[0] > 0 },
+				func(old []uint64) []uint64 { return []uint64{old[0] - 1} },
+			)
+			if old[0] == 0 {
+				done <- errGuardViolated
+				return
+			}
+		}
+		done <- nil
+	}()
+	go func() { // producer
+		for i := 0; i < items; i++ {
+			if _, err := m.Add(0, 1); err != nil {
+				done <- err
+				return
+			}
+			if i%32 == 0 {
+				time.Sleep(time.Millisecond) // let the consumer drain and park
+			}
+		}
+		done <- nil
+	}()
+
+	timeout := time.After(30 * time.Second)
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-timeout:
+			t.Fatal("deadlock: producer/consumer did not finish under the serializing policy")
+		}
+	}
+	if got := m.Peek(0); got != 0 {
+		t.Errorf("counter = %d after balanced produce/consume, want 0", got)
+	}
+}
+
+var errGuardViolated = &guardViolation{}
+
+type guardViolation struct{}
+
+func (*guardViolation) Error() string { return "RunWhen returned a snapshot its guard rejects" }
+
+func TestTryIntoUnderSerializingPolicy(t *testing.T) {
+	// TryInto must stay a bounded single attempt under a serializing
+	// policy — no token wait on the success path, correct snapshots, and
+	// a prompt false on conflict.
+	p := serializedAdaptive(t)
+	m, err := stm.New(4, stm.WithPolicy(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteAll([]int{0, 1}, []uint64{10, 20}); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := m.Prepare([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var old [2]uint64
+	start := time.Now()
+	if !tx.TryInto(func(o, n []uint64) { n[0], n[1] = o[0]+1, o[1]+1 }, old[:]) {
+		t.Fatal("uncontended TryInto failed under serializing policy")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("uncontended TryInto took %v under serializing policy", elapsed)
+	}
+	if old[0] != 10 || old[1] != 20 {
+		t.Errorf("snapshot = %v, want [10 20]", old)
+	}
+	if m.Peek(0) != 11 || m.Peek(1) != 21 {
+		t.Errorf("words = [%d %d], want [11 21]", m.Peek(0), m.Peek(1))
+	}
+}
+
+// slowConflictPolicy defers every conflicted retry for a long time and
+// records aborts — a stand-in for a serializing policy mid-lease.
+type slowConflictPolicy struct {
+	defer_ time.Duration
+	aborts atomic.Int32
+}
+
+func (p *slowConflictPolicy) OnConflict(*contention.Conflict) { time.Sleep(p.defer_) }
+func (p *slowConflictPolicy) OnCommit(*contention.Conflict)   {}
+func (p *slowConflictPolicy) OnAbort(*contention.Conflict)    { p.aborts.Add(1) }
+
+func TestRunContextCancelSkipsPolicyDeferral(t *testing.T) {
+	// A cancelled context must not sleep out one more policy deferral:
+	// the check sits between the failed attempt and OnConflict.
+	pol := &slowConflictPolicy{defer_: 30 * time.Second}
+	m, err := stm.New(2, stm.WithPolicy(pol))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := m.Prepare([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Park a transaction on word 0 so the RunContext attempt conflicts.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	blockTx, _ := m.Prepare([]int{0})
+	go blockTx.RunInto(func(o, n []uint64) {
+		once.Do(func() { close(entered) })
+		<-release
+		n[0] = o[0]
+	}, nil)
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(20*time.Millisecond, cancel)
+	time.AfterFunc(60*time.Millisecond, func() { close(release) })
+	start := time.Now()
+	_, err = tx.RunContext(ctx, func(o []uint64) []uint64 { return []uint64{o[0] + 1} })
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("RunContext committed despite cancellation")
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancelled RunContext took %v; it slept out the policy deferral", elapsed)
+	}
+	if pol.aborts.Load() == 0 {
+		t.Error("cancelled operation never reported OnAbort")
+	}
+}
+
+func TestKarmaPolicyEndToEnd(t *testing.T) {
+	// Karma under real contention: hammer one word from several goroutines
+	// and check conservation — the policy must only shape timing, never
+	// correctness.
+	m, err := stm.New(2, stm.WithPolicy(contention.NewKarma(time.Microsecond, 50*time.Microsecond)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, ops = 4, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				if _, err := m.Add(0, 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Peek(0); got != workers*ops {
+		t.Errorf("counter = %d, want %d", got, workers*ops)
+	}
+}

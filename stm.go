@@ -1,9 +1,10 @@
 package stm
 
 import (
-	"sync/atomic"
+	"sync"
 	"time"
 
+	"github.com/stm-go/stm/contention"
 	"github.com/stm-go/stm/internal/backoff"
 	"github.com/stm-go/stm/internal/core"
 )
@@ -27,17 +28,65 @@ var (
 // words supporting static multi-word transactions. All methods are safe for
 // concurrent use by any number of goroutines.
 type Memory struct {
-	eng   *core.Memory
-	seeds atomic.Uint64 // decorrelates per-call backoff
+	eng *core.Memory
+
+	// pol decides how retry loops react to contention; see the contention
+	// package. allCommits caches whether pol opted into clean-commit
+	// reports (contention.CleanCommitObserver), deciding once whether the
+	// uncontended fast path must build a report at all.
+	pol        contention.Policy
+	allCommits bool
+
+	confPool sync.Pool // of *contention.Conflict; see hotpath.go
 }
 
-// New returns a Memory of size words, all zero.
-func New(size int) (*Memory, error) {
+// Option configures a Memory at construction.
+type Option func(*config)
+
+type config struct {
+	policy contention.Policy
+}
+
+// WithPolicy selects the contention-management policy for the Memory. The
+// policy instance is shared by every transaction on the Memory and must be
+// safe for concurrent use; passing nil selects the default
+// (contention.Default, capped exponential backoff).
+func WithPolicy(p contention.Policy) Option {
+	return func(c *config) { c.policy = p }
+}
+
+// WithPolicyFactory is WithPolicy with late binding: factory is invoked
+// once, at New time, to build this Memory's policy. Use it when one
+// configuration constructs many Memories — each gets a fresh policy
+// instance, so windowed counters and serialization tokens are never shared
+// across Memories. A nil factory (or a factory returning nil) selects the
+// default policy.
+func WithPolicyFactory(factory func() contention.Policy) Option {
+	return func(c *config) {
+		if factory != nil {
+			c.policy = factory()
+		}
+	}
+}
+
+// New returns a Memory of size words, all zero, configured by opts.
+func New(size int, opts ...Option) (*Memory, error) {
 	eng, err := core.NewMemory(size)
 	if err != nil {
 		return nil, err
 	}
-	return &Memory{eng: eng}, nil
+	var cfg config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.policy == nil {
+		cfg.policy = contention.Default()
+	}
+	return &Memory{
+		eng:        eng,
+		pol:        cfg.policy,
+		allCommits: contention.WantsCleanCommits(cfg.policy),
+	}, nil
 }
 
 // Size returns the number of words.
@@ -49,13 +98,31 @@ func (m *Memory) Size() int { return m.eng.Size() }
 func (m *Memory) Peek(loc int) uint64 { return m.eng.Peek(loc) }
 
 // Stats returns a snapshot of protocol counters (attempts, commits,
-// failures, helps) accumulated by this Memory.
+// failures, helps) accumulated by this Memory since construction or the
+// last ResetStats.
 func (m *Memory) Stats() core.StatsSnapshot { return m.eng.Stats() }
 
+// ResetStats zeroes the protocol counters and the per-word conflict
+// counters, opening a fresh observation window. It is safe to call while
+// transactions run: the counters are advisory, and a bump racing the reset
+// lands in either window. Benchmark sweeps and adaptive consumers use it to
+// read rates per window instead of monotonic totals.
+func (m *Memory) ResetStats() { m.eng.ResetStats() }
+
+// ConflictCount returns the number of failed attempts whose ownership
+// acquisition died at loc since construction or the last ResetStats — the
+// per-word conflict telemetry feeding contention policies. A hot word is
+// one whose count grows fastest.
+func (m *Memory) ConflictCount(loc int) uint64 { return m.eng.ConflictCount(loc) }
+
+// Policy returns the Memory's contention-management policy.
+func (m *Memory) Policy() contention.Policy { return m.pol }
+
 // Atomically applies f to the words at addrs as one atomic transaction,
-// retrying with backoff until it commits. It returns the old values (the
-// consistent snapshot f's result was computed from), index-aligned with
-// addrs. addrs may be in any order but must not contain duplicates.
+// retrying under the contention policy until it commits. It returns the old
+// values (the consistent snapshot f's result was computed from),
+// index-aligned with addrs. addrs may be in any order but must not contain
+// duplicates.
 //
 // For hot paths that reuse a data set, Prepare once and call Tx.Run — or
 // Tx.RunInto for the allocation-free variant.
@@ -85,7 +152,10 @@ func (m *Memory) Try(addrs []int, f UpdateFunc) (old []uint64, ok bool, err erro
 	return old, ok, nil
 }
 
-// newBackoff returns a retry backoff decorrelated across calls.
-func (m *Memory) newBackoff() *backoff.Exp {
-	return backoff.New(500*time.Nanosecond, 100*time.Microsecond, m.seeds.Add(1)*0x9e3779b97f4a7c15)
+// newCondBackoff returns the backoff used between guard re-evaluations in
+// RunWhen-style loops. Condition waits are not contention — the transaction
+// committed; the world just isn't ready — so they stay on a plain backoff
+// rather than going through the contention policy.
+func (m *Memory) newCondBackoff() *backoff.Exp {
+	return backoff.NewSeeded(500*time.Nanosecond, 100*time.Microsecond)
 }

@@ -2,7 +2,12 @@ package stm
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+
+	"github.com/stm-go/stm/contention"
+	"github.com/stm-go/stm/internal/backoff"
+	"github.com/stm-go/stm/internal/core"
 )
 
 // Tx is a prepared static transaction: a validated data set bound to a
@@ -60,26 +65,35 @@ func (tx *Tx) Addrs() []int {
 	return out
 }
 
+// first returns the data set's lowest address: the conflict-domain key the
+// contention policy sees for this transaction.
+func (tx *Tx) first() int { return tx.sorted[0] }
+
 // attemptInto makes one engine attempt through the pooled hot path. On
 // commit it writes the old values (caller order) into old, unless old is
-// nil.
-func (tx *Tx) attemptInto(f UpdateInto, old []uint64) bool {
+// nil; on failure it fills info with the conflict report for the contention
+// policy. prio is the policy-assigned priority to install on the attempt's
+// record (0 for none).
+func (tx *Tx) attemptInto(f UpdateInto, old []uint64, info *core.ConflictInfo, prio uint64) bool {
 	k := len(tx.sorted)
 	eng := tx.m.eng
 	r := eng.Begin(k)
 	copy(r.Addrs(), tx.sorted)
+	if prio != 0 {
+		r.SetPriority(prio)
+	}
 	s := scratchOf(r)
 	s.fInto = f
 	if tx.identity {
 		// Engine order is the caller's order: the engine can write the
 		// committed snapshot straight into the caller's buffer.
 		s.perm = nil
-		return eng.RunAttempt(r, calcTx, old)
+		return eng.RunAttemptConflict(r, calcTx, old, info)
 	}
 	s.perm = tx.perm
 	s.ensureCaller(k)
 	if old == nil {
-		return eng.RunAttempt(r, calcTx, nil)
+		return eng.RunAttemptConflict(r, calcTx, nil, info)
 	}
 	// The engine reports old values in engine order; stage them in a
 	// caller-owned buffer (the record and its scratch must not be touched
@@ -90,13 +104,24 @@ func (tx *Tx) attemptInto(f UpdateInto, old []uint64) bool {
 		engOld = make([]uint64, k)
 	}
 	engOld = engOld[:k]
-	if !eng.RunAttempt(r, calcTx, engOld) {
+	if !eng.RunAttemptConflict(r, calcTx, engOld, info) {
 		return false
 	}
 	for i, si := range tx.perm {
 		old[i] = engOld[si]
 	}
 	return true
+}
+
+// runInto retries under the contention policy until the transaction
+// commits: the shared engine of RunInto, Run, and the RunWhen rounds.
+func (tx *Tx) runInto(f UpdateInto, old []uint64) {
+	var info core.ConflictInfo
+	var c *contention.Conflict
+	for !tx.attemptInto(f, old, &info, prioOf(c)) {
+		c = tx.m.noteConflict(c, tx.first(), len(tx.sorted), &info)
+	}
+	tx.m.commitConflict(c, tx.first(), len(tx.sorted))
 }
 
 // TryInto makes one attempt, writing new values computed by f directly into
@@ -110,24 +135,22 @@ func (tx *Tx) attemptInto(f UpdateInto, old []uint64) bool {
 // see the package performance notes.
 func (tx *Tx) TryInto(f UpdateInto, old []uint64) bool {
 	tx.checkOld(old)
-	return tx.attemptInto(f, old)
+	var info core.ConflictInfo
+	if tx.attemptInto(f, old, &info, 0) {
+		tx.m.commitConflict(nil, tx.first(), len(tx.sorted))
+		return true
+	}
+	tx.m.tryAbort(tx.first(), len(tx.sorted), &info)
+	return false
 }
 
-// RunInto retries (with capped exponential backoff between failed attempts)
-// until the transaction commits, writing the old values (caller order) into
-// old unless old is nil. It is the allocation-free counterpart of Run.
+// RunInto retries (deferring between failed attempts as the Memory's
+// contention policy directs) until the transaction commits, writing the old
+// values (caller order) into old unless old is nil. It is the
+// allocation-free counterpart of Run.
 func (tx *Tx) RunInto(f UpdateInto, old []uint64) {
 	tx.checkOld(old)
-	if tx.attemptInto(f, old) {
-		return
-	}
-	bo := tx.m.newBackoff()
-	for {
-		bo.Wait()
-		if tx.attemptInto(f, old) {
-			return
-		}
-	}
+	tx.runInto(f, old)
 }
 
 func (tx *Tx) checkOld(old []uint64) {
@@ -141,19 +164,58 @@ func (tx *Tx) checkOld(old []uint64) {
 // transaction.
 func (tx *Tx) Try(f UpdateFunc) ([]uint64, bool) {
 	out := make([]uint64, len(tx.sorted))
-	if !tx.attemptInto(wrapInto(f), out) {
+	if !tx.TryInto(wrapInto(f), out) {
 		return nil, false
 	}
 	return out, true
 }
 
-// Run retries (with capped exponential backoff between failed attempts)
-// until the transaction commits, and returns the old values in caller
-// order.
+// Run retries (under the Memory's contention policy) until the transaction
+// commits, and returns the old values in caller order.
 func (tx *Tx) Run(f UpdateFunc) []uint64 {
 	out := make([]uint64, len(tx.sorted))
 	tx.RunInto(wrapInto(f), out)
 	return out
+}
+
+// condWaiter paces the guard-unmet rounds of RunWhen-style loops: the
+// committed round was a condition miss, not contention, so the wait
+// escalates while the snapshot stays frozen — a parked waiter must not
+// busy-commit no-op transactions against the very words the eventual
+// writer needs — and resets as soon as the world visibly moved.
+type condWaiter struct {
+	bo   *backoff.Exp
+	prev []uint64 // last guard-rejected snapshot
+}
+
+func (m *Memory) newCondWaiter() *condWaiter {
+	return &condWaiter{bo: m.newCondBackoff()}
+}
+
+// wait blocks for the current condition interval, escalating it unless
+// snapshot differs from the previous rejected round's.
+func (w *condWaiter) wait(snapshot []uint64) {
+	if w.prev == nil {
+		w.prev = make([]uint64, len(snapshot))
+		copy(w.prev, snapshot)
+	} else if !slices.Equal(w.prev, snapshot) {
+		copy(w.prev, snapshot)
+		w.bo.Reset()
+	}
+	w.bo.Wait()
+}
+
+// guardedInto wraps guard and f into one update: attempts whose guard fails
+// commit the data set unchanged (a validated no-op).
+func guardedInto(guard func(old []uint64) bool, f UpdateFunc) UpdateInto {
+	return wrapInto(func(old []uint64) []uint64 {
+		if guard(old) {
+			return f(old)
+		}
+		nv := make([]uint64, len(old))
+		copy(nv, old)
+		return nv
+	})
 }
 
 // RunWhen retries until a committed attempt's old values satisfy guard,
@@ -162,26 +224,23 @@ func (tx *Tx) Run(f UpdateFunc) []uint64 {
 // blocking-style operations — semaphores, bounded queues — in the paper's
 // static-transaction model. It returns the old values guard accepted.
 //
+// Each round commits (or helps) under the contention policy like any other
+// transaction; rounds whose guard fails release the policy's per-operation
+// resources before the condition wait, so a serializing policy's token is
+// never held while this call parks waiting for the world to change.
+//
 // guard, like f, must be deterministic and side-effect free: both may be
 // evaluated by helping goroutines. Whether the guard passed is decided from
 // the committed snapshot, never from shared state.
 func (tx *Tx) RunWhen(guard func(old []uint64) bool, f UpdateFunc) []uint64 {
-	wrapped := func(old []uint64) []uint64 {
-		if guard(old) {
-			return f(old)
-		}
-		nv := make([]uint64, len(old))
-		copy(nv, old)
-		return nv
-	}
-	bo := tx.m.newBackoff()
+	wrapped := guardedInto(guard, f)
+	out := make([]uint64, len(tx.sorted))
+	cond := tx.m.newCondWaiter()
 	for {
-		if old, ok := tx.Try(wrapped); ok {
-			if guard(old) {
-				return old
-			}
-			bo.Reset() // committed but guard unmet: condition wait, not contention
+		tx.runInto(wrapped, out)
+		if guard(out) {
+			return out
 		}
-		bo.Wait()
+		cond.wait(out)
 	}
 }
