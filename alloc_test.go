@@ -118,6 +118,96 @@ func TestAllocsDefaultPolicyWithTelemetry(t *testing.T) {
 	}
 }
 
+func TestAllocsTypedTxSet(t *testing.T) {
+	// The acceptance headline of the typed layer: a prepared typed
+	// read-modify-write — a reused TxSet over a Var[int64] and a
+	// multi-word struct var — is allocation-free, with contention
+	// telemetry on, matching the raw RunInto contract. Checked under the
+	// default policy and under Adaptive, which opts into clean-commit
+	// reports and so exercises the policy hooks on every commit.
+	for _, tc := range []struct {
+		name string
+		opts []stm.Option
+	}{
+		{"Default", nil},
+		{"Adaptive", []stm.Option{stm.WithPolicy(contention.NewAdaptive(contention.AdaptiveConfig{}))}},
+	} {
+		m, err := stm.New(16, tc.opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counter, err := stm.Alloc(m, stm.Int64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt, err := stm.Alloc(m, benchPointCodec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := stm.NewTxSet(m)
+		sc := stm.AddVar(ts, counter)
+		sp := stm.AddVar(ts, pt)
+		if err := ts.Compile(); err != nil {
+			t.Fatal(err)
+		}
+		rmw := func(tv stm.TxView) {
+			x := sc.Get(tv)
+			q := sp.Get(tv)
+			sc.Set(tv, x+1)
+			sp.Set(tv, benchPoint{q.X + x, q.Y - x})
+		}
+		assertAllocs(t, tc.name+"/TxSetRun", 0, func() {
+			if err := ts.Run(rmw); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if m.Stats().Commits == 0 {
+			t.Errorf("%s: telemetry disabled? no commits counted", tc.name)
+		}
+	}
+}
+
+func TestAllocsVarLoadStore(t *testing.T) {
+	m := mustNew(t, 16)
+	v, err := stm.Alloc(m, stm.Int64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := stm.Alloc(m, benchPointCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertAllocs(t, "Var.Load", 0, func() { _ = v.Load() })
+	assertAllocs(t, "Var.Store", 0, func() { v.Store(7) })
+	assertAllocs(t, "Var.Load/struct", 0, func() { _ = p.Load() })
+	assertAllocs(t, "Var.Store/struct", 0, func() { p.Store(benchPoint{1, 2}) })
+}
+
+func TestAllocsAddrsInto(t *testing.T) {
+	m := mustNew(t, 16)
+	tx := mustPrepare(t, m, []int{9, 2, 5})
+	buf := make([]int, 0, 3)
+	assertAllocs(t, "AddrsInto", 0, func() { buf = tx.AddrsInto(buf[:0]) })
+	if len(buf) != 3 || buf[0] != 9 || buf[1] != 2 || buf[2] != 5 {
+		t.Errorf("AddrsInto = %v, want [9 2 5] (caller order)", buf)
+	}
+}
+
+// benchPoint / benchPointCodec: a two-word struct codec for the
+// allocation assertions (kept separate from vars_test's point so each
+// file reads standalone).
+type benchPoint struct{ X, Y int64 }
+
+type benchPointCodec struct{}
+
+func (benchPointCodec) Words() int { return 2 }
+func (benchPointCodec) Encode(p benchPoint, dst []uint64) {
+	dst[0], dst[1] = uint64(p.X), uint64(p.Y)
+}
+func (benchPointCodec) Decode(src []uint64) benchPoint {
+	return benchPoint{int64(src[0]), int64(src[1])}
+}
+
 func TestAllocsLegacyRunReduced(t *testing.T) {
 	// The slice-returning Run keeps its API (so it must allocate the result
 	// and the wrapper), but it must stay far below the pre-pooling seven

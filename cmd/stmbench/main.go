@@ -9,6 +9,7 @@
 //	stmbench -exp F3 -csv out/   # also write out/F3.csv
 //	stmbench -json BENCH_hotpath.json   # host hot-path suite, JSON out
 //	stmbench -suite cont -json BENCH_contention.json  # policy sweep
+//	stmbench -suite vars -json BENCH_vars.json        # typed Var/TxSet suite
 //
 // Experiments: T0 protocol footprint (ideal machine), F1/F2 counting
 // benchmark (bus/net), F3/F4 queue benchmark (bus/net), T1 STM overhead
@@ -16,7 +17,9 @@
 // ablation, F7 transaction-size sweep, HOT host hot-path latency and
 // allocation microbenchmarks (the numbers tracked in BENCH_hotpath.json;
 // see DESIGN.md §6), CONT host contention-policy sweep (the numbers
-// tracked in BENCH_contention.json; see DESIGN.md §7).
+// tracked in BENCH_contention.json; see DESIGN.md §7), VARS host typed
+// Var/TxSet suite (the numbers tracked in BENCH_vars.json; see
+// DESIGN.md §8).
 package main
 
 import (
@@ -48,8 +51,8 @@ func run(args []string, out *os.File) error {
 		procs    = fs.String("procs", "", "override processor sweep, e.g. 1,2,4,8")
 		seed     = fs.Uint64("seed", 0, "override random seed")
 		csvDir   = fs.String("csv", "", "directory to write per-experiment CSV files")
-		jsonOut  = fs.String("json", "", "write the host suite's JSON report (HOT by default, CONT with -suite cont) to this path")
-		suite    = fs.String("suite", "", `host suite to run ("hot" or "cont"); overrides -exp`)
+		jsonOut  = fs.String("json", "", "write the host suite's JSON report (HOT by default; CONT/VARS with -suite) to this path")
+		suite    = fs.String("suite", "", `host suite to run ("hot", "cont", or "vars"); overrides -exp`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,8 +81,10 @@ func run(args []string, out *os.File) error {
 			ids = []string{"HOT"}
 		case "cont":
 			ids = []string{"CONT"}
+		case "vars":
+			ids = []string{"VARS"}
 		default:
-			return fmt.Errorf("unknown suite %q (want hot or cont)", *suite)
+			return fmt.Errorf("unknown suite %q (want hot, cont, or vars)", *suite)
 		}
 	case *exp != "all":
 		ids = []string{strings.ToUpper(*exp)}
@@ -88,7 +93,7 @@ func run(args []string, out *os.File) error {
 		// simulator sweep along unless an experiment was asked for.
 		ids = nil
 	}
-	if *jsonOut != "" && !slices.Contains(ids, "HOT") && !slices.Contains(ids, "CONT") {
+	if *jsonOut != "" && !slices.Contains(ids, "HOT") && !slices.Contains(ids, "CONT") && !slices.Contains(ids, "VARS") {
 		// -json always delivers its file, whatever experiments run with it.
 		ids = append(ids, "HOT")
 	}
@@ -102,6 +107,21 @@ func run(args []string, out *os.File) error {
 			fmt.Fprintln(out, table)
 			if *jsonOut != "" {
 				data, err := contentionJSON(report)
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "wrote %s\n\n", *jsonOut)
+			}
+			continue
+		}
+		if id == "VARS" {
+			report, table := runVars(*quick)
+			fmt.Fprintln(out, table)
+			if *jsonOut != "" {
+				data, err := varsJSON(report)
 				if err != nil {
 					return err
 				}

@@ -1,0 +1,185 @@
+package main
+
+// The VARS suite: host-mode microbenchmarks of the typed Var/TxSet layer,
+// emitted as BENCH_vars.json. The suite exists to keep the typed layer
+// honest about its headline contract: a prepared typed read-modify-write
+// (a reused TxSet over a Var[int64] plus a multi-word struct var) must
+// stay at 0 allocs/op, the same as the raw prepared-Tx hot path it
+// compiles down to. The convenience forms (Var.Update, Atomic2) are
+// measured too so their per-call closure/builder cost stays visible
+// rather than creeping.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	stm "github.com/stm-go/stm"
+)
+
+// benchPoint is the suite's two-word struct payload.
+type benchPoint struct{ X, Y int64 }
+
+type benchPointCodec struct{}
+
+func (benchPointCodec) Words() int { return 2 }
+func (benchPointCodec) Encode(p benchPoint, dst []uint64) {
+	dst[0], dst[1] = uint64(p.X), uint64(p.Y)
+}
+func (benchPointCodec) Decode(src []uint64) benchPoint {
+	return benchPoint{int64(src[0]), int64(src[1])}
+}
+
+// varsResult is one measured benchmark point.
+type varsResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations,omitempty"`
+}
+
+// varsReport is the BENCH_vars.json document.
+type varsReport struct {
+	Note    string       `json:"note"`
+	Results []varsResult `json:"results"`
+}
+
+// runVars measures the typed suite and returns the report plus a table.
+// quick keeps only the prepared hot-path benchmarks (the regression
+// surface) and skips the convenience forms.
+func runVars(quick bool) (varsReport, string) {
+	var results []varsResult
+	measure := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		results = append(results, varsResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		})
+	}
+
+	measure("VarLoadInt64", func(b *testing.B) {
+		m, _ := stm.New(16)
+		v, _ := stm.Alloc(m, stm.Int64())
+		v.Store(42)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if v.Load() != 42 {
+				b.Fatal("bad load")
+			}
+		}
+	})
+	measure("VarStoreStruct", func(b *testing.B) {
+		m, _ := stm.New(16)
+		v, _ := stm.Alloc(m, benchPointCodec{})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v.Store(benchPoint{int64(i), -int64(i)})
+		}
+	})
+	measure("TxSetRMW2", func(b *testing.B) {
+		// The headline: reused TxSet over Var[int64] + 2-word struct var.
+		m, _ := stm.New(16)
+		counter, _ := stm.Alloc(m, stm.Int64())
+		pt, _ := stm.Alloc(m, benchPointCodec{})
+		ts := stm.NewTxSet(m)
+		sc := stm.AddVar(ts, counter)
+		sp := stm.AddVar(ts, pt)
+		if err := ts.Compile(); err != nil {
+			b.Fatal(err)
+		}
+		// Read the compiled data set through the no-alloc accessor; the
+		// digest pins AddrsInto's caller-order contract.
+		addrBuf := make([]int, 0, ts.Size())
+		addrBuf = ts.Tx().AddrsInto(addrBuf[:0])
+		if len(addrBuf) != ts.Size() {
+			b.Fatalf("AddrsInto returned %d addrs for a %d-word set", len(addrBuf), ts.Size())
+		}
+		rmw := func(tv stm.TxView) {
+			x := sc.Get(tv)
+			q := sp.Get(tv)
+			sc.Set(tv, x+1)
+			sp.Set(tv, benchPoint{q.X + x, q.Y - x})
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := ts.Run(rmw); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	if !quick {
+		measure("VarUpdateInt64", func(b *testing.B) {
+			m, _ := stm.New(16)
+			v, _ := stm.Alloc(m, stm.Int64())
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				v.Update(func(x int64) int64 { return x + 1 })
+			}
+		})
+		measure("Atomic2OneShot", func(b *testing.B) {
+			m, _ := stm.New(16)
+			a, _ := stm.Alloc(m, stm.Int64())
+			c, _ := stm.Alloc(m, stm.Int64())
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := stm.Atomic2(a, c, func(x, y int64) (int64, int64) {
+					return x + 1, y - 1
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		measure("TxSetRMWString", func(b *testing.B) {
+			m, _ := stm.New(16)
+			name, _ := stm.Alloc(m, stm.String(16))
+			gen, _ := stm.Alloc(m, stm.Int64())
+			name.Store("service-a")
+			ts := stm.NewTxSet(m)
+			sn := stm.AddVar(ts, name)
+			sg := stm.AddVar(ts, gen)
+			if err := ts.Compile(); err != nil {
+				b.Fatal(err)
+			}
+			rmw := func(tv stm.TxView) {
+				s := sn.Get(tv)
+				sn.Set(tv, s)
+				sg.Set(tv, sg.Get(tv)+1)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := ts.Run(rmw); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	report := varsReport{
+		Note: "typed Var/TxSet suite (cmd/stmbench -suite vars); " +
+			"TxSetRMW2 is the prepared typed RMW headline and must stay 0 allocs/op",
+		Results: results,
+	}
+
+	var sb strings.Builder
+	sb.WriteString("VARS: typed layer latency and allocations\n")
+	fmt.Fprintf(&sb, "%-18s %12s %10s %12s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%-18s %12.1f %10d %12d\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	return report, sb.String()
+}
+
+// varsJSON marshals the report for -json output.
+func varsJSON(rep varsReport) ([]byte, error) {
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

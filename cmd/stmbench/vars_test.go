@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunVarsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures real benchmarks")
+	}
+	rep, table := runVars(true)
+	if len(rep.Results) == 0 {
+		t.Fatal("quick VARS suite measured nothing")
+	}
+	if !strings.Contains(table, "TxSetRMW2") {
+		t.Errorf("table missing the headline benchmark:\n%s", table)
+	}
+	for _, r := range rep.Results {
+		if r.Name == "TxSetRMW2" && r.AllocsPerOp != 0 && !raceEnabled {
+			t.Errorf("TxSetRMW2 = %d allocs/op, want 0", r.AllocsPerOp)
+		}
+		if r.NsPerOp <= 0 {
+			t.Errorf("%s: empty measurement %+v", r.Name, r)
+		}
+	}
+}
+
+func TestVarsJSONShape(t *testing.T) {
+	rep := varsReport{Note: "x", Results: []varsResult{{Name: "b"}}}
+	data, err := varsJSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || data[len(data)-1] != '\n' {
+		t.Error("JSON output not newline-terminated")
+	}
+}

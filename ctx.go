@@ -13,11 +13,11 @@ import (
 // caller returns promptly instead of sleeping out one more wait; the
 // operation is then reported aborted — with its final failure counted — so
 // the policy releases any per-operation resources it granted.
-func (tx *Tx) runIntoCtx(ctx context.Context, f UpdateInto, old []uint64) error {
+func (tx *Tx) runIntoCtx(ctx context.Context, u update, old []uint64) error {
 	var info core.ConflictInfo
 	var c *contention.Conflict
 	for {
-		if tx.attemptInto(f, old, &info, prioOf(c)) {
+		if tx.attemptInto(u, old, &info, prioOf(c)) {
 			tx.m.commitConflict(c, tx.first(), len(tx.sorted))
 			return nil
 		}
@@ -40,7 +40,7 @@ func (tx *Tx) runIntoCtx(ctx context.Context, f UpdateInto, old []uint64) error 
 // reported as cancelled.
 func (tx *Tx) RunContext(ctx context.Context, f UpdateFunc) ([]uint64, error) {
 	out := make([]uint64, len(tx.sorted))
-	if err := tx.runIntoCtx(ctx, wrapInto(f), out); err != nil {
+	if err := tx.runIntoCtx(ctx, update{fInto: wrapInto(f)}, out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -50,7 +50,7 @@ func (tx *Tx) RunContext(ctx context.Context, f UpdateFunc) ([]uint64, error) {
 // attempt's old values satisfy guard (then applies f and returns them) or
 // until ctx is done.
 func (tx *Tx) RunWhenContext(ctx context.Context, guard func(old []uint64) bool, f UpdateFunc) ([]uint64, error) {
-	wrapped := guardedInto(guard, f)
+	wrapped := update{fInto: guardedInto(guard, f)}
 	out := make([]uint64, len(tx.sorted))
 	cond := tx.m.newCondWaiter()
 	for {

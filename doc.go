@@ -11,23 +11,61 @@
 // work instead. See DESIGN.md for the protocol and internal/core for the
 // engine.
 //
-// # Quick start
+// # Quick start: typed variables
 //
-//	m, _ := stm.New(16)
-//	tx, _ := m.Prepare([]int{3, 7})           // declare the data set
-//	old := tx.Run(func(old []uint64) []uint64 {
-//		return []uint64{old[0] + 1, old[1] + 1} // atomically ++ both words
+// The front door is the typed layer: allocate Var[T] handles backed by the
+// Memory's word allocator, and run typed transactions over them. Every
+// typed transaction compiles to a static transaction — a Var's codec spans
+// a fixed word range, so the data set is known before the transaction
+// starts — and runs on the same pooled engine hot path as the raw API.
+//
+//	m, _ := stm.New(64)
+//	checking, _ := stm.Alloc(m, stm.Int64())
+//	savings, _ := stm.Alloc(m, stm.Int64())
+//	checking.Store(900)
+//
+//	// Atomically move money between two typed variables.
+//	_ = stm.Atomic2(checking, savings, func(c, s int64) (int64, int64) {
+//		return c - 250, s + 250
 //	})
-//	_ = old // the consistent snapshot the update was computed from
 //
-// Derived operations — ReadAll, WriteAll, Add, Swap, CompareAndSwap,
-// CompareAndSwapN — cover common multi-word patterns without writing an
-// update function. Conditional (blocking-style) operations are built with
-// RunWhen, which retries until a guard over the old values holds.
+// Codecs cover int64, uint64, float64, bool, and fixed-capacity strings
+// (String(n)); implement Codec[T] to store structs across several words —
+// the transaction stays static, just wider. Var.Load, Store, and Update
+// give single-variable atomic access.
 //
-// Update functions must be deterministic and side-effect free: under
-// contention the protocol lets several goroutines evaluate the same
-// transaction's function, and all evaluations must agree.
+// Hot paths declare once and run many times: a TxSet records a set of
+// vars, validates and sorts their words once, and caches the compiled
+// transaction, so repeat executions are allocation-free — the same
+// zero-allocs-per-op contract as the raw prepared hot path, with types:
+//
+//	ts := stm.NewTxSet(m)
+//	ch := stm.AddVar(ts, checking)
+//	sv := stm.AddVar(ts, savings)
+//	_ = ts.Compile()
+//	_ = ts.Run(func(tv stm.TxView) {     // 0 allocs/op, reusable
+//		ch.Set(tv, ch.Get(tv)+10)
+//		sv.Set(tv, sv.Get(tv)+1)
+//	})
+//
+// RunWhen/RunWhenContext add guarded (blocking-style) typed transactions;
+// RunContext adds cancellation. A TxSet is a single-goroutine handle
+// (prepare one per goroutine); the Vars and Memory underneath are shared.
+//
+// Update functions, guards, and codecs must be deterministic and
+// side-effect free: under contention the protocol lets several goroutines
+// evaluate the same transaction's update, and all evaluations must agree.
+// Read a transaction's committed snapshot back through Slot.Old rather
+// than writing to captured variables.
+//
+// # Engine-level access: raw words
+//
+// The word-addressed API underneath is fully supported for engine-level
+// work: Prepare/Tx.Run(Into) for static transactions over explicit
+// addresses, and the derived operations ReadAll, WriteAll, Add, Swap,
+// CompareAndSwap, CompareAndSwapN, plus Tx.RunWhen for guarded updates.
+// Reserve raw regions from the same allocator with AllocWords so typed and
+// raw words never collide; VarAt overlays typed access on raw words.
 //
 // # Choosing a contention policy
 //
@@ -53,22 +91,25 @@
 // per-word value boxes through a pool (DESIGN.md §4), so the hot paths
 // are allocation-free in steady state:
 //
-//   - Tx.RunInto and Tx.TryInto write old values into a caller-supplied
-//     buffer and take an UpdateInto that writes new values into an
-//     engine buffer: zero heap allocations per committed transaction
-//     (amortized) when the addresses were declared in ascending order
-//     (and for permuted declarations up to 16 words; larger permuted
-//     data sets stage one snapshot buffer per call).
+//   - A compiled TxSet's Run (and the Context/When variants between
+//     waits) performs zero heap allocations per committed transaction
+//     (amortized), as do Var.Load and Var.Store — modulo what the codec
+//     itself allocates (the built-in numeric/bool codecs allocate
+//     nothing; String's Decode builds a string).
+//   - Tx.RunInto and Tx.TryInto are the raw equivalents: zero heap
+//     allocations with a caller-supplied old buffer (for permuted
+//     declarations up to 16 words; larger permuted data sets stage one
+//     snapshot buffer per call).
 //   - Add, Swap, CompareAndSwap, ReadAllInto, and WriteAll/ReadAll over
 //     already-ascending address sets run on the same pooled fast path;
 //     ReadAll and CompareAndSwapN allocate only their returned snapshot.
-//   - Tx.Run/Try keep the slice-returning UpdateFunc API and therefore
-//     allocate the result and an adapter per call; Atomically and
-//     non-ascending k-word operations additionally re-Prepare (sort +
-//     permutation) per call.
+//   - The convenience forms pay per call: Var.Update and Atomic1/2/3
+//     build their closure (and, for Atomic*, the TxSet) each time;
+//     Tx.Run/Try allocate the result slice and an adapter; Atomically
+//     and non-ascending k-word operations additionally re-Prepare.
 //
-// Prefer RunInto/TryInto (and a once-Prepared Tx) on hot paths; use the
-// slice-returning forms where convenience matters more than allocation.
-// Into-style update functions receive engine-owned buffers and must not
-// retain them. See DESIGN.md §6 for the full accounting.
+// Prefer a compiled TxSet (typed) or RunInto on a prepared Tx (raw) on hot
+// paths; use the convenience forms where clarity matters more than
+// allocation. See DESIGN.md §6 and §8 for the full accounting, and
+// `stmbench -suite vars` / BENCH_vars.json for the tracked numbers.
 package stm

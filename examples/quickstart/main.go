@@ -1,9 +1,12 @@
 // Quickstart: the public STM API in one file.
 //
-// A Memory is a vector of uint64 words; a static transaction declares the
-// words it touches and a pure update function, and the engine applies it
-// atomically — the Shavit–Touitou protocol underneath is non-blocking, so
-// no transaction ever waits on a stalled goroutine.
+// The typed layer is the front door: allocate Var[T] handles, then run
+// typed transactions over them with Atomic combinators or a prepared
+// TxSet. Underneath, every typed transaction compiles to one of the
+// paper's static transactions — the data set is fixed before it starts —
+// and the Shavit–Touitou protocol is non-blocking, so no transaction ever
+// waits on a stalled goroutine. The raw word-addressed API is still there
+// for engine-level access, shown at the end.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -16,71 +19,108 @@ import (
 )
 
 func main() {
-	m, err := stm.New(16)
+	m, err := stm.New(64)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Initialize a few words atomically.
-	if err := m.WriteAll([]int{0, 1, 2}, []uint64{100, 200, 300}); err != nil {
+	// Typed variables, allocated from the Memory's word allocator.
+	checking, err := stm.Alloc(m, stm.Int64())
+	if err != nil {
 		log.Fatal(err)
 	}
+	savings, err := stm.Alloc(m, stm.Int64())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rate, err := stm.Alloc(m, stm.Float64())
+	if err != nil {
+		log.Fatal(err)
+	}
+	checking.Store(900)
+	savings.Store(100)
+	rate.Store(0.031)
 
-	// A multi-word transaction: rotate three words left, atomically.
-	old, err := m.Atomically([]int{0, 1, 2}, func(old []uint64) []uint64 {
+	// A typed two-variable transaction: move money atomically.
+	if err := stm.Atomic2(checking, savings, func(c, s int64) (int64, int64) {
+		return c - 250, s + 250
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checking %d, savings %d, rate %.3f\n",
+		checking.Load(), savings.Load(), rate.Load())
+
+	// Hot paths prepare a TxSet once: the data set is validated, sorted,
+	// and compiled to a static transaction, and every Run after that is
+	// allocation-free.
+	ts := stm.NewTxSet(m)
+	ch := stm.AddVar(ts, checking)
+	sv := stm.AddVar(ts, savings)
+	for i := 0; i < 3; i++ {
+		if err := ts.Run(func(tv stm.TxView) {
+			ch.Set(tv, ch.Get(tv)+10)
+			sv.Set(tv, sv.Get(tv)+1)
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("after 3 prepared runs: checking %d, savings %d\n",
+		checking.Load(), savings.Load())
+
+	// Single-variable read-modify-write, with the old value back.
+	old := savings.Update(func(s int64) int64 { return s * 2 })
+	fmt.Printf("savings doubled: %d -> %d\n", old, savings.Load())
+
+	// Blocking-style operations: RunWhen retries until a guard holds.
+	gate, err := stm.Alloc(m, stm.Bool())
+	if err != nil {
+		log.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		wts := stm.NewTxSet(m)
+		g := stm.AddVar(wts, gate)
+		c := stm.AddVar(wts, checking)
+		if err := wts.RunWhen(
+			func(tv stm.TxView) bool { return g.Get(tv) }, // wait for the gate
+			func(tv stm.TxView) {
+				g.Set(tv, false)
+				c.Set(tv, c.Get(tv)-1) // take a token
+			},
+		); err != nil {
+			log.Fatal(err)
+		}
+		close(done)
+	}()
+	fmt.Println("consumer waiting for the gate...")
+	gate.Store(true)
+	<-done
+	fmt.Println("consumer passed; checking =", checking.Load())
+
+	// Engine-level access: the raw word-addressed static-transaction API
+	// underneath. Reserve words from the same allocator so raw and typed
+	// regions never collide, then address them directly.
+	base, err := m.AllocWords(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	addrs := []int{base, base + 1, base + 2}
+	if err := m.WriteAll(addrs, []uint64{100, 200, 300}); err != nil {
+		log.Fatal(err)
+	}
+	rotated, err := m.Atomically(addrs, func(old []uint64) []uint64 {
 		return []uint64{old[1], old[2], old[0]}
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("rotated %v -> ", old)
-	now, _ := m.ReadAll(0, 1, 2)
-	fmt.Println(now)
-
-	// Prepared transactions amortize validation for hot paths.
-	tx, err := m.Prepare([]int{5, 9})
+	now, _ := m.ReadAll(addrs...)
+	fmt.Printf("raw rotate %v -> %v\n", rotated, now)
+	swapped, observed, err := m.CompareAndSwapN(addrs, now, []uint64{1, 2, 3})
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i := 0; i < 3; i++ {
-		tx.Run(func(old []uint64) []uint64 {
-			return []uint64{old[0] + 1, old[1] + 2}
-		})
-	}
-	pair, _ := m.ReadAll(5, 9)
-	fmt.Printf("after 3 prepared runs: words 5,9 = %v\n", pair)
-
-	// k-word compare-and-swap: the classic static-transaction consumer.
-	swapped, observed, err := m.CompareAndSwapN(
-		[]int{5, 9}, []uint64{3, 6}, []uint64{33, 66})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("CASN success=%v (observed %v)\n", swapped, observed)
-
-	// Single-word conveniences.
-	if _, err := m.Add(7, 41); err != nil {
-		log.Fatal(err)
-	}
-	oldv, _ := m.Swap(7, 7)
-	fmt.Printf("word 7 was %d, now %d\n", oldv, m.Peek(7))
-
-	// Blocking-style operations: RunWhen retries until a guard holds.
-	done := make(chan struct{})
-	gate, _ := m.Prepare([]int{15})
-	go func() {
-		gate.RunWhen(
-			func(old []uint64) bool { return old[0] > 0 }, // wait for a token
-			func(old []uint64) []uint64 { return []uint64{old[0] - 1} },
-		)
-		close(done)
-	}()
-	fmt.Println("consumer waiting for a token...")
-	if _, err := m.Add(15, 1); err != nil { // produce the token
-		log.Fatal(err)
-	}
-	<-done
-	fmt.Println("consumer took the token; gate =", m.Peek(15))
+	fmt.Printf("raw CASN success=%v (observed %v)\n", swapped, observed)
 
 	st := m.Stats()
 	fmt.Printf("protocol stats: %d attempts, %d commits, %d failures, %d helps\n",

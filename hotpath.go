@@ -27,6 +27,20 @@ import (
 // evaluations must produce identical values.
 type UpdateInto func(old, new []uint64)
 
+// update is the staged form of one transaction's computation: exactly one
+// of fInto (raw word update) or typed (TxView update from the Var/TxSet
+// layer) is set. For the typed form, guard may additionally gate the
+// update: a round whose guard rejects the old values commits the data set
+// unchanged, the typed analogue of guardedInto. Passing the forms through
+// one struct lets every retry loop (runInto, runIntoCtx) stage either
+// without a per-call closure — the key to the typed layer's
+// zero-allocation contract.
+type update struct {
+	fInto UpdateInto
+	typed func(TxView)
+	guard func(TxView) bool
+}
+
 // The Memory's confPool recycles contention.Conflict reports so the policy
 // hooks cost no allocation in steady state: one report accompanies one
 // logical operation (a retry loop, or a single Try) and returns to the pool
@@ -62,6 +76,23 @@ func fillConflict(c *contention.Conflict, info *core.ConflictInfo) {
 		Priority: info.OwnerPriority,
 	}
 }
+
+// getWordBuf returns a pooled staging buffer of length k. Typed Var
+// operations stage encoded words here: a stack buffer would escape through
+// the codec's interface method calls, so pooling is what keeps Load/Store
+// allocation-free. Callers must putWordBuf the same pointer when done and
+// must not retain the slice (codecs already promise not to).
+func (m *Memory) getWordBuf(k int) *[]uint64 {
+	p, ok := m.bufPool.Get().(*[]uint64)
+	if !ok || cap(*p) < k {
+		b := make([]uint64, k)
+		p = &b
+	}
+	*p = (*p)[:k]
+	return p
+}
+
+func (m *Memory) putWordBuf(p *[]uint64) { m.bufPool.Put(p) }
 
 // prioOf reads the policy-assigned priority off an operation's report, or 0
 // before the operation has one.
@@ -134,8 +165,11 @@ func (m *Memory) tryAbort(first, size int, info *core.ConflictInfo) {
 // buffers, which only the exclusive (initiator) evaluation of calcTx may
 // use; helpers bring their own.
 type scratch struct {
-	// calcTx parameters (prepared-transaction remap).
+	// calcTx parameters (prepared-transaction remap). fInto and
+	// typed/tguard are the two staged update forms; see update.
 	fInto     UpdateInto
+	typed     func(TxView)
+	tguard    func(TxView) bool
 	perm      []int // caller order -> engine order; nil for identity
 	callerOld []uint64
 	callerNew []uint64
@@ -155,6 +189,8 @@ type scratch struct {
 // stay: they are the amortization.
 func (s *scratch) ResetForPool() {
 	s.fInto = nil
+	s.typed = nil
+	s.tguard = nil
 	s.perm = nil
 }
 
@@ -233,7 +269,7 @@ func calcCASN(env any, old, new []uint64, _ bool) {
 func calcTx(env any, old, new []uint64, exclusive bool) {
 	s := env.(*scratch)
 	if s.perm == nil {
-		s.fInto(old, new)
+		s.apply(old, new)
 		return
 	}
 	co, cn := s.callerOld, s.callerNew
@@ -244,10 +280,30 @@ func calcTx(env any, old, new []uint64, exclusive bool) {
 	for i, si := range s.perm {
 		co[i] = old[si]
 	}
-	s.fInto(co, cn)
+	s.apply(co, cn)
 	for i, si := range s.perm {
 		new[si] = cn[i]
 	}
+}
+
+// apply evaluates whichever update form is staged, over caller-order
+// buffers. The typed form sees new pre-initialized to old, so slots the
+// update never Sets commit unchanged; a staged guard that rejects the old
+// values leaves it that way (a validated no-op commit, same as
+// guardedInto).
+func (s *scratch) apply(old, new []uint64) {
+	if s.typed == nil {
+		s.fInto(old, new)
+		return
+	}
+	copy(new, old)
+	// The guard sees a read-only view — no new buffer — so a guard that
+	// Sets panics instead of silently committing writes, and a rejected
+	// round really does commit the data set unchanged.
+	if s.tguard != nil && !s.tguard(TxView{old: old}) {
+		return
+	}
+	s.typed(TxView{old: old, new: new})
 }
 
 // wrapInto adapts a slice-returning UpdateFunc to the into-style contract,

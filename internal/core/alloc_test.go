@@ -1,0 +1,94 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestAllocatorBumpAndAlign(t *testing.T) {
+	a := NewAllocator(64)
+	b1, err := a.Alloc(1)
+	if err != nil || b1 != 0 {
+		t.Fatalf("Alloc(1) = %d, %v; want 0, nil", b1, err)
+	}
+	// A 3-word allocation aligns to 4, skipping words 1..3.
+	b2, err := a.Alloc(3)
+	if err != nil || b2 != 4 {
+		t.Fatalf("Alloc(3) = %d, %v; want 4, nil", b2, err)
+	}
+	// The next single word bumps from the high-water mark, unaligned.
+	b3, err := a.Alloc(1)
+	if err != nil || b3 != 7 {
+		t.Fatalf("Alloc(1) = %d, %v; want 7, nil", b3, err)
+	}
+	// Sizes past allocAlignCap stay cap-aligned, not size-aligned.
+	b4, err := a.Alloc(12)
+	if err != nil || b4%allocAlignCap != 0 {
+		t.Fatalf("Alloc(12) = %d, %v; want %d-aligned, nil", b4, err, allocAlignCap)
+	}
+	if got := a.Allocated(); got != b4+12 {
+		t.Errorf("Allocated() = %d, want %d", got, b4+12)
+	}
+	if got := a.Remaining(); got != 64-(b4+12) {
+		t.Errorf("Remaining() = %d, want %d", got, 64-(b4+12))
+	}
+}
+
+func TestAllocatorExhaustionAndBadSize(t *testing.T) {
+	a := NewAllocator(4)
+	if _, err := a.Alloc(5); !errors.Is(err, ErrOutOfWords) {
+		t.Errorf("oversized Alloc err = %v, want ErrOutOfWords", err)
+	}
+	if _, err := a.Alloc(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(1); !errors.Is(err, ErrOutOfWords) {
+		t.Errorf("exhausted Alloc err = %v, want ErrOutOfWords", err)
+	}
+	if _, err := a.Alloc(0); err == nil || errors.Is(err, ErrOutOfWords) {
+		t.Errorf("Alloc(0) err = %v, want a size error", err)
+	}
+	if _, err := a.Alloc(-1); err == nil {
+		t.Error("Alloc(-1): want error")
+	}
+}
+
+func TestAllocatorConcurrentDisjoint(t *testing.T) {
+	// Concurrent allocations must hand out pairwise-disjoint ranges.
+	const (
+		workers = 8
+		perW    = 50
+		size    = workers*perW*4 + 64
+	)
+	a := NewAllocator(size)
+	got := make([][][2]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				n := 1 + (w+i)%3
+				base, err := a.Alloc(n)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got[w] = append(got[w], [2]int{base, base + n})
+			}
+		}(w)
+	}
+	wg.Wait()
+	var all [][2]int
+	for _, rs := range got {
+		all = append(all, rs...)
+	}
+	for i := range all {
+		for j := i + 1; j < len(all); j++ {
+			if all[i][0] < all[j][1] && all[j][0] < all[i][1] {
+				t.Fatalf("overlapping allocations %v and %v", all[i], all[j])
+			}
+		}
+	}
+}

@@ -14,11 +14,32 @@ var (
 	ErrAddrRange = errors.New("core: address out of range")
 	// ErrAddrOrder reports a data set that is not strictly ascending.
 	ErrAddrOrder = errors.New("core: data set must be strictly ascending (sorted, no duplicates)")
+	// ErrDupAddr reports a data set containing the same address twice.
+	// Duplicate errors also match ErrAddrOrder under errors.Is for one
+	// release (duplicates used to be reported as ordering errors); that
+	// compatibility match is deprecated and will be removed.
+	ErrDupAddr = errors.New("core: data set contains a duplicate address")
 	// ErrEmptyDataSet reports an empty data set.
 	ErrEmptyDataSet = errors.New("core: empty data set")
 	// ErrNilUpdate reports a nil update function.
 	ErrNilUpdate = errors.New("core: nil update function")
 )
+
+// DupAddrError is a duplicate-address validation failure. It matches both
+// ErrDupAddr and — deprecated, kept for one release — ErrAddrOrder under
+// errors.Is, because duplicates were historically reported as ordering
+// errors.
+type DupAddrError int
+
+func (e DupAddrError) Error() string {
+	return fmt.Sprintf("%v: address %d appears more than once", ErrDupAddr, int(e))
+}
+
+// Is makes errors.Is(err, ErrDupAddr) and the deprecated
+// errors.Is(err, ErrAddrOrder) both hold.
+func (e DupAddrError) Is(target error) bool {
+	return target == ErrDupAddr || target == ErrAddrOrder
+}
 
 // cacheLineSize is the assumed coherence granularity. 64 bytes covers
 // x86-64 and most arm64 server parts; on CPUs with larger lines the layout
@@ -109,7 +130,10 @@ func (m *Memory) ValidateDataSet(addrs []int) error {
 		if a < 0 || a >= len(m.words) {
 			return fmt.Errorf("%w: addrs[%d]=%d, size %d", ErrAddrRange, i, a, len(m.words))
 		}
-		if i > 0 && addrs[i-1] >= a {
+		if i > 0 && addrs[i-1] == a {
+			return DupAddrError(a)
+		}
+		if i > 0 && addrs[i-1] > a {
 			return fmt.Errorf("%w: addrs[%d]=%d follows %d", ErrAddrOrder, i, a, addrs[i-1])
 		}
 	}

@@ -86,7 +86,7 @@ func TestValidateDataSet(t *testing.T) {
 		{name: "single", addrs: []int{0}},
 		{name: "ascending", addrs: []int{0, 3, 9}},
 		{name: "empty", addrs: nil, want: ErrEmptyDataSet},
-		{name: "duplicate", addrs: []int{1, 1}, want: ErrAddrOrder},
+		{name: "duplicate", addrs: []int{1, 1}, want: ErrDupAddr},
 		{name: "descending", addrs: []int{5, 2}, want: ErrAddrOrder},
 		{name: "negative", addrs: []int{-1}, want: ErrAddrRange},
 		{name: "too large", addrs: []int{10}, want: ErrAddrRange},
@@ -105,6 +105,23 @@ func TestValidateDataSet(t *testing.T) {
 				t.Fatalf("ValidateDataSet(%v) = %v, want %v", tt.addrs, err, tt.want)
 			}
 		})
+	}
+}
+
+func TestDupAddrSentinels(t *testing.T) {
+	m := mustMemory(t, 10)
+	err := m.ValidateDataSet([]int{2, 2})
+	if !errors.Is(err, ErrDupAddr) {
+		t.Errorf("duplicate: err = %v, want ErrDupAddr", err)
+	}
+	// Deprecated compatibility: duplicates were reported as ordering
+	// errors; errors.Is(err, ErrAddrOrder) keeps working for one release.
+	if !errors.Is(err, ErrAddrOrder) {
+		t.Errorf("duplicate: err = %v, want ErrAddrOrder compat match", err)
+	}
+	// The reverse does not hold: a pure ordering error is not a duplicate.
+	if err := m.ValidateDataSet([]int{5, 2}); errors.Is(err, ErrDupAddr) {
+		t.Errorf("descending: err = %v must not match ErrDupAddr", err)
 	}
 }
 

@@ -59,7 +59,10 @@ func (m *Memory) runSingle(loc int, calc core.CalcFunc, a0, a1 uint64) uint64 {
 // pooled fast path until it commits, writing old values into out (which may
 // be nil). exp and repl are staged into the record's scratch so helpers can
 // evaluate calc without touching caller memory. Failed attempts defer as
-// the contention policy directs.
+// the contention policy directs. Besides the k-word Memory operations
+// below, this is the engine of the typed layer's Var.Load (calcIdentity)
+// and Var.Store (calcStore), whose address sets are ascending by
+// construction.
 func (m *Memory) runAscending(addrs []int, calc core.CalcFunc, exp, repl, out []uint64) {
 	var info core.ConflictInfo
 	var c *contention.Conflict

@@ -22,6 +22,16 @@ var (
 	ErrAddrOrder    = core.ErrAddrOrder
 	ErrEmptyDataSet = core.ErrEmptyDataSet
 	ErrNilUpdate    = core.ErrNilUpdate
+
+	// ErrDupAddr reports a data set containing the same address twice.
+	// For one release duplicate errors also match ErrAddrOrder under
+	// errors.Is (they used to be reported as ordering errors); that
+	// compatibility match is deprecated.
+	ErrDupAddr = core.ErrDupAddr
+
+	// ErrOutOfWords reports that Alloc/AllocWords cannot fit the request
+	// in the Memory's word vector.
+	ErrOutOfWords = core.ErrOutOfWords
 )
 
 // Memory is a software transactional memory: a fixed-size vector of uint64
@@ -29,6 +39,12 @@ var (
 // concurrent use by any number of goroutines.
 type Memory struct {
 	eng *core.Memory
+
+	// alloc hands out word ranges for typed variables (Alloc, AllocWords).
+	// It bump-allocates from address 0; programs that address words
+	// directly alongside typed variables should reserve their raw region
+	// first with AllocWords.
+	alloc *core.Allocator
 
 	// pol decides how retry loops react to contention; see the contention
 	// package. allCommits caches whether pol opted into clean-commit
@@ -38,6 +54,7 @@ type Memory struct {
 	allCommits bool
 
 	confPool sync.Pool // of *contention.Conflict; see hotpath.go
+	bufPool  sync.Pool // of *[]uint64 word staging buffers; see hotpath.go
 }
 
 // Option configures a Memory at construction.
@@ -84,10 +101,25 @@ func New(size int, opts ...Option) (*Memory, error) {
 	}
 	return &Memory{
 		eng:        eng,
+		alloc:      core.NewAllocator(size),
 		pol:        cfg.policy,
 		allCommits: contention.WantsCleanCommits(cfg.policy),
 	}, nil
 }
+
+// AllocWords reserves n contiguous words from the Memory's word allocator
+// and returns the base address. This is the engine-level form of Alloc: use
+// it to carve a raw region that coexists with typed variables (the
+// allocator hands out each word at most once). Allocations are aligned and
+// never freed; see internal/core's Allocator.
+func (m *Memory) AllocWords(n int) (int, error) {
+	return m.alloc.Alloc(n)
+}
+
+// WordsAllocated returns the allocator's high-water mark: how many words of
+// the Memory have been handed to Alloc/AllocWords callers (including
+// alignment padding).
+func (m *Memory) WordsAllocated() int { return m.alloc.Allocated() }
 
 // Size returns the number of words.
 func (m *Memory) Size() int { return m.eng.Size() }

@@ -37,8 +37,8 @@ func TestPrepareValidation(t *testing.T) {
 		{name: "empty", addrs: nil, want: stm.ErrEmptyDataSet},
 		{name: "out of range", addrs: []int{8}, want: stm.ErrAddrRange},
 		{name: "negative", addrs: []int{-2}, want: stm.ErrAddrRange},
-		{name: "duplicate", addrs: []int{3, 3}, want: stm.ErrAddrOrder},
-		{name: "duplicate far apart", addrs: []int{3, 1, 3}, want: stm.ErrAddrOrder},
+		{name: "duplicate", addrs: []int{3, 3}, want: stm.ErrDupAddr},
+		{name: "duplicate far apart", addrs: []int{3, 1, 3}, want: stm.ErrDupAddr},
 		{name: "ok unsorted", addrs: []int{5, 1, 3}},
 	}
 	for _, tt := range tests {
@@ -54,6 +54,23 @@ func TestPrepareValidation(t *testing.T) {
 				t.Fatalf("Prepare(%v) = %v, want %v", tt.addrs, err, tt.want)
 			}
 		})
+	}
+}
+
+func TestDupAddrCompat(t *testing.T) {
+	// Duplicate addresses report the dedicated ErrDupAddr sentinel, and —
+	// deprecated, for one release — still match ErrAddrOrder, which used
+	// to cover them. A genuine ordering error must NOT match ErrDupAddr.
+	m := mustNew(t, 8)
+	_, err := m.Prepare([]int{3, 3})
+	if !errors.Is(err, stm.ErrDupAddr) {
+		t.Errorf("duplicate: err = %v, want ErrDupAddr", err)
+	}
+	if !errors.Is(err, stm.ErrAddrOrder) {
+		t.Errorf("duplicate: err = %v, want deprecated ErrAddrOrder compat match", err)
+	}
+	if _, _, err := m.Try([]int{5, 5}, func(o []uint64) []uint64 { return o }); !errors.Is(err, stm.ErrDupAddr) {
+		t.Errorf("Try duplicate: err = %v, want ErrDupAddr", err)
 	}
 }
 

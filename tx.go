@@ -41,7 +41,7 @@ func (m *Memory) Prepare(addrs []int) (*Tx, error) {
 	perm := make([]int, len(slots))
 	for si, s := range slots {
 		if si > 0 && sorted[si-1] == s.addr {
-			return nil, fmt.Errorf("%w: address %d appears more than once", ErrAddrOrder, s.addr)
+			return nil, core.DupAddrError(s.addr)
 		}
 		sorted[si] = s.addr
 		perm[s.pos] = si
@@ -56,13 +56,22 @@ func (m *Memory) Prepare(addrs []int) (*Tx, error) {
 	return &Tx{m: m, sorted: sorted, perm: perm, identity: identity}, nil
 }
 
-// Addrs returns a copy of the data set in the caller's original order.
+// Addrs returns a copy of the data set in the caller's original order. It
+// allocates the returned slice on every call; hot paths that inspect a
+// transaction's data set repeatedly should use AddrsInto with a reused
+// buffer instead.
 func (tx *Tx) Addrs() []int {
-	out := make([]int, len(tx.perm))
-	for i, si := range tx.perm {
-		out[i] = tx.sorted[si]
+	return tx.AddrsInto(nil)
+}
+
+// AddrsInto appends the data set, in the caller's original order, to dst
+// and returns the extended slice. Pass dst[:0] of a buffer with capacity
+// len(tx.Addrs()) or more to read the data set without allocating.
+func (tx *Tx) AddrsInto(dst []int) []int {
+	for _, si := range tx.perm {
+		dst = append(dst, tx.sorted[si])
 	}
-	return out
+	return dst
 }
 
 // first returns the data set's lowest address: the conflict-domain key the
@@ -74,7 +83,7 @@ func (tx *Tx) first() int { return tx.sorted[0] }
 // nil; on failure it fills info with the conflict report for the contention
 // policy. prio is the policy-assigned priority to install on the attempt's
 // record (0 for none).
-func (tx *Tx) attemptInto(f UpdateInto, old []uint64, info *core.ConflictInfo, prio uint64) bool {
+func (tx *Tx) attemptInto(u update, old []uint64, info *core.ConflictInfo, prio uint64) bool {
 	k := len(tx.sorted)
 	eng := tx.m.eng
 	r := eng.Begin(k)
@@ -83,7 +92,9 @@ func (tx *Tx) attemptInto(f UpdateInto, old []uint64, info *core.ConflictInfo, p
 		r.SetPriority(prio)
 	}
 	s := scratchOf(r)
-	s.fInto = f
+	s.fInto = u.fInto
+	s.typed = u.typed
+	s.tguard = u.guard
 	if tx.identity {
 		// Engine order is the caller's order: the engine can write the
 		// committed snapshot straight into the caller's buffer.
@@ -114,11 +125,12 @@ func (tx *Tx) attemptInto(f UpdateInto, old []uint64, info *core.ConflictInfo, p
 }
 
 // runInto retries under the contention policy until the transaction
-// commits: the shared engine of RunInto, Run, and the RunWhen rounds.
-func (tx *Tx) runInto(f UpdateInto, old []uint64) {
+// commits: the shared engine of RunInto, Run, the typed TxSet executions,
+// and the RunWhen rounds.
+func (tx *Tx) runInto(u update, old []uint64) {
 	var info core.ConflictInfo
 	var c *contention.Conflict
-	for !tx.attemptInto(f, old, &info, prioOf(c)) {
+	for !tx.attemptInto(u, old, &info, prioOf(c)) {
 		c = tx.m.noteConflict(c, tx.first(), len(tx.sorted), &info)
 	}
 	tx.m.commitConflict(c, tx.first(), len(tx.sorted))
@@ -136,7 +148,7 @@ func (tx *Tx) runInto(f UpdateInto, old []uint64) {
 func (tx *Tx) TryInto(f UpdateInto, old []uint64) bool {
 	tx.checkOld(old)
 	var info core.ConflictInfo
-	if tx.attemptInto(f, old, &info, 0) {
+	if tx.attemptInto(update{fInto: f}, old, &info, 0) {
 		tx.m.commitConflict(nil, tx.first(), len(tx.sorted))
 		return true
 	}
@@ -150,7 +162,7 @@ func (tx *Tx) TryInto(f UpdateInto, old []uint64) bool {
 // allocation-free counterpart of Run.
 func (tx *Tx) RunInto(f UpdateInto, old []uint64) {
 	tx.checkOld(old)
-	tx.runInto(f, old)
+	tx.runInto(update{fInto: f}, old)
 }
 
 func (tx *Tx) checkOld(old []uint64) {
@@ -233,7 +245,7 @@ func guardedInto(guard func(old []uint64) bool, f UpdateFunc) UpdateInto {
 // evaluated by helping goroutines. Whether the guard passed is decided from
 // the committed snapshot, never from shared state.
 func (tx *Tx) RunWhen(guard func(old []uint64) bool, f UpdateFunc) []uint64 {
-	wrapped := guardedInto(guard, f)
+	wrapped := update{fInto: guardedInto(guard, f)}
 	out := make([]uint64, len(tx.sorted))
 	cond := tx.m.newCondWaiter()
 	for {

@@ -1,0 +1,109 @@
+package stm
+
+import "fmt"
+
+// Var is a named, typed transactional variable: a Codec-encoded value
+// occupying a fixed contiguous word range of one Memory. The handle itself
+// is immutable and safe for concurrent use; the value it names is mutated
+// only through transactions (Store, Update, Atomic*, TxSet), so concurrent
+// access is as safe as the underlying protocol.
+//
+// A Var compiles away: every typed operation maps onto a static
+// transaction over the var's words and runs on the same pooled engine hot
+// path as the raw API.
+type Var[T any] struct {
+	m     *Memory
+	c     Codec[T]
+	addrs []int // contiguous ascending [base, base+words)
+	tx    *Tx   // the var's own single-variable compiled transaction
+}
+
+// Alloc reserves words for one value of codec c from m's word allocator
+// and returns the typed variable naming them. Variables live as long as
+// their Memory — the allocator never frees — matching the paper's static
+// model where the transactional data vector is laid out up front.
+func Alloc[T any](m *Memory, c Codec[T]) (*Var[T], error) {
+	n := c.Words()
+	if n <= 0 {
+		return nil, fmt.Errorf("stm: codec words must be positive, got %d", n)
+	}
+	base, err := m.AllocWords(n)
+	if err != nil {
+		return nil, err
+	}
+	return VarAt(m, c, base)
+}
+
+// VarAt binds a typed variable to an explicit word range [base,
+// base+c.Words()) without consulting the allocator: the engine-level
+// escape hatch for overlaying typed access on words addressed directly
+// elsewhere. The caller is responsible for keeping hand-placed ranges and
+// Alloc'd ranges disjoint.
+func VarAt[T any](m *Memory, c Codec[T], base int) (*Var[T], error) {
+	n := c.Words()
+	if n <= 0 {
+		return nil, fmt.Errorf("stm: codec words must be positive, got %d", n)
+	}
+	if base < 0 || base+n > m.Size() {
+		return nil, fmt.Errorf("%w: var needs words [%d,%d), size %d", ErrAddrRange, base, base+n, m.Size())
+	}
+	addrs := make([]int, n)
+	for i := range addrs {
+		addrs[i] = base + i
+	}
+	tx, err := m.Prepare(addrs)
+	if err != nil {
+		return nil, err
+	}
+	return &Var[T]{m: m, c: c, addrs: addrs, tx: tx}, nil
+}
+
+// Base returns the address of the variable's first word; Words returns how
+// many words it spans. Together they locate the var for raw-API interop.
+func (v *Var[T]) Base() int { return v.addrs[0] }
+
+// Words returns the number of engine words the variable occupies.
+func (v *Var[T]) Words() int { return len(v.addrs) }
+
+// Codec returns the variable's codec.
+func (v *Var[T]) Codec() Codec[T] { return v.c }
+
+// Load returns the variable's value from a consistent snapshot of its
+// words (one read-only transaction; for multi-word vars no torn read is
+// possible). Allocation-free (amortized), modulo what the codec's Decode
+// allocates.
+func (v *Var[T]) Load() T {
+	p := v.m.getWordBuf(len(v.addrs))
+	v.m.runAscending(v.addrs, calcIdentity, nil, nil, *p)
+	x := v.c.Decode(*p)
+	v.m.putWordBuf(p)
+	return x
+}
+
+// Store atomically replaces the variable's value. Allocation-free
+// (amortized).
+func (v *Var[T]) Store(x T) {
+	p := v.m.getWordBuf(len(v.addrs))
+	v.c.Encode(x, *p)
+	v.m.runAscending(v.addrs, calcStore, nil, *p, nil)
+	v.m.putWordBuf(p)
+}
+
+// Update atomically applies f to the variable — a one-variable typed
+// read-modify-write — and returns the old value the new one was computed
+// from. f must be deterministic and side-effect free: under helping it may
+// be evaluated several times, concurrently, and every evaluation must
+// agree.
+//
+// Update allocates for its per-call closure; hot paths doing repeated
+// typed read-modify-writes should prepare a TxSet once instead, which is
+// allocation-free on repeat executions.
+func (v *Var[T]) Update(f func(T) T) T {
+	p := v.m.getWordBuf(len(v.addrs))
+	v.tx.runInto(update{typed: func(tv TxView) {
+		v.c.Encode(f(v.c.Decode(tv.old)), tv.new)
+	}}, *p)
+	x := v.c.Decode(*p)
+	v.m.putWordBuf(p)
+	return x
+}

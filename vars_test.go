@@ -1,0 +1,530 @@
+package stm_test
+
+// Tests for the typed layer: codec round-trips, the word allocator, Var
+// semantics, TxSet compilation and execution, the Atomic combinators, and
+// a conservation property test (typed bank transfers over mixed
+// int64/struct vars) designed to run under -race.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	stm "github.com/stm-go/stm"
+)
+
+// point is the test struct codec: two int64 fields in two words.
+type point struct{ X, Y int64 }
+
+type pointCodec struct{}
+
+func (pointCodec) Words() int { return 2 }
+func (pointCodec) Encode(p point, dst []uint64) {
+	dst[0], dst[1] = uint64(p.X), uint64(p.Y)
+}
+func (pointCodec) Decode(src []uint64) point {
+	return point{X: int64(src[0]), Y: int64(src[1])}
+}
+
+func roundTrip[T comparable](t *testing.T, c stm.Codec[T], vals []T) {
+	t.Helper()
+	buf := make([]uint64, c.Words())
+	for _, v := range vals {
+		c.Encode(v, buf)
+		if got := c.Decode(buf); got != v {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestCodecRoundTrips(t *testing.T) {
+	roundTrip(t, stm.Int64(), []int64{0, 1, -1, 42, -42, math.MaxInt64, math.MinInt64})
+	roundTrip(t, stm.Uint64(), []uint64{0, 1, math.MaxUint64})
+	roundTrip(t, stm.Bool(), []bool{true, false})
+	roundTrip(t, stm.Float64(), []float64{
+		0, math.Copysign(0, -1), 1.5, -1.5,
+		math.Inf(1), math.Inf(-1),
+		math.MaxFloat64, -math.MaxFloat64,
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+	})
+	roundTrip(t, pointCodec{}, []point{{}, {1, -2}, {math.MinInt64, math.MaxInt64}})
+}
+
+func TestCodecFloat64NegativeZero(t *testing.T) {
+	// -0 must round-trip bit-exactly, not collapse to +0 (== can't tell).
+	c := stm.Float64()
+	buf := make([]uint64, 1)
+	c.Encode(math.Copysign(0, -1), buf)
+	if got := c.Decode(buf); math.Signbit(got) != true || got != 0 {
+		t.Errorf("-0 round trip lost the sign bit: got %v (signbit %v)", got, math.Signbit(got))
+	}
+}
+
+func TestCodecString(t *testing.T) {
+	c := stm.String(16)
+	if got := c.Words(); got != 3 { // 1 length word + ceil(16/8)
+		t.Fatalf("String(16).Words() = %d, want 3", got)
+	}
+	roundTrip(t, c, []string{"", "a", "hello", "exactly16bytes!!", "héllo wörld"})
+
+	// Over-long strings are canonicalized by truncation, and the
+	// canonical form round-trips.
+	buf := make([]uint64, c.Words())
+	long := strings.Repeat("x", 40)
+	c.Encode(long, buf)
+	if got := c.Decode(buf); got != long[:16] {
+		t.Errorf("over-long encode = %q, want %q", got, long[:16])
+	}
+
+	// A corrupted length word (raw writes bypassing the codec) must not
+	// make Decode read out of range — including lengths that go negative
+	// when truncated to int (Decode must stay total: it runs inside
+	// transactions, where a panic can take a helper down).
+	buf[0] = 1 << 40
+	if got := c.Decode(buf); len(got) != 16 {
+		t.Errorf("corrupted length decode has len %d, want clamped 16", len(got))
+	}
+	buf[0] = 1 << 63
+	if got := c.Decode(buf); len(got) != 16 {
+		t.Errorf("negative length decode has len %d, want clamped 16", len(got))
+	}
+}
+
+func TestAllocPlacesDisjointAlignedVars(t *testing.T) {
+	m := mustNew(t, 64)
+	a, err := stm.Alloc(m, stm.Int64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := stm.Alloc(m, pointCodec{}) // 2 words: base must be 2-aligned
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := stm.Alloc(m, stm.Int64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Base()%2 != 0 {
+		t.Errorf("2-word var base %d not 2-aligned", p.Base())
+	}
+	ranges := [][2]int{
+		{a.Base(), a.Base() + a.Words()},
+		{p.Base(), p.Base() + p.Words()},
+		{b.Base(), b.Base() + b.Words()},
+	}
+	for i := range ranges {
+		for j := i + 1; j < len(ranges); j++ {
+			if ranges[i][0] < ranges[j][1] && ranges[j][0] < ranges[i][1] {
+				t.Errorf("vars overlap: %v and %v", ranges[i], ranges[j])
+			}
+		}
+	}
+	if got, max := m.WordsAllocated(), m.Size(); got > max {
+		t.Errorf("WordsAllocated() = %d > size %d", got, max)
+	}
+}
+
+func TestAllocOutOfWords(t *testing.T) {
+	m := mustNew(t, 2)
+	if _, err := stm.Alloc(m, stm.Int64()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stm.Alloc(m, pointCodec{}); !errors.Is(err, stm.ErrOutOfWords) {
+		t.Errorf("exhausted Alloc err = %v, want ErrOutOfWords", err)
+	}
+}
+
+func TestVarLoadStoreUpdate(t *testing.T) {
+	m := mustNew(t, 16)
+	v, err := stm.Alloc(m, stm.Int64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Load(); got != 0 {
+		t.Errorf("fresh Load() = %d, want 0", got)
+	}
+	v.Store(-7)
+	if got := v.Load(); got != -7 {
+		t.Errorf("Load() = %d, want -7", got)
+	}
+	if old := v.Update(func(x int64) int64 { return x * 3 }); old != -7 {
+		t.Errorf("Update old = %d, want -7", old)
+	}
+	if got := v.Load(); got != -21 {
+		t.Errorf("after Update, Load() = %d, want -21", got)
+	}
+
+	p, err := stm.Alloc(m, pointCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Store(point{3, 4})
+	if got := p.Load(); got != (point{3, 4}) {
+		t.Errorf("struct Load() = %v, want {3 4}", got)
+	}
+	p.Update(func(q point) point { return point{q.Y, q.X} })
+	if got := p.Load(); got != (point{4, 3}) {
+		t.Errorf("after swap Update, Load() = %v, want {4 3}", got)
+	}
+}
+
+func TestVarAtRawInterop(t *testing.T) {
+	// A VarAt over hand-addressed words sees raw writes and vice versa.
+	m := mustNew(t, 8)
+	v, err := stm.VarAt(m, stm.Int64(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Swap(5, 99); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Load(); got != 99 {
+		t.Errorf("Load() = %d, want raw-written 99", got)
+	}
+	v.Store(-1)
+	if got := m.Peek(5); got != uint64(0xFFFFFFFFFFFFFFFF) {
+		t.Errorf("Peek(5) = %#x, want all-ones (int64 -1)", got)
+	}
+	if _, err := stm.VarAt(m, stm.Int64(), 8); !errors.Is(err, stm.ErrAddrRange) {
+		t.Errorf("out-of-range VarAt err = %v, want ErrAddrRange", err)
+	}
+}
+
+func TestTxSetRunSemantics(t *testing.T) {
+	m := mustNew(t, 16)
+	a, _ := stm.Alloc(m, stm.Int64())
+	p, _ := stm.Alloc(m, pointCodec{})
+	b, _ := stm.Alloc(m, stm.Int64())
+	a.Store(10)
+	p.Store(point{1, 2})
+	b.Store(100)
+
+	ts := stm.NewTxSet(m)
+	sa := stm.AddVar(ts, a)
+	sp := stm.AddVar(ts, p)
+	sb := stm.AddVar(ts, b)
+	if err := ts.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	if ts.Tx() == nil || ts.Size() != 4 {
+		t.Fatalf("compiled TxSet: Tx=%v Size=%d, want non-nil and 4", ts.Tx(), ts.Size())
+	}
+
+	// Move a into p.X; b is declared but never Set: must commit unchanged.
+	err := ts.Run(func(tv stm.TxView) {
+		x := sa.Get(tv)
+		q := sp.Get(tv)
+		sa.Set(tv, 0)
+		sp.Set(tv, point{q.X + x, q.Y})
+		_ = sb.Get(tv)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Load(); got != 0 {
+		t.Errorf("a = %d, want 0", got)
+	}
+	if got := p.Load(); got != (point{11, 2}) {
+		t.Errorf("p = %v, want {11 2}", got)
+	}
+	if got := b.Load(); got != 100 {
+		t.Errorf("untouched slot b = %d, want 100", got)
+	}
+
+	// Slot.Old reads the committed snapshot of the last Run.
+	if got := sa.Old(); got != 10 {
+		t.Errorf("sa.Old() = %d, want 10", got)
+	}
+	if got := sp.Old(); got != (point{1, 2}) {
+		t.Errorf("sp.Old() = %v, want {1 2}", got)
+	}
+	if got := sb.Old(); got != 100 {
+		t.Errorf("sb.Old() = %d, want 100", got)
+	}
+}
+
+func TestTxSetCompileErrors(t *testing.T) {
+	m := mustNew(t, 16)
+	m2 := mustNew(t, 16)
+	a, _ := stm.Alloc(m, stm.Int64())
+	other, _ := stm.Alloc(m2, stm.Int64())
+
+	// Empty set.
+	if err := stm.NewTxSet(m).Compile(); !errors.Is(err, stm.ErrEmptyDataSet) {
+		t.Errorf("empty TxSet err = %v, want ErrEmptyDataSet", err)
+	}
+
+	// Same var twice: duplicate addresses.
+	ts := stm.NewTxSet(m)
+	stm.AddVar(ts, a)
+	stm.AddVar(ts, a)
+	if err := ts.Compile(); !errors.Is(err, stm.ErrDupAddr) {
+		t.Errorf("dup var err = %v, want ErrDupAddr", err)
+	}
+	if err := ts.Run(func(stm.TxView) {}); !errors.Is(err, stm.ErrDupAddr) {
+		t.Errorf("Run after failed compile err = %v, want sticky ErrDupAddr", err)
+	}
+
+	// Var from another Memory.
+	ts = stm.NewTxSet(m)
+	stm.AddVar(ts, a)
+	stm.AddVar(ts, other)
+	if err := ts.Compile(); !errors.Is(err, stm.ErrMemoryMismatch) {
+		t.Errorf("mixed-memory err = %v, want ErrMemoryMismatch", err)
+	}
+
+	// AddVar after compile.
+	ts = stm.NewTxSet(m)
+	stm.AddVar(ts, a)
+	if err := ts.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := stm.Alloc(m, stm.Int64())
+	stm.AddVar(ts, b)
+	if err := ts.Run(func(stm.TxView) {}); err == nil {
+		t.Error("AddVar after compile: Run should report the build error")
+	}
+}
+
+func TestTxSetRunWhen(t *testing.T) {
+	m := mustNew(t, 8)
+	gate, _ := stm.Alloc(m, stm.Bool())
+	n, _ := stm.Alloc(m, stm.Int64())
+
+	done := make(chan error, 1)
+	go func() {
+		ts := stm.NewTxSet(m)
+		sg := stm.AddVar(ts, gate)
+		sn := stm.AddVar(ts, n)
+		done <- ts.RunWhen(
+			func(tv stm.TxView) bool { return sg.Get(tv) },
+			func(tv stm.TxView) {
+				sg.Set(tv, false)
+				sn.Set(tv, sn.Get(tv)+1)
+			},
+		)
+	}()
+
+	select {
+	case err := <-done:
+		t.Fatalf("RunWhen returned %v before the gate opened", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	gate.Store(true)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := gate.Load(); got {
+		t.Error("gate still open after RunWhen consumed it")
+	}
+	if got := n.Load(); got != 1 {
+		t.Errorf("n = %d, want 1", got)
+	}
+}
+
+func TestTxSetGuardIsReadOnly(t *testing.T) {
+	// A guard that tries to Set must panic (it sees a read-only view),
+	// not silently commit its writes.
+	m := mustNew(t, 8)
+	v, _ := stm.Alloc(m, stm.Int64())
+	ts := stm.NewTxSet(m)
+	sv := stm.AddVar(ts, v)
+	defer func() {
+		if recover() == nil {
+			t.Error("Set inside a guard should panic")
+		}
+		// A panic escaping a transaction leaves its attempt wedged (like
+		// panicking with a lock held), so observe only via the
+		// non-transactional Peek: nothing may have been installed.
+		if got := m.Peek(v.Base()); got != 0 {
+			t.Errorf("guard write leaked: word = %d, want 0", got)
+		}
+	}()
+	_ = ts.RunWhen(
+		func(tv stm.TxView) bool { sv.Set(tv, 999); return true },
+		func(tv stm.TxView) {},
+	)
+}
+
+func TestTxSetRunWhenContextCancel(t *testing.T) {
+	m := mustNew(t, 8)
+	gate, _ := stm.Alloc(m, stm.Bool())
+	ts := stm.NewTxSet(m)
+	sg := stm.AddVar(ts, gate)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := ts.RunWhenContext(ctx,
+		func(tv stm.TxView) bool { return sg.Get(tv) },
+		func(tv stm.TxView) { sg.Set(tv, false) },
+	)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestAtomicCombinators(t *testing.T) {
+	m := mustNew(t, 16)
+	a, _ := stm.Alloc(m, stm.Int64())
+	s, _ := stm.Alloc(m, stm.String(8))
+	p, _ := stm.Alloc(m, pointCodec{})
+	a.Store(5)
+	s.Store("hi")
+
+	if err := stm.Atomic1(a, func(x int64) int64 { return x + 1 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := stm.Atomic2(a, s, func(x int64, str string) (int64, string) {
+		return -x, str + "!"
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := stm.Atomic3(a, s, p, func(x int64, str string, q point) (int64, string, point) {
+		return x, str, point{x, int64(len(str))}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Load(); got != -6 {
+		t.Errorf("a = %d, want -6", got)
+	}
+	if got := s.Load(); got != "hi!" {
+		t.Errorf("s = %q, want %q", got, "hi!")
+	}
+	if got := p.Load(); got != (point{-6, 3}) {
+		t.Errorf("p = %v, want {-6 3}", got)
+	}
+
+	m2 := mustNew(t, 8)
+	b, _ := stm.Alloc(m2, stm.Int64())
+	if err := stm.Atomic2(a, b, func(x, y int64) (int64, int64) { return y, x }); !errors.Is(err, stm.ErrMemoryMismatch) {
+		t.Errorf("cross-memory Atomic2 err = %v, want ErrMemoryMismatch", err)
+	}
+}
+
+// TestTypedTransfersConserveTotal is the typed bank-account property test,
+// meant to run under -race: concurrent transfers between int64 account
+// vars and a struct vault var must conserve the combined total, while a
+// concurrent auditor snapshots all vars through its own TxSet and checks
+// the invariant at every linearization point it observes.
+func TestTypedTransfersConserveTotal(t *testing.T) {
+	const (
+		accounts  = 6
+		initial   = 1_000
+		transfers = 1_500
+		workers   = 4
+	)
+	m := mustNew(t, 64)
+	accs := make([]*stm.Var[int64], accounts)
+	for i := range accs {
+		v, err := stm.Alloc(m, stm.Int64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.Store(initial)
+		accs[i] = v
+	}
+	vaultVar, err := stm.Alloc(m, pointCodec{}) // X = balance, Y = deposit count
+	if err != nil {
+		t.Fatal(err)
+	}
+	vaultVar.Store(point{X: initial})
+	want := int64((accounts + 1) * initial)
+
+	stop := make(chan struct{})
+	auditErr := make(chan error, 1)
+	go func() {
+		// Auditor: one compiled TxSet over every var; an empty update
+		// commits the set unchanged, and Slot.Old reads the snapshot.
+		ts := stm.NewTxSet(m)
+		slots := make([]stm.Slot[int64], accounts)
+		for i, v := range accs {
+			slots[i] = stm.AddVar(ts, v)
+		}
+		sv := stm.AddVar(ts, vaultVar)
+		for {
+			select {
+			case <-stop:
+				auditErr <- nil
+				return
+			default:
+			}
+			if err := ts.Run(func(stm.TxView) {}); err != nil {
+				auditErr <- err
+				return
+			}
+			var sum int64
+			for _, s := range slots {
+				sum += s.Old()
+			}
+			sum += sv.Old().X
+			if sum != want {
+				auditErr <- errors.New("audit: snapshot total off")
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := uint64(w)*0x9e3779b97f4a7c15 + 1
+			next := func(n int) int {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return int(rng % uint64(n))
+			}
+			for i := 0; i < transfers; i++ {
+				amt := int64(next(20) + 1)
+				a := accs[next(accounts)]
+				if next(3) == 0 {
+					// Deposit into the struct vault.
+					if err := stm.Atomic2(a, vaultVar, func(x int64, v point) (int64, point) {
+						return x - amt, point{v.X + amt, v.Y + 1}
+					}); err != nil {
+						t.Error(err)
+						return
+					}
+					continue
+				}
+				b := accs[next(accounts)]
+				if a == b {
+					b = accs[(next(accounts)+1)%accounts]
+					if a == b {
+						continue
+					}
+				}
+				if err := stm.Atomic2(a, b, func(x, y int64) (int64, int64) {
+					return x - amt, y + amt
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	if err := <-auditErr; err != nil {
+		t.Fatal(err)
+	}
+
+	var sum int64
+	for _, v := range accs {
+		sum += v.Load()
+	}
+	final := vaultVar.Load()
+	sum += final.X
+	if sum != want {
+		t.Errorf("total = %d, want %d", sum, want)
+	}
+	if final.Y == 0 {
+		t.Log("no vault deposits happened; rng unlucky but legal")
+	}
+}
