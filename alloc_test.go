@@ -167,6 +167,51 @@ func TestAllocsTypedTxSet(t *testing.T) {
 	}
 }
 
+func TestAllocsAtomicallyDynamic(t *testing.T) {
+	// The dynamic layer's acceptance headline: an Atomically read-modify-
+	// write over two vars with a stable footprint — the steady state of a
+	// stable call site — is allocation-free with contention telemetry on.
+	// The pooled DTx's logs, staging buffers, and compiled-footprint cache
+	// carry the whole operation; the commit rides the same pooled static
+	// path as a compiled TxSet. Checked under the default policy and under
+	// Adaptive (clean-commit reports exercise the policy hooks every op).
+	for _, tc := range []struct {
+		name string
+		opts []stm.Option
+	}{
+		{"Default", nil},
+		{"Adaptive", []stm.Option{stm.WithPolicy(contention.NewAdaptive(contention.AdaptiveConfig{}))}},
+	} {
+		m, err := stm.New(16, tc.opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counter, err := stm.Alloc(m, stm.Int64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt, err := stm.Alloc(m, benchPointCodec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rmw := func(tx *stm.DTx) error {
+			x := stm.ReadVar(tx, counter)
+			q := stm.ReadVar(tx, pt)
+			stm.WriteVar(tx, counter, x+1)
+			stm.WriteVar(tx, pt, benchPoint{q.X + x, q.Y - x})
+			return nil
+		}
+		assertAllocs(t, tc.name+"/Atomically", 0, func() {
+			if err := m.Atomically(rmw); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if m.Stats().Commits == 0 {
+			t.Errorf("%s: telemetry disabled? no commits counted", tc.name)
+		}
+	}
+}
+
 func TestAllocsVarLoadStore(t *testing.T) {
 	m := mustNew(t, 16)
 	v, err := stm.Alloc(m, stm.Int64())

@@ -193,7 +193,7 @@ func BenchmarkHostTransferSTM(b *testing.B) {
 			if lo > hi {
 				lo, hi = hi, lo
 			}
-			_, err := m.Atomically([]int{lo, hi}, func(old []uint64) []uint64 {
+			_, err := m.AtomicUpdate([]int{lo, hi}, func(old []uint64) []uint64 {
 				return []uint64{old[0] + 1, old[1] - 1}
 			})
 			if err != nil {
@@ -335,6 +335,37 @@ func BenchmarkUncontendedRunIntoK(b *testing.B) {
 				tx.RunInto(f, old)
 			}
 		})
+	}
+}
+
+// BenchmarkDynAtomically measures the dynamic path on a stable two-var
+// footprint — the local mirror of the DYN suite's DynCounterRMW2 headline
+// (keep the loop bodies in lockstep with cmd/stmbench/dynamic.go).
+func BenchmarkDynAtomically(b *testing.B) {
+	m, err := stm.New(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := stm.Alloc(m, stm.Int64())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := stm.Alloc(m, stm.Int64())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rmw := func(tx *stm.DTx) error {
+		x := stm.ReadVar(tx, a)
+		y := stm.ReadVar(tx, c)
+		stm.WriteVar(tx, a, x+1)
+		stm.WriteVar(tx, c, y+x)
+		return nil
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := m.Atomically(rmw); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

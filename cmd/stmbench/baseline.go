@@ -1,0 +1,89 @@
+package main
+
+// The -baseline regression gate: a benchstat-style comparison of a host
+// suite's fresh measurements against a committed BENCH_*.json. Allocation
+// counts are deterministic, so any allocs/op increase fails the gate —
+// that is the regression the suites exist to catch. Wall-clock is noisy
+// across runners, so ns/op deltas are reported but only fail when the
+// caller opts into a ceiling with -maxslow.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// baselineDoc is the subset of a suite report the gate needs; all the host
+// suites (HOT, VARS, DYN) marshal a compatible "results" array.
+type baselineDoc struct {
+	Results []struct {
+		Name        string  `json:"name"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+	} `json:"results"`
+}
+
+// compareBaseline diffs freshJSON (the suite's just-measured report)
+// against the committed baseline at path. It returns a human-readable
+// table and an error if any benchmark regressed: allocs/op above the
+// baseline always fails; ns/op above maxSlow times the baseline fails
+// when maxSlow > 0. Benchmarks present on only one side are reported but
+// never fail (quick runs measure a subset).
+func compareBaseline(freshJSON []byte, path string, maxSlow float64) (string, error) {
+	base, err := os.ReadFile(path)
+	if err != nil {
+		return "", fmt.Errorf("baseline: %w", err)
+	}
+	var baseDoc, freshDoc baselineDoc
+	if err := json.Unmarshal(base, &baseDoc); err != nil {
+		return "", fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if err := json.Unmarshal(freshJSON, &freshDoc); err != nil {
+		return "", fmt.Errorf("baseline: fresh report: %w", err)
+	}
+	want := make(map[string]struct {
+		ns     float64
+		allocs int64
+	}, len(baseDoc.Results))
+	for _, r := range baseDoc.Results {
+		want[r.Name] = struct {
+			ns     float64
+			allocs int64
+		}{r.NsPerOp, r.AllocsPerOp}
+	}
+
+	var sb strings.Builder
+	var failures []string
+	fmt.Fprintf(&sb, "regression gate vs %s (allocs strict; ns/op informational", path)
+	if maxSlow > 0 {
+		fmt.Fprintf(&sb, ", ceiling %.2fx", maxSlow)
+	}
+	sb.WriteString(")\n")
+	fmt.Fprintf(&sb, "%-22s %14s %14s %10s\n", "benchmark", "ns old->new", "allocs old->new", "verdict")
+	for _, r := range freshDoc.Results {
+		b, ok := want[r.Name]
+		if !ok {
+			fmt.Fprintf(&sb, "%-22s %14s %14s %10s\n", r.Name, "-", "-", "new")
+			continue
+		}
+		delete(want, r.Name)
+		verdict := "ok"
+		if r.AllocsPerOp > b.allocs {
+			verdict = "ALLOC REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op, baseline %d", r.Name, r.AllocsPerOp, b.allocs))
+		} else if maxSlow > 0 && b.ns > 0 && r.NsPerOp > b.ns*maxSlow {
+			verdict = "TOO SLOW"
+			failures = append(failures, fmt.Sprintf("%s: %.1f ns/op, over %.2fx baseline %.1f", r.Name, r.NsPerOp, maxSlow, b.ns))
+		}
+		fmt.Fprintf(&sb, "%-22s %7.1f->%-7.1f %7d->%-7d %10s\n",
+			r.Name, b.ns, r.NsPerOp, b.allocs, r.AllocsPerOp, verdict)
+	}
+	for name := range want {
+		fmt.Fprintf(&sb, "%-22s %14s %14s %10s\n", name, "-", "-", "not run")
+	}
+	if len(failures) > 0 {
+		return sb.String(), fmt.Errorf("baseline regressions:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return sb.String(), nil
+}

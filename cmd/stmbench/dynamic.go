@@ -1,0 +1,311 @@
+package main
+
+// The DYN suite: host-mode microbenchmarks of the dynamic transaction
+// layer (Memory.Atomically), emitted as BENCH_dynamic.json. The headline
+// pair measures the same two-counter read-modify-write through the dynamic
+// path and through the compiled TxSet it is built on: the acceptance
+// contract is dynamic-within-2x-of-static on that uncontended workload
+// (DynVsTxSetRatio in the JSON). The pointer-chasing workloads — a sorted
+// linked-list set and a hash-table migration — measure what the dynamic
+// API exists for: transactions whose footprint depends on the data, which
+// the static API cannot express at all.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	stm "github.com/stm-go/stm"
+)
+
+// dynResult is one measured benchmark point.
+type dynResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations,omitempty"`
+}
+
+// dynReport is the BENCH_dynamic.json document.
+type dynReport struct {
+	Note string `json:"note"`
+	// DynVsTxSetRatio is DynCounterRMW2 ns/op over TxSetCounterRMW2
+	// ns/op: the dynamic layer's overhead for a footprint the static API
+	// could have compiled. The acceptance ceiling is 2.0.
+	DynVsTxSetRatio float64     `json:"dyn_vs_txset_ratio"`
+	Results         []dynResult `json:"results"`
+}
+
+// dynList is a sorted linked-list set of uint64 keys stored in Memory
+// words — word 0 is the head; a node occupies [base, base+1] = [key,
+// next-base] — with every operation a dynamic pointer-chasing
+// transaction. The free list of node slots is managed outside the
+// transactions (the benchmarks are single-goroutine; candidate slots are
+// reserved before the transaction and returned after, so re-executions
+// never double-allocate).
+type dynList struct {
+	m    *stm.Memory
+	free []int
+}
+
+func newDynList(capacity int) (*dynList, error) {
+	m, err := stm.New(1 + 2*capacity)
+	if err != nil {
+		return nil, err
+	}
+	l := &dynList{m: m}
+	for i := capacity - 1; i >= 0; i-- {
+		l.free = append(l.free, 1+2*i)
+	}
+	return l, nil
+}
+
+func (l *dynList) contains(k uint64) (found bool, err error) {
+	err = l.m.Atomically(func(tx *stm.DTx) error {
+		found = false
+		pos := tx.Read(0)
+		for pos != 0 {
+			key := tx.Read(int(pos))
+			if key == k {
+				found = true
+				return nil
+			}
+			if key > k {
+				return nil
+			}
+			pos = tx.Read(int(pos) + 1)
+		}
+		return nil
+	})
+	return found, err
+}
+
+func (l *dynList) insert(k uint64) (bool, error) {
+	if len(l.free) == 0 {
+		return false, fmt.Errorf("dynList: out of node slots")
+	}
+	cand := l.free[len(l.free)-1]
+	var inserted bool
+	err := l.m.Atomically(func(tx *stm.DTx) error {
+		inserted = false
+		prevNext := 0 // address of the link to rewrite; the head is word 0
+		pos := tx.Read(0)
+		for pos != 0 {
+			key := tx.Read(int(pos))
+			if key == k {
+				return nil
+			}
+			if key > k {
+				break
+			}
+			prevNext = int(pos) + 1
+			pos = tx.Read(prevNext)
+		}
+		tx.Write(cand, k)
+		tx.Write(cand+1, pos)
+		tx.Write(prevNext, uint64(cand))
+		inserted = true
+		return nil
+	})
+	if err == nil && inserted {
+		l.free = l.free[:len(l.free)-1]
+	}
+	return inserted, err
+}
+
+func (l *dynList) remove(k uint64) (bool, error) {
+	var removed int // node base freed by the committed execution, 0 if none
+	err := l.m.Atomically(func(tx *stm.DTx) error {
+		removed = 0
+		prevNext := 0
+		pos := tx.Read(0)
+		for pos != 0 {
+			key := tx.Read(int(pos))
+			if key == k {
+				tx.Write(prevNext, tx.Read(int(pos)+1))
+				removed = int(pos)
+				return nil
+			}
+			if key > k {
+				return nil
+			}
+			prevNext = int(pos) + 1
+			pos = tx.Read(prevNext)
+		}
+		return nil
+	})
+	if err == nil && removed != 0 {
+		l.free = append(l.free, removed)
+	}
+	return removed != 0, err
+}
+
+// runDyn measures the dynamic suite and returns the report plus a table.
+// quick keeps only the headline ratio pair.
+func runDyn(quick bool) (dynReport, string) {
+	var results []dynResult
+	measure := func(name string, fn func(b *testing.B)) dynResult {
+		r := testing.Benchmark(fn)
+		res := dynResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		}
+		results = append(results, res)
+		return res
+	}
+
+	// The headline pair: the same uncontended two-counter RMW, dynamic vs
+	// the compiled TxSet it executes through.
+	dyn := measure("DynCounterRMW2", func(b *testing.B) {
+		m, _ := stm.New(16)
+		a, _ := stm.Alloc(m, stm.Int64())
+		c, _ := stm.Alloc(m, stm.Int64())
+		rmw := func(tx *stm.DTx) error {
+			x := stm.ReadVar(tx, a)
+			y := stm.ReadVar(tx, c)
+			stm.WriteVar(tx, a, x+1)
+			stm.WriteVar(tx, c, y+x)
+			return nil
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := m.Atomically(rmw); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	txset := measure("TxSetCounterRMW2", func(b *testing.B) {
+		m, _ := stm.New(16)
+		a, _ := stm.Alloc(m, stm.Int64())
+		c, _ := stm.Alloc(m, stm.Int64())
+		ts := stm.NewTxSet(m)
+		sa := stm.AddVar(ts, a)
+		sc := stm.AddVar(ts, c)
+		if err := ts.Compile(); err != nil {
+			b.Fatal(err)
+		}
+		rmw := func(tv stm.TxView) {
+			x := sa.Get(tv)
+			y := sc.Get(tv)
+			sa.Set(tv, x+1)
+			sc.Set(tv, y+x)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := ts.Run(rmw); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	if !quick {
+		const listKeys = 64
+		measure("DynListContains64", func(b *testing.B) {
+			l, err := newDynList(listKeys + 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < listKeys; i++ {
+				if _, err := l.insert(uint64(2*i + 1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// Alternate a present key and an absent one.
+				k := uint64(2*(i%listKeys) + i%2)
+				if _, err := l.contains(k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		measure("DynListInsertRemove64", func(b *testing.B) {
+			l, err := newDynList(listKeys + 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < listKeys; i++ {
+				if _, err := l.insert(uint64(2*i + 1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// Churn an even key through the middle of the list.
+				k := uint64(2 * (i%listKeys + 1))
+				if ok, err := l.insert(k); err != nil || !ok {
+					b.Fatalf("insert(%d) = %v, %v", k, ok, err)
+				}
+				if ok, err := l.remove(k); err != nil || !ok {
+					b.Fatalf("remove(%d) = %v, %v", k, ok, err)
+				}
+			}
+		})
+		measure("DynHashMigrate64", func(b *testing.B) {
+			// Two 64-slot tables; each op migrates one entry to the other
+			// table under the rehash permutation p(i) = (7i+3) mod 64.
+			// Every op's footprint is a different pair of words, so this
+			// measures the footprint-cache MISS path: discover, sort,
+			// commit.
+			const size = 64
+			m, _ := stm.New(2 * size)
+			for i := 0; i < size; i++ {
+				if _, err := m.Swap(i, uint64(i+1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			perm := func(i int) int { return (7*i + 3) % size }
+			b.ReportAllocs()
+			for n := 0; n < b.N; n++ {
+				i := n % size
+				srcBase, dstBase := 0, size
+				if (n/size)%2 == 1 {
+					srcBase, dstBase = size, 0
+				}
+				src, dst := srcBase+i, dstBase+perm(i)
+				if err := m.Atomically(func(tx *stm.DTx) error {
+					v := tx.Read(src)
+					if v == 0 {
+						return fmt.Errorf("migration invariant broken: empty source slot %d", src)
+					}
+					tx.Write(dst, v)
+					tx.Write(src, 0)
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	ratio := dyn.NsPerOp / txset.NsPerOp
+	report := dynReport{
+		Note: "dynamic transaction suite (cmd/stmbench -suite dyn); " +
+			"DynCounterRMW2 must stay 0 allocs/op and within 2x of TxSetCounterRMW2 (dyn_vs_txset_ratio)",
+		DynVsTxSetRatio: ratio,
+		Results:         results,
+	}
+
+	var sb strings.Builder
+	sb.WriteString("DYN: dynamic transaction latency and allocations\n")
+	fmt.Fprintf(&sb, "%-22s %12s %10s %12s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%-22s %12.1f %10d %12d\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	fmt.Fprintf(&sb, "dyn/txset ratio on the 2-counter RMW: %.2fx (ceiling 2.0)\n", ratio)
+	return report, sb.String()
+}
+
+// dynJSON marshals the report for -json output.
+func dynJSON(rep dynReport) ([]byte, error) {
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestDynListSemantics(t *testing.T) {
+	l, err := newDynList(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []uint64{5, 1, 9, 3} {
+		if ok, err := l.insert(k); err != nil || !ok {
+			t.Fatalf("insert(%d) = %v, %v", k, ok, err)
+		}
+	}
+	if ok, err := l.insert(5); err != nil || ok {
+		t.Fatalf("duplicate insert(5) = %v, %v, want false", ok, err)
+	}
+	for _, tc := range []struct {
+		k    uint64
+		want bool
+	}{{1, true}, {2, false}, {3, true}, {5, true}, {9, true}, {10, false}} {
+		got, err := l.contains(tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("contains(%d) = %v, want %v", tc.k, got, tc.want)
+		}
+	}
+	if ok, err := l.remove(3); err != nil || !ok {
+		t.Fatalf("remove(3) = %v, %v", ok, err)
+	}
+	if ok, err := l.remove(3); err != nil || ok {
+		t.Fatalf("second remove(3) = %v, %v, want false", ok, err)
+	}
+	if got, _ := l.contains(3); got {
+		t.Error("contains(3) after remove, want false")
+	}
+	// The freed slot is reusable: the list still accepts a new key.
+	if ok, err := l.insert(7); err != nil || !ok {
+		t.Fatalf("insert(7) after remove = %v, %v", ok, err)
+	}
+	// Keys stay sorted: walk the raw words.
+	var keys []uint64
+	for pos := l.m.Peek(0); pos != 0; pos = l.m.Peek(int(pos) + 1) {
+		keys = append(keys, l.m.Peek(int(pos)))
+	}
+	want := []uint64{1, 5, 7, 9}
+	if len(keys) != len(want) {
+		t.Fatalf("list keys = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("list keys = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestCompareBaseline(t *testing.T) {
+	base := []byte(`{"results":[
+		{"name":"A","ns_per_op":100,"allocs_per_op":0},
+		{"name":"B","ns_per_op":200,"allocs_per_op":2},
+		{"name":"OnlyBase","ns_per_op":10,"allocs_per_op":0}]}`)
+	dir := t.TempDir() + "/base.json"
+	if err := os.WriteFile(dir, base, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same allocs, slower ns: passes without -maxslow, fails with it.
+	fresh := []byte(`{"results":[
+		{"name":"A","ns_per_op":450,"allocs_per_op":0},
+		{"name":"OnlyFresh","ns_per_op":5,"allocs_per_op":9}]}`)
+	if table, err := compareBaseline(fresh, dir, 0); err != nil {
+		t.Errorf("ns-only slowdown with maxslow off: %v\n%s", err, table)
+	}
+	if _, err := compareBaseline(fresh, dir, 4.0); err == nil {
+		t.Error("4.5x slowdown with -maxslow 4.0: want error")
+	}
+
+	// An alloc regression always fails.
+	regressed := []byte(`{"results":[{"name":"B","ns_per_op":150,"allocs_per_op":3}]}`)
+	if _, err := compareBaseline(regressed, dir, 0); err == nil {
+		t.Error("alloc regression: want error")
+	}
+	// Equal-or-better allocs pass.
+	improved := []byte(`{"results":[{"name":"B","ns_per_op":150,"allocs_per_op":1}]}`)
+	if table, err := compareBaseline(improved, dir, 0); err != nil {
+		t.Errorf("alloc improvement: %v\n%s", err, table)
+	}
+	if _, err := compareBaseline(fresh, dir+".missing", 0); err == nil {
+		t.Error("missing baseline file: want error")
+	}
+}

@@ -10,6 +10,8 @@
 //	stmbench -json BENCH_hotpath.json   # host hot-path suite, JSON out
 //	stmbench -suite cont -json BENCH_contention.json  # policy sweep
 //	stmbench -suite vars -json BENCH_vars.json        # typed Var/TxSet suite
+//	stmbench -suite dyn -json BENCH_dynamic.json      # dynamic Atomically suite
+//	stmbench -suite hot -baseline BENCH_hotpath.json  # regression gate vs committed numbers
 //
 // Experiments: T0 protocol footprint (ideal machine), F1/F2 counting
 // benchmark (bus/net), F3/F4 queue benchmark (bus/net), T1 STM overhead
@@ -51,8 +53,10 @@ func run(args []string, out *os.File) error {
 		procs    = fs.String("procs", "", "override processor sweep, e.g. 1,2,4,8")
 		seed     = fs.Uint64("seed", 0, "override random seed")
 		csvDir   = fs.String("csv", "", "directory to write per-experiment CSV files")
-		jsonOut  = fs.String("json", "", "write the host suite's JSON report (HOT by default; CONT/VARS with -suite) to this path")
-		suite    = fs.String("suite", "", `host suite to run ("hot", "cont", or "vars"); overrides -exp`)
+		jsonOut  = fs.String("json", "", "write the host suite's JSON report (HOT by default; CONT/VARS/DYN with -suite) to this path")
+		suite    = fs.String("suite", "", `host suite to run ("hot", "cont", "vars", or "dyn"); overrides -exp`)
+		baseline = fs.String("baseline", "", "committed BENCH_*.json to gate the host suite against (allocs strict; see -maxslow)")
+		maxSlow  = fs.Float64("maxslow", 0, "with -baseline, also fail benchmarks slower than this ratio of the baseline ns/op (0 = report only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,8 +87,10 @@ func run(args []string, out *os.File) error {
 			ids = []string{"CONT"}
 		case "vars":
 			ids = []string{"VARS"}
+		case "dyn":
+			ids = []string{"DYN"}
 		default:
-			return fmt.Errorf("unknown suite %q (want hot, cont, or vars)", *suite)
+			return fmt.Errorf("unknown suite %q (want hot, cont, vars, or dyn)", *suite)
 		}
 	case *exp != "all":
 		ids = []string{strings.ToUpper(*exp)}
@@ -93,9 +99,33 @@ func run(args []string, out *os.File) error {
 		// simulator sweep along unless an experiment was asked for.
 		ids = nil
 	}
-	if *jsonOut != "" && !slices.Contains(ids, "HOT") && !slices.Contains(ids, "CONT") && !slices.Contains(ids, "VARS") {
+	if *jsonOut != "" && !slices.Contains(ids, "HOT") && !slices.Contains(ids, "CONT") && !slices.Contains(ids, "VARS") && !slices.Contains(ids, "DYN") {
 		// -json always delivers its file, whatever experiments run with it.
 		ids = append(ids, "HOT")
+	}
+	if *baseline != "" && !slices.Contains(ids, "HOT") && !slices.Contains(ids, "VARS") && !slices.Contains(ids, "DYN") {
+		// Never let a regression gate silently not run: the flag only
+		// means something for the host suites with per-benchmark results.
+		return fmt.Errorf("-baseline requires a host suite with per-benchmark results (-suite hot, vars, or dyn)")
+	}
+
+	// deliver writes a host suite's JSON report (when -json asked for it)
+	// and runs the -baseline regression gate over it.
+	deliver := func(data []byte) error {
+		if *jsonOut != "" {
+			if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n\n", *jsonOut)
+		}
+		if *baseline != "" {
+			table, err := compareBaseline(data, *baseline, *maxSlow)
+			if table != "" {
+				fmt.Fprintln(out, table)
+			}
+			return err
+		}
+		return nil
 	}
 
 	for _, id := range ids {
@@ -120,30 +150,36 @@ func run(args []string, out *os.File) error {
 		if id == "VARS" {
 			report, table := runVars(*quick)
 			fmt.Fprintln(out, table)
-			if *jsonOut != "" {
-				data, err := varsJSON(report)
-				if err != nil {
-					return err
-				}
-				if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
-					return err
-				}
-				fmt.Fprintf(out, "wrote %s\n\n", *jsonOut)
+			data, err := varsJSON(report)
+			if err != nil {
+				return err
+			}
+			if err := deliver(data); err != nil {
+				return err
+			}
+			continue
+		}
+		if id == "DYN" {
+			report, table := runDyn(*quick)
+			fmt.Fprintln(out, table)
+			data, err := dynJSON(report)
+			if err != nil {
+				return err
+			}
+			if err := deliver(data); err != nil {
+				return err
 			}
 			continue
 		}
 		if id == "HOT" {
 			report, table := runHotpath()
 			fmt.Fprintln(out, table)
-			if *jsonOut != "" {
-				data, err := hotpathJSON(report)
-				if err != nil {
-					return err
-				}
-				if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
-					return err
-				}
-				fmt.Fprintf(out, "wrote %s\n\n", *jsonOut)
+			data, err := hotpathJSON(report)
+			if err != nil {
+				return err
+			}
+			if err := deliver(data); err != nil {
+				return err
 			}
 			continue
 		}

@@ -151,7 +151,7 @@ func checkConservation(budget time.Duration, goroutines, words int, seed uint64)
 					continue
 				}
 				amt := rng.Uint64() % 64
-				_, err := m.Atomically([]int{a, b}, func(old []uint64) []uint64 {
+				_, err := m.AtomicUpdate([]int{a, b}, func(old []uint64) []uint64 {
 					x := amt
 					if old[0] < x {
 						x = old[0]

@@ -67,9 +67,9 @@ func (tx *Tx) RunWhenContext(ctx context.Context, guard func(old []uint64) bool,
 	}
 }
 
-// AtomicallyContext applies f to addrs as one transaction with
-// cancellation; see Atomically and RunContext.
-func (m *Memory) AtomicallyContext(ctx context.Context, addrs []int, f UpdateFunc) ([]uint64, error) {
+// AtomicUpdateContext applies f to addrs as one static transaction with
+// cancellation; see AtomicUpdate and RunContext.
+func (m *Memory) AtomicUpdateContext(ctx context.Context, addrs []int, f UpdateFunc) ([]uint64, error) {
 	tx, err := m.Prepare(addrs)
 	if err != nil {
 		return nil, err

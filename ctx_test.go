@@ -29,12 +29,12 @@ func TestRunContextCommits(t *testing.T) {
 	}
 }
 
-func TestAtomicallyContextValidation(t *testing.T) {
+func TestAtomicUpdateContextValidation(t *testing.T) {
 	m := mustNew(t, 2)
-	if _, err := m.AtomicallyContext(context.Background(), nil, nil); !errors.Is(err, stm.ErrEmptyDataSet) {
+	if _, err := m.AtomicUpdateContext(context.Background(), nil, nil); !errors.Is(err, stm.ErrEmptyDataSet) {
 		t.Errorf("err = %v, want ErrEmptyDataSet", err)
 	}
-	if _, err := m.AtomicallyContext(context.Background(), []int{0}, nil); !errors.Is(err, stm.ErrNilUpdate) {
+	if _, err := m.AtomicUpdateContext(context.Background(), []int{0}, nil); !errors.Is(err, stm.ErrNilUpdate) {
 		t.Errorf("err = %v, want ErrNilUpdate", err)
 	}
 }

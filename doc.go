@@ -56,7 +56,43 @@
 // side-effect free: under contention the protocol lets several goroutines
 // evaluate the same transaction's update, and all evaluations must agree.
 // Read a transaction's committed snapshot back through Slot.Old rather
-// than writing to captured variables.
+// than writing to captured variables. AtomicN extends the one-shot
+// combinators past three variables of one type.
+//
+// # Dynamic transactions: Atomically
+//
+// When the data set depends on the data — walking a linked structure,
+// following an index — declare nothing and use Atomically, which
+// discovers the footprint as the transaction runs and then commits it
+// through the same static engine:
+//
+//	err := m.Atomically(func(tx *stm.DTx) error {
+//		from := stm.ReadVar(tx, checking)
+//		if from < 250 {
+//			tx.Retry() // block until a read variable changes
+//		}
+//		stm.WriteVar(tx, checking, from-250)
+//		stm.WriteVar(tx, savings, stm.ReadVar(tx, savings)+250)
+//		return nil
+//	})
+//
+// Reads observe a consistent snapshot (torn states are never visible, so
+// pointer chases cannot go astray); writes are buffered and installed
+// atomically on commit; returning an error aborts the transaction and
+// surfaces the error. Retry blocks until some word the transaction read
+// changes, and Memory.OrElse composes alternatives (second runs when
+// first retries; first has priority). The transaction function may be
+// re-executed when validation fails, so it must have no side effects
+// other than through the DTx.
+//
+// Choosing between the forms: use Var/TxSet (or a prepared raw Tx) when
+// the variables touched are known before the transaction starts — the
+// static forms skip speculation and validation entirely and are the
+// fastest paths. Use Atomically when the footprint is data-dependent, or
+// when you need Retry/OrElse composition. A stable Atomically call site
+// (same footprint every time) still commits allocation-free in steady
+// state, within ~2x of the equivalent compiled TxSet; see DESIGN.md §9
+// and `stmbench -suite dyn`.
 //
 // # Engine-level access: raw words
 //
@@ -95,7 +131,9 @@
 //     waits) performs zero heap allocations per committed transaction
 //     (amortized), as do Var.Load and Var.Store — modulo what the codec
 //     itself allocates (the built-in numeric/bool codecs allocate
-//     nothing; String's Decode builds a string).
+//     nothing; String's Decode builds a string). An Atomically call site
+//     with a stable footprint matches the zero-allocation contract: the
+//     DTx, its logs, and the compiled footprint recycle through pools.
 //   - Tx.RunInto and Tx.TryInto are the raw equivalents: zero heap
 //     allocations with a caller-supplied old buffer (for permuted
 //     declarations up to 16 words; larger permuted data sets stage one
@@ -103,9 +141,9 @@
 //   - Add, Swap, CompareAndSwap, ReadAllInto, and WriteAll/ReadAll over
 //     already-ascending address sets run on the same pooled fast path;
 //     ReadAll and CompareAndSwapN allocate only their returned snapshot.
-//   - The convenience forms pay per call: Var.Update and Atomic1/2/3
-//     build their closure (and, for Atomic*, the TxSet) each time;
-//     Tx.Run/Try allocate the result slice and an adapter; Atomically
+//   - The convenience forms pay per call: Var.Update and the Atomic
+//     combinators build their closure (and the TxSet) each time;
+//     Tx.Run/Try allocate the result slice and an adapter; AtomicUpdate
 //     and non-ascending k-word operations additionally re-Prepare.
 //
 // Prefer a compiled TxSet (typed) or RunInto on a prepared Tx (raw) on hot

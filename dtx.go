@@ -1,0 +1,648 @@
+package stm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/stm-go/stm/contention"
+	"github.com/stm-go/stm/internal/core"
+)
+
+// Dynamic transactions: Shavit & Touitou's paper observes that a static STM
+// can serve as the substrate for dynamic ones — run the transaction
+// speculatively to discover its data set, then execute it through the
+// static protocol once the footprint is known. This file is that
+// construction. An attempt speculates with ownership-free versioned
+// snapshot reads (core.StableLoadBox: a committed box, never a mid-install
+// state), validating the whole read set after every new read so the user
+// function only ever observes consistent states (opacity); at commit the
+// discovered footprint — already deduplicated,
+// sorted through a per-DTx cache — executes on the pooled static hot path
+// with calcDyn, which installs the write set only if every read still
+// holds its speculated value and otherwise commits a validated no-op,
+// sending the driver back to re-execute. See DESIGN.md §9.
+
+// ErrRetryNoReads reports a Retry in a transaction (or in both branches of
+// an OrElse) that read nothing: with an empty read set there is no word
+// whose change could ever wake the transaction, so blocking would be
+// forever. Read the condition you are waiting on before retrying.
+var ErrRetryNoReads = errors.New("stm: Retry in a transaction that read no words")
+
+// DTx is a dynamic transaction in flight: the handle through which the
+// function passed to Atomically/OrElse reads and writes transactional
+// words, discovering the data set as it goes. Typed access goes through
+// ReadVar/WriteVar; raw word access through Read/Write.
+//
+// A DTx is valid only inside its transaction function, on that function's
+// goroutine: it must not be retained, shared, or used after the function
+// returns. The function itself may be executed several times (the
+// speculation re-runs when validation fails or after a Retry wakeup), so
+// it must be free of side effects other than through the DTx — writes are
+// buffered in the DTx and reach memory only when the whole transaction
+// commits.
+type DTx struct {
+	m *Memory
+
+	// log is the discovered data set in access order, one entry per
+	// distinct address (reads and writes of a logged address hit the
+	// entry, so the set is deduplicated by construction).
+	log []dEntry
+
+	// idx maps addr -> log index once the log outgrows linear scanning.
+	// Once created it is kept (cleared, not dropped) across attempts and
+	// pool cycles.
+	idx map[int]int
+
+	// Compiled-footprint cache: when an attempt discovers the same
+	// addresses in the same order as the cached footprint — the steady
+	// state of a stable call site — the sort is skipped and the cached
+	// engine-order layout is reused. fpAddrs is the access-order key,
+	// fpSorted the engine-order data set, fpPos[i] the log index of the
+	// i-th engine-order word.
+	fpAddrs  []int
+	fpSorted []int
+	fpPos    []int
+
+	engOld []uint64 // committed old values, engine order (commit scratch)
+	wbuf   []uint64 // codec staging for ReadVar/WriteVar
+
+	// Read set of an OrElse first branch that retried, saved so the
+	// combined wait covers both branches.
+	altAddrs []int
+	altBoxes []*uint64
+
+	active    bool  // inside the transaction function
+	staleAddr int   // address whose revalidation failed (sigStale)
+	err       error // error carried by sigAbort
+}
+
+// dEntry is one logged address: the box observed at first read (nil for a
+// blind write), the value the speculation read there (rval, validated at
+// commit when read is set), and the value the transaction currently sees
+// (val — rval overlaid with any buffered write).
+type dEntry struct {
+	addr    int
+	box     *uint64
+	rval    uint64
+	val     uint64
+	read    bool
+	written bool
+}
+
+// dtxSignal is the speculation outcome; the non-zero values double as
+// panic sentinels that unwind the user function mid-flight. They are small
+// constants so raising one allocates nothing.
+type dtxSignal uint8
+
+const (
+	specDone dtxSignal = iota // function returned nil: footprint complete
+	sigRetry                  // Retry(): block until a read word changes
+	sigStale                  // a speculative read found the snapshot stale
+	sigAbort                  // function returned or raised an error (DTx.err)
+)
+
+// dtxLinearScan is the log size up to which address lookup stays a linear
+// scan; beyond it the idx map takes over.
+const dtxLinearScan = 16
+
+// Atomically executes f as one atomic transaction whose data set is
+// discovered on the fly — the dynamic counterpart of Prepare/TxSet, for
+// pointer-chasing work where the footprint depends on the data. f's reads
+// observe a consistent snapshot; its writes are buffered and installed
+// atomically (through the static engine, under the Memory's contention
+// policy) when f returns nil. If f returns an error the transaction aborts
+// — no write reaches memory — and Atomically returns that error.
+//
+// f may be executed several times before the transaction commits and so
+// must be deterministic and free of side effects other than through the
+// DTx. A call site whose footprint is stable commits allocation-free in
+// steady state (amortized, modulo codec allocations): the DTx, its logs,
+// and the compiled footprint recycle through per-Memory pools. When the
+// data set is known up front, prefer a compiled TxSet (typed) or a
+// prepared Tx (raw): the static forms skip speculation and validation
+// entirely.
+func (m *Memory) Atomically(f func(tx *DTx) error) error {
+	return m.atomically(nil, f, nil)
+}
+
+// AtomicallyContext is Atomically with cancellation: retries and Retry
+// waits end when ctx is done. A transaction that committed is never
+// reported as cancelled.
+func (m *Memory) AtomicallyContext(ctx context.Context, f func(tx *DTx) error) error {
+	return m.atomically(ctx, f, nil)
+}
+
+// OrElse composes two alternatives: it runs first, and if first blocks
+// (calls Retry) runs second in its place. If both block, the operation
+// waits until a word either branch read changes, then starts over from
+// first — so first always has priority when both could proceed. An error
+// from either branch aborts the whole operation (errors do not fall
+// through to the other branch).
+func (m *Memory) OrElse(first, second func(tx *DTx) error) error {
+	if second == nil {
+		return ErrNilUpdate
+	}
+	return m.atomically(nil, first, second)
+}
+
+// OrElseContext is OrElse with cancellation.
+func (m *Memory) OrElseContext(ctx context.Context, first, second func(tx *DTx) error) error {
+	if second == nil {
+		return ErrNilUpdate
+	}
+	return m.atomically(ctx, first, second)
+}
+
+// Read returns the word at addr as of the transaction's snapshot,
+// recording addr in the read set. Reads are repeatable (a second Read of
+// the same address returns the same value) and observe the transaction's
+// own buffered writes.
+func (d *DTx) Read(addr int) uint64 {
+	d.check()
+	if e := d.lookup(addr); e >= 0 {
+		return d.log[e].val
+	}
+	if addr < 0 || addr >= d.m.Size() {
+		d.abort(fmt.Errorf("%w: addr %d, size %d", ErrAddrRange, addr, d.m.Size()))
+	}
+	// The stable load returns a committed value — never the physical
+	// mid-install state of a multi-word commit, which holds ownership of
+	// its whole data set while installing (an observed owner is helped to
+	// completion first).
+	box := d.m.eng.StableLoadBox(addr)
+	v := *box
+	// Revalidate every earlier read before admitting the new one: the new
+	// value was committed and current while all earlier reads still held,
+	// so the user function only ever sees states some linearization
+	// actually produced (opacity) — it can never chase a pointer torn
+	// between two commits.
+	d.revalidate()
+	d.append(dEntry{addr: addr, box: box, rval: v, val: v, read: true})
+	return v
+}
+
+// Write buffers v as the transaction's new value for addr. The write
+// reaches memory only if the whole transaction commits; it is visible to
+// the transaction's own subsequent Reads immediately. A write to an
+// address the transaction never read is a blind write: it is installed
+// unconditionally, with no validation on that word.
+func (d *DTx) Write(addr int, v uint64) {
+	d.check()
+	if e := d.lookup(addr); e >= 0 {
+		d.log[e].val = v
+		d.log[e].written = true
+		return
+	}
+	if addr < 0 || addr >= d.m.Size() {
+		d.abort(fmt.Errorf("%w: addr %d, size %d", ErrAddrRange, addr, d.m.Size()))
+	}
+	d.append(dEntry{addr: addr, val: v, written: true})
+}
+
+// Retry abandons the attempt and blocks the transaction until some word it
+// has read changes, then re-executes it from the start — the composable
+// form of a guarded transaction (TxSet.RunWhen for footprints known up
+// front). Under OrElse, a Retry in the first branch falls through to the
+// second instead of blocking. A transaction that has read nothing cannot
+// be woken; Retry then fails the operation with ErrRetryNoReads.
+//
+// Note that a wakeup is triggered by a word's value changing: a committed
+// write that stores the value a word already held does not wake waiters.
+func (d *DTx) Retry() {
+	d.check()
+	panic(sigRetry)
+}
+
+// Memory returns the Memory the transaction runs against.
+func (d *DTx) Memory() *Memory { return d.m }
+
+// Footprint returns how many distinct words the transaction has touched so
+// far (reads and buffered writes).
+func (d *DTx) Footprint() int { return len(d.log) }
+
+// check guards against a DTx escaping its transaction function.
+func (d *DTx) check() {
+	if !d.active {
+		panic("stm: DTx used outside its transaction function")
+	}
+}
+
+// abort unwinds the speculation with err; Atomically returns it.
+func (d *DTx) abort(err error) {
+	d.err = err
+	panic(sigAbort)
+}
+
+// lookup returns addr's log index, or -1.
+func (d *DTx) lookup(addr int) int {
+	if d.idx != nil {
+		if e, ok := d.idx[addr]; ok {
+			return e
+		}
+		return -1
+	}
+	for i := range d.log {
+		if d.log[i].addr == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// append admits a new entry to the log, switching lookup to the idx map
+// when the log outgrows linear scanning.
+func (d *DTx) append(e dEntry) {
+	d.log = append(d.log, e)
+	if d.idx != nil {
+		d.idx[e.addr] = len(d.log) - 1
+		return
+	}
+	if len(d.log) > dtxLinearScan {
+		d.idx = make(map[int]int, 2*dtxLinearScan)
+		for i := range d.log {
+			d.idx[d.log[i].addr] = i
+		}
+	}
+}
+
+// revalidate checks that every read so far is still current, unwinding
+// with sigStale (and the offending address) if not.
+func (d *DTx) revalidate() {
+	for i := range d.log {
+		e := &d.log[i]
+		if e.read && d.m.eng.LoadBox(e.addr) != e.box {
+			d.staleAddr = e.addr
+			panic(sigStale)
+		}
+	}
+}
+
+// varBuf returns the DTx's codec staging buffer, sized to k words.
+func (d *DTx) varBuf(k int) []uint64 {
+	if cap(d.wbuf) < k {
+		d.wbuf = make([]uint64, k)
+	}
+	return d.wbuf[:k]
+}
+
+// resetLog rewinds the DTx for a fresh speculation; the footprint cache
+// and the buffers survive.
+func (d *DTx) resetLog() {
+	d.log = d.log[:0]
+	if d.idx != nil {
+		clear(d.idx)
+	}
+}
+
+// speculate runs the user function once against the current state of
+// memory, translating its outcome — and the sentinel panics raised by
+// Read/Retry/abort mid-flight — into a dtxSignal. Panics that are not ours
+// propagate to the caller of Atomically.
+func (d *DTx) speculate(f func(tx *DTx) error) (sig dtxSignal) {
+	d.resetLog()
+	d.active = true
+	defer func() {
+		d.active = false
+		if r := recover(); r != nil {
+			s, ok := r.(dtxSignal)
+			if !ok {
+				panic(r)
+			}
+			sig = s
+		}
+	}()
+	if f == nil {
+		d.err = ErrNilUpdate
+		return sigAbort
+	}
+	if err := f(d); err != nil {
+		d.err = err
+		return sigAbort
+	}
+	return specDone
+}
+
+// mergeAlt folds a retried OrElse first branch's read set into the log
+// as read-only entries before the second branch commits, so the commit
+// validates that the first branch still retries at the linearization
+// point — otherwise a concurrent write could make the first branch
+// viable while the second one commits, and observers would see a state
+// no atomic left-priority OrElse execution produces. A word both
+// branches read must have shown them the same box; if not, the first
+// branch's retry decision is already stale and the whole operation
+// re-executes (mergeAlt reports false with staleAddr set).
+func (d *DTx) mergeAlt() bool {
+	for i, a := range d.altAddrs {
+		box := d.altBoxes[i]
+		if e := d.lookup(a); e >= 0 {
+			ent := &d.log[e]
+			if ent.read {
+				if ent.box != box {
+					d.staleAddr = a
+					return false
+				}
+				continue
+			}
+			// The second branch blind-writes a word the first branch
+			// read: keep the write, but validate the first branch's view.
+			ent.box = box
+			ent.rval = *box
+			ent.read = true
+			continue
+		}
+		d.append(dEntry{addr: a, box: box, rval: *box, val: *box, read: true})
+	}
+	return true
+}
+
+// saveAlt stashes the current read set (an OrElse first branch that
+// retried) so waitReadSet covers both branches and mergeAlt can fold it
+// into the second branch's commit validation.
+func (d *DTx) saveAlt() {
+	d.altAddrs = d.altAddrs[:0]
+	d.altBoxes = d.altBoxes[:0]
+	for i := range d.log {
+		if d.log[i].read {
+			d.altAddrs = append(d.altAddrs, d.log[i].addr)
+			d.altBoxes = append(d.altBoxes, d.log[i].box)
+		}
+	}
+}
+
+// readCount returns the size of the wait set: the current log's reads plus
+// any saved alternative-branch reads.
+func (d *DTx) readCount() int {
+	n := len(d.altAddrs)
+	for i := range d.log {
+		if d.log[i].read {
+			n++
+		}
+	}
+	return n
+}
+
+// readSetChanged reports whether any read word's box moved since the
+// speculation read it — the Retry wakeup condition.
+func (d *DTx) readSetChanged() bool {
+	for i := range d.log {
+		e := &d.log[i]
+		if e.read && d.m.eng.LoadBox(e.addr) != e.box {
+			return true
+		}
+	}
+	for i, a := range d.altAddrs {
+		if d.m.eng.LoadBox(a) != d.altBoxes[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// waitReadSet blocks until the wait set changes (or ctx is done),
+// escalating on the same condition backoff RunWhen's rounds use: a parked
+// waiter must not hammer the very lines the eventual writer needs. The box
+// snapshots were taken during the speculation, so a write that landed
+// between speculation and this check is seen immediately — no wakeup can
+// be lost to the gap.
+func (d *DTx) waitReadSet(ctx context.Context) error {
+	bo := d.m.newCondBackoff()
+	for !d.readSetChanged() {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		bo.Wait()
+	}
+	return nil
+}
+
+// domainKey approximates the conflict-domain key for failures that happen
+// before a footprint is compiled (speculative staleness): the first
+// address the transaction touched, which is stable for a stable call site.
+func (d *DTx) domainKey() int {
+	if len(d.log) > 0 {
+		return d.log[0].addr
+	}
+	return d.staleAddr
+}
+
+// compileFootprint lays the discovered log out in engine order. The log is
+// deduplicated by construction, so compilation is a sort of the addresses
+// paired with their log positions — skipped entirely when the access-order
+// address list matches the cached one (the stable-call-site steady state,
+// which is what keeps repeat Atomically calls allocation-free).
+func (d *DTx) compileFootprint() {
+	if len(d.log) == len(d.fpAddrs) {
+		hit := true
+		for i := range d.log {
+			if d.log[i].addr != d.fpAddrs[i] {
+				hit = false
+				break
+			}
+		}
+		if hit {
+			return
+		}
+	}
+	d.fpAddrs = d.fpAddrs[:0]
+	d.fpSorted = d.fpSorted[:0]
+	d.fpPos = d.fpPos[:0]
+	for i := range d.log {
+		a := d.log[i].addr
+		d.fpAddrs = append(d.fpAddrs, a)
+		d.fpSorted = append(d.fpSorted, a)
+		d.fpPos = append(d.fpPos, i)
+	}
+	sort.Sort((*fpSorter)(d))
+}
+
+// fpSorter sorts a DTx's footprint (fpSorted with fpPos in tandem) without
+// the closure a sort.Slice call would allocate.
+type fpSorter DTx
+
+func (s *fpSorter) Len() int           { return len(s.fpSorted) }
+func (s *fpSorter) Less(i, j int) bool { return s.fpSorted[i] < s.fpSorted[j] }
+func (s *fpSorter) Swap(i, j int) {
+	s.fpSorted[i], s.fpSorted[j] = s.fpSorted[j], s.fpSorted[i]
+	s.fpPos[i], s.fpPos[j] = s.fpPos[j], s.fpPos[i]
+}
+
+// attemptCommit executes the compiled footprint once through the pooled
+// static hot path: acquire ownerships in ascending order, agree old
+// values, and let calcDyn either install the write set (every validated
+// read matched) or commit a no-op (something changed). The log is staged
+// into the record's scratch by copy — helpers may evaluate calcDyn after
+// this DTx has moved on. On failure info carries the engine's conflict
+// report.
+func (d *DTx) attemptCommit(info *core.ConflictInfo, prio uint64) bool {
+	k := len(d.fpSorted)
+	eng := d.m.eng
+	r := eng.Begin(k)
+	copy(r.Addrs(), d.fpSorted)
+	if prio != 0 {
+		r.SetPriority(prio)
+	}
+	s := scratchOf(r)
+	s.ensureDyn(k)
+	for i, e := range d.fpPos {
+		ent := &d.log[e]
+		s.dynRead[i] = ent.read
+		s.dynExp[i] = ent.rval
+		s.dynWr[i] = ent.written
+		s.dynNew[i] = ent.val
+	}
+	if cap(d.engOld) < k {
+		d.engOld = make([]uint64, k)
+	}
+	d.engOld = d.engOld[:k]
+	return eng.RunAttemptConflict(r, calcDyn, d.engOld, info)
+}
+
+// committedClean reports whether the last committed attempt installed the
+// write set: every validated read's agreed old value equals what the
+// speculation saw. If not, the engine committed the no-op arm of calcDyn
+// and the speculation must re-execute; stale names a word that moved.
+func (d *DTx) committedClean() (stale int, ok bool) {
+	for i, e := range d.fpPos {
+		ent := &d.log[e]
+		if ent.read && d.engOld[i] != ent.rval {
+			return d.fpSorted[i], false
+		}
+	}
+	return 0, true
+}
+
+// getDTx draws a pooled dynamic-transaction handle.
+func (m *Memory) getDTx() *DTx {
+	if v := m.dtxPool.Get(); v != nil {
+		return v.(*DTx)
+	}
+	return &DTx{m: m}
+}
+
+// putDTx recycles a handle, dropping every box pointer and error the last
+// operation logged so an idle pooled DTx retains nothing of it; the value
+// buffers and the compiled-footprint cache stay — they are the
+// amortization (and the cache is exactly what a stable call site wants
+// back).
+func (m *Memory) putDTx(d *DTx) {
+	clear(d.log[:cap(d.log)])
+	d.log = d.log[:0]
+	clear(d.altBoxes[:cap(d.altBoxes)])
+	d.altBoxes = d.altBoxes[:0]
+	d.altAddrs = d.altAddrs[:0]
+	if d.idx != nil {
+		clear(d.idx)
+	}
+	d.err = nil
+	m.dtxPool.Put(d)
+}
+
+// atomically is the dynamic retry driver shared by Atomically, OrElse, and
+// their Context forms (second is nil outside OrElse). Each round
+// speculates, then commits the discovered footprint through the static
+// engine, re-executing when validation fails and deferring between
+// conflicting attempts exactly as the static retry loops do: every failure
+// — an ownership conflict at commit, a stale speculative read, a
+// validation miss — reports to the contention policy through the same
+// pooled Conflict report, so dynamic transactions are first-class citizens
+// of the policy's telemetry.
+func (m *Memory) atomically(ctx context.Context, first, second func(tx *DTx) error) error {
+	d := m.getDTx()
+	defer m.putDTx(d)
+	var info core.ConflictInfo
+	var c *contention.Conflict
+	for {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				m.abortConflict(c)
+				return err
+			}
+		}
+		d.altAddrs = d.altAddrs[:0]
+		d.altBoxes = d.altBoxes[:0]
+		sig := d.speculate(first)
+		if sig == sigRetry && second != nil {
+			d.saveAlt()
+			sig = d.speculate(second)
+		}
+		switch sig {
+		case sigAbort:
+			err := d.err
+			d.err = nil
+			m.abortConflict(c)
+			return err
+		case sigStale:
+			info = core.ConflictInfo{Addr: d.staleAddr}
+			c = m.noteConflict(c, d.domainKey(), len(d.log)+1, &info)
+			continue
+		case sigRetry:
+			if d.readCount() == 0 {
+				m.abortConflict(c)
+				return ErrRetryNoReads
+			}
+			// Close the round's policy resources before parking: a
+			// serializing policy's token (or an aged priority) must never
+			// be held across an unbounded condition wait — the same
+			// discipline as RunWhen, which commits guard-unmet rounds
+			// before its condition waits. The next conflict after the
+			// wakeup opens a fresh report.
+			if c != nil {
+				m.commitConflict(c, d.domainKey(), len(d.log))
+				c = nil
+			}
+			if err := d.waitReadSet(ctx); err != nil {
+				return err
+			}
+			continue
+		}
+		// specDone: commit the discovered footprint. A second branch that
+		// ran because the first retried also revalidates the first
+		// branch's reads — left priority must hold at the linearization
+		// point, not just at speculation time.
+		if len(d.altAddrs) > 0 && !d.mergeAlt() {
+			info = core.ConflictInfo{Addr: d.staleAddr}
+			c = m.noteConflict(c, d.domainKey(), len(d.log)+1, &info)
+			continue
+		}
+		if len(d.log) == 0 {
+			// Nothing read, nothing written: a vacuous commit. No engine
+			// transaction runs; any policy resources from earlier rounds
+			// are released as a commit.
+			if c != nil {
+				m.commitConflict(c, 0, 0)
+			}
+			return nil
+		}
+		d.compileFootprint()
+		first0, k := d.fpSorted[0], len(d.fpSorted)
+		for !d.attemptCommit(&info, prioOf(c)) {
+			// Ownership conflict: the blocker has been helped; defer and
+			// re-attempt the same compiled footprint. If our snapshot went
+			// stale meanwhile, the next committed attempt detects it.
+			if ctx != nil && ctx.Err() != nil {
+				if c == nil {
+					m.tryAbort(first0, k, &info)
+				} else {
+					c.Attempts++ // the final, undeferred failure
+					m.abortConflict(c)
+				}
+				return ctx.Err()
+			}
+			c = m.noteConflict(c, first0, k, &info)
+		}
+		if stale, ok := d.committedClean(); !ok {
+			// The engine committed calcDyn's no-op arm: a concurrent
+			// transaction moved one of our reads between speculation and
+			// commit. Contention — defer, then re-execute from scratch.
+			info = core.ConflictInfo{Addr: stale}
+			c = m.noteConflict(c, first0, k, &info)
+			continue
+		}
+		m.commitConflict(c, first0, k)
+		return nil
+	}
+}

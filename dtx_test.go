@@ -1,0 +1,738 @@
+package stm_test
+
+// Tests for the dynamic transaction layer (Atomically / OrElse / Retry):
+// basic read/write semantics, opacity of the speculative snapshot,
+// footprint-growth re-execution, blocking composition, contention-policy
+// integration, and — under the race detector — a linked-list transfer
+// workload whose conservation property any torn read, lost wakeup, or
+// stale helper would violate.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	stm "github.com/stm-go/stm"
+)
+
+func TestAtomicallyBasics(t *testing.T) {
+	m := mustNew(t, 8)
+
+	// Blind write, then read-modify-write.
+	if err := m.Atomically(func(tx *stm.DTx) error {
+		tx.Write(3, 40)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Peek(3); got != 40 {
+		t.Fatalf("Peek(3) = %d, want 40", got)
+	}
+	if err := m.Atomically(func(tx *stm.DTx) error {
+		v := tx.Read(3)
+		tx.Write(3, v+2)
+		// Read-your-writes and repeatable reads.
+		if got := tx.Read(3); got != v+2 {
+			return fmt.Errorf("read-your-writes: got %d, want %d", got, v+2)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Peek(3); got != 42 {
+		t.Fatalf("Peek(3) = %d, want 42", got)
+	}
+
+	// An empty transaction commits vacuously.
+	if err := m.Atomically(func(tx *stm.DTx) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	// A returned error aborts: no buffered write reaches memory.
+	sentinel := errors.New("business rule says no")
+	if err := m.Atomically(func(tx *stm.DTx) error {
+		tx.Write(3, 999)
+		return sentinel
+	}); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the user's sentinel", err)
+	}
+	if got := m.Peek(3); got != 42 {
+		t.Fatalf("aborted write leaked: Peek(3) = %d, want 42", got)
+	}
+
+	// Out-of-range access aborts with ErrAddrRange.
+	if err := m.Atomically(func(tx *stm.DTx) error {
+		tx.Read(99)
+		return nil
+	}); !errors.Is(err, stm.ErrAddrRange) {
+		t.Fatalf("err = %v, want ErrAddrRange", err)
+	}
+	if err := m.Atomically(nil); !errors.Is(err, stm.ErrNilUpdate) {
+		t.Fatalf("Atomically(nil) = %v, want ErrNilUpdate", err)
+	}
+}
+
+func TestAtomicallyTypedVars(t *testing.T) {
+	m := mustNew(t, 16)
+	checking, err := stm.Alloc(m, stm.Int64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	savings, err := stm.Alloc(m, stm.Int64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checking.Store(900)
+	if err := m.Atomically(func(tx *stm.DTx) error {
+		c := stm.ReadVar(tx, checking)
+		s := stm.ReadVar(tx, savings)
+		stm.WriteVar(tx, checking, c-250)
+		stm.WriteVar(tx, savings, s+250)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := checking.Load(); got != 650 {
+		t.Errorf("checking = %d, want 650", got)
+	}
+	if got := savings.Load(); got != 250 {
+		t.Errorf("savings = %d, want 250", got)
+	}
+
+	// A var of a different Memory is rejected.
+	other := mustNew(t, 16)
+	foreign, err := stm.Alloc(other, stm.Int64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Atomically(func(tx *stm.DTx) error {
+		stm.ReadVar(tx, foreign)
+		return nil
+	}); !errors.Is(err, stm.ErrMemoryMismatch) {
+		t.Fatalf("foreign var err = %v, want ErrMemoryMismatch", err)
+	}
+}
+
+func TestDTxEscapePanics(t *testing.T) {
+	m := mustNew(t, 4)
+	var escaped *stm.DTx
+	if err := m.Atomically(func(tx *stm.DTx) error {
+		escaped = tx
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("using a DTx outside its transaction function should panic")
+		}
+	}()
+	escaped.Read(0)
+}
+
+func TestUserPanicPropagates(t *testing.T) {
+	m := mustNew(t, 4)
+	defer func() {
+		if r := recover(); r != "user panic" {
+			t.Errorf("recovered %v, want the user's panic value", r)
+		}
+	}()
+	_ = m.Atomically(func(tx *stm.DTx) error {
+		panic("user panic")
+	})
+}
+
+func TestFootprintGrowthReexecution(t *testing.T) {
+	// The selector word decides the footprint: 0 -> {sel, A}; 1 -> {sel,
+	// A, B}. The first execution reads under sel=0, then a "concurrent"
+	// writer (a static op issued mid-speculation — legal, speculation
+	// holds no ownership) flips the selector after all reads, so the
+	// commit-time validation fails, the speculation re-executes, and the
+	// second execution discovers the grown footprint and commits it.
+	const sel, a, b = 0, 1, 2
+	m := mustNew(t, 4)
+	calls := 0
+	err := m.Atomically(func(tx *stm.DTx) error {
+		calls++
+		myCall := calls
+		s := tx.Read(sel)
+		va := tx.Read(a)
+		if s == 0 {
+			if myCall == 1 {
+				if _, err := m.Swap(sel, 1); err != nil {
+					return err
+				}
+			}
+			tx.Write(a, va+10)
+			return nil
+		}
+		vb := tx.Read(b)
+		tx.Write(a, va+100)
+		tx.Write(b, vb+100)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Errorf("transaction executed %d times, want 2 (validation failure re-executes)", calls)
+	}
+	if got := m.Peek(a); got != 100 {
+		t.Errorf("word A = %d, want 100 (only the second execution's write lands)", got)
+	}
+	if got := m.Peek(b); got != 100 {
+		t.Errorf("word B = %d, want 100", got)
+	}
+}
+
+func TestSpeculativeStaleReadRestarts(t *testing.T) {
+	// Here the conflicting write lands between two speculative reads, so
+	// the incremental revalidation (not the commit) must catch it: the
+	// second tx.Read observes the selector's box moved and restarts. The
+	// user function must never see sel's old value next to A's new one.
+	const sel, a = 0, 1
+	m := mustNew(t, 4)
+	calls := 0
+	err := m.Atomically(func(tx *stm.DTx) error {
+		calls++
+		s := tx.Read(sel)
+		if calls == 1 {
+			// Change both words atomically behind the speculation's back.
+			if _, err := m.AtomicUpdate([]int{sel, a}, func(old []uint64) []uint64 {
+				return []uint64{old[0] + 1, old[1] + 50}
+			}); err != nil {
+				return err
+			}
+		}
+		va := tx.Read(a)
+		if s == 0 && va != 0 {
+			return fmt.Errorf("opacity violated: sel=0 but A=%d", va)
+		}
+		tx.Write(a, va+1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Errorf("transaction executed %d times, want 2 (stale read restarts)", calls)
+	}
+	if got := m.Peek(a); got != 51 {
+		t.Errorf("word A = %d, want 51", got)
+	}
+}
+
+func TestDynamicOpacityUnderConcurrentWriters(t *testing.T) {
+	// A writer keeps words 0 and 1 equal (one static transaction updates
+	// both). Dynamic readers assert the equality inside the transaction
+	// function: any run that observed a torn pair would return an error.
+	m := mustNew(t, 4)
+	tx2 := mustPrepare(t, m, []int{0, 1})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var old [2]uint64
+		bump := func(o, n []uint64) { n[0], n[1] = o[0]+1, o[1]+1 }
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tx2.RunInto(bump, old[:])
+			}
+		}
+	}()
+	for i := 0; i < 2_000; i++ {
+		if err := m.Atomically(func(tx *stm.DTx) error {
+			x := tx.Read(0)
+			y := tx.Read(1)
+			if x != y {
+				return fmt.Errorf("torn snapshot: %d != %d", x, y)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestRetryWakesOnWrite(t *testing.T) {
+	m := mustNew(t, 4)
+	done := make(chan error, 1)
+	go func() {
+		done <- m.Atomically(func(tx *stm.DTx) error {
+			v := tx.Read(0)
+			if v == 0 {
+				tx.Retry()
+			}
+			tx.Write(1, v)
+			return nil
+		})
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("transaction committed before the flag was set (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if _, err := m.Swap(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Retry never woke after the flag was written")
+	}
+	if got := m.Peek(1); got != 7 {
+		t.Errorf("word 1 = %d, want 7", got)
+	}
+}
+
+func TestRetryWithoutReadsFails(t *testing.T) {
+	m := mustNew(t, 4)
+	if err := m.Atomically(func(tx *stm.DTx) error {
+		tx.Retry()
+		return nil
+	}); !errors.Is(err, stm.ErrRetryNoReads) {
+		t.Fatalf("err = %v, want ErrRetryNoReads", err)
+	}
+	// Same through OrElse when both branches are read-free.
+	blocked := func(tx *stm.DTx) error { tx.Retry(); return nil }
+	if err := m.OrElse(blocked, blocked); !errors.Is(err, stm.ErrRetryNoReads) {
+		t.Fatalf("OrElse err = %v, want ErrRetryNoReads", err)
+	}
+}
+
+// takeSlot empties slot if it holds a value (retrying while it is empty)
+// and records what it took at out.
+func takeSlot(slot, out int) func(*stm.DTx) error {
+	return func(tx *stm.DTx) error {
+		v := tx.Read(slot)
+		if v == 0 {
+			tx.Retry()
+		}
+		tx.Write(slot, 0)
+		tx.Write(out, v)
+		return nil
+	}
+}
+
+func TestOrElseTriesSecondBranch(t *testing.T) {
+	const slotA, slotB, out = 0, 1, 2
+	m := mustNew(t, 4)
+
+	// Both available: first branch wins.
+	if err := m.WriteAll([]int{slotA, slotB}, []uint64{10, 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.OrElse(takeSlot(slotA, out), takeSlot(slotB, out)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Peek(out); got != 10 {
+		t.Errorf("out = %d, want 10 (first branch has priority)", got)
+	}
+	// First empty: second taken without blocking.
+	if err := m.OrElse(takeSlot(slotA, out), takeSlot(slotB, out)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Peek(out); got != 20 {
+		t.Errorf("out = %d, want 20 (fell through to second branch)", got)
+	}
+}
+
+func TestOrElseWaitsOnBothBranches(t *testing.T) {
+	const slotA, slotB, out = 0, 1, 2
+	m := mustNew(t, 4)
+	done := make(chan error, 1)
+	go func() {
+		done <- m.OrElse(takeSlot(slotA, out), takeSlot(slotB, out))
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("OrElse committed with both slots empty (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Filling the SECOND branch's slot must wake the combined wait.
+	if _, err := m.Swap(slotB, 33); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("OrElse never woke on the second branch's read set")
+	}
+	if got := m.Peek(out); got != 33 {
+		t.Errorf("out = %d, want 33", got)
+	}
+	if got := m.Peek(slotB); got != 0 {
+		t.Errorf("slot B = %d, want 0 (taken)", got)
+	}
+}
+
+func TestOrElseRevalidatesFirstBranchAtCommit(t *testing.T) {
+	// Left priority must hold at the linearization point: if a concurrent
+	// write makes the first branch viable after it retried but before the
+	// second branch commits, the second branch's commit must fail
+	// validation and the whole OrElse re-execute from the first branch.
+	// The conflicting write is issued from inside the second branch's
+	// first execution — after the first branch has retried, before the
+	// commit — which is exactly the race window.
+	const flag, a, b = 0, 1, 2
+	m := mustNew(t, 4)
+	secondRuns := 0
+	err := m.OrElse(
+		func(tx *stm.DTx) error {
+			if tx.Read(flag) == 0 {
+				tx.Retry()
+			}
+			tx.Write(a, 1)
+			return nil
+		},
+		func(tx *stm.DTx) error {
+			secondRuns++
+			if secondRuns == 1 {
+				if _, err := m.Swap(flag, 1); err != nil {
+					return err
+				}
+			}
+			tx.Write(b, 1)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Peek(a); got != 1 {
+		t.Errorf("word A = %d, want 1 (first branch viable at commit must win)", got)
+	}
+	if got := m.Peek(b); got != 0 {
+		t.Errorf("word B = %d, want 0 (second branch's commit must have been invalidated)", got)
+	}
+	if secondRuns != 1 {
+		t.Errorf("second branch ran %d times, want 1", secondRuns)
+	}
+}
+
+func TestAtomicallyContextCancel(t *testing.T) {
+	m := mustNew(t, 4)
+
+	// Cancel while parked in a Retry wait.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- m.AtomicallyContext(ctx, func(tx *stm.DTx) error {
+			if tx.Read(0) == 0 {
+				tx.Retry()
+			}
+			return nil
+		})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled Retry wait never returned")
+	}
+
+	// An already-cancelled context aborts before any attempt.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	ran := false
+	if err := m.AtomicallyContext(ctx2, func(tx *stm.DTx) error {
+		ran = true
+		return nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("transaction function ran under an already-cancelled context")
+	}
+}
+
+func TestDynamicConflictsReportToPolicy(t *testing.T) {
+	// A dynamic transaction whose validation fails must flow through the
+	// contention policy exactly like a static conflict: OnConflict for the
+	// failed round, OnCommit when the operation finally lands.
+	rec := &recordingPolicy{}
+	m, err := stm.New(8, stm.WithPolicy(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	if err := m.Atomically(func(tx *stm.DTx) error {
+		calls++
+		v := tx.Read(2)
+		if calls == 1 {
+			if _, err := m.Swap(2, v+1); err != nil {
+				return err
+			}
+		}
+		tx.Write(3, v)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	nc, ncm, _ := rec.counts()
+	if nc < 1 {
+		t.Errorf("policy saw %d conflicts, want >= 1 (validation failure is contention)", nc)
+	}
+	// The Swap commits once, the dynamic operation once.
+	if ncm < 2 {
+		t.Errorf("policy saw %d commits, want >= 2", ncm)
+	}
+	// An aborted dynamic operation (user error after a conflict) releases
+	// through OnAbort.
+	calls = 0
+	boom := errors.New("boom")
+	if err := m.Atomically(func(tx *stm.DTx) error {
+		calls++
+		v := tx.Read(2)
+		if calls == 1 {
+			if _, err := m.Swap(2, v+1); err != nil {
+				return err
+			}
+			tx.Write(3, v) // force a footprint so the conflict is real
+			return nil
+		}
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	if _, _, na := rec.counts(); na < 1 {
+		t.Errorf("policy saw %d aborts, want >= 1", na)
+	}
+}
+
+func TestRetryReleasesPolicyBeforeParking(t *testing.T) {
+	// A Retry park is unbounded, so the round's contention-policy
+	// resources (serialization tokens, aged priorities) must be released
+	// before the wait — the same discipline as RunWhen's guard-unmet
+	// rounds. The operation below conflicts once (opening a policy
+	// report), then parks; the report must be closed (an OnCommit) while
+	// it is still parked, not when it finally commits.
+	rec := &recordingPolicy{}
+	m, err := stm.New(8, stm.WithPolicy(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- m.Atomically(func(tx *stm.DTx) error {
+			calls++
+			v := tx.Read(1)
+			if calls == 1 {
+				// Invalidate our own read so the first round conflicts.
+				if _, err := m.Swap(1, v+1); err != nil {
+					return err
+				}
+				tx.Write(2, v)
+				return nil
+			}
+			if tx.Read(0) == 0 {
+				tx.Retry()
+			}
+			tx.Write(2, tx.Read(0))
+			return nil
+		})
+	}()
+	// While the operation is parked: one conflict (the validation
+	// failure) and two commits — the Swap's own clean commit plus the
+	// park-time release of the operation's report.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		nc, ncm, _ := rec.counts()
+		if nc >= 1 && ncm >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("parked operation still holds its policy report: %d conflicts / %d commits, want >=1 / >=2", nc, ncm)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("operation committed before the flag was set (err=%v)", err)
+	default:
+	}
+	if _, err := m.Swap(0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Peek(2); got != 9 {
+		t.Errorf("word 2 = %d, want 9", got)
+	}
+}
+
+func TestDynamicConcurrentCounter(t *testing.T) {
+	// Many goroutines increment one var through the dynamic path; every
+	// lost update or stale validation would break the final count.
+	const workers, perWorker = 8, 400
+	m := mustNew(t, 8)
+	counter, err := stm.Alloc(m, stm.Int64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if err := m.Atomically(func(tx *stm.DTx) error {
+					stm.WriteVar(tx, counter, stm.ReadVar(tx, counter)+1)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := counter.Load(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// Linked-list layout for the conservation test: word 0 is the head (base
+// address of the first node, 0 = nil); node i occupies [base, base+1] =
+// [value, next-base].
+
+func listNodeAt(tx *stm.DTx, k int) uint64 {
+	pos := tx.Read(0)
+	for i := 0; i < k && pos != 0; i++ {
+		pos = tx.Read(int(pos) + 1)
+	}
+	return pos
+}
+
+func TestDynamicLinkedListConservation(t *testing.T) {
+	// Transfers pointer-chase to two list positions and move value between
+	// them while a rotator keeps restructuring the list (head to tail).
+	// The workload is dynamic through and through — every footprint depends
+	// on the structure met — and conservation of both the value sum and
+	// the node count catches torn reads, lost updates, and stale commits.
+	// Run with -race for the memory-model half of the argument.
+	const (
+		nodes     = 6
+		initial   = 1_000
+		workers   = 4
+		transfers = 250
+		rotations = 150
+	)
+	m := mustNew(t, 2+2*nodes)
+	base := func(i int) int { return 1 + 2*i }
+	for i := 0; i < nodes; i++ {
+		next := uint64(0)
+		if i+1 < nodes {
+			next = uint64(base(i + 1))
+		}
+		if err := m.WriteAll([]int{base(i), base(i) + 1}, []uint64{initial, next}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Swap(0, uint64(base(0))); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := uint64(w)*0x9e3779b97f4a7c15 + 1
+			next := func(n int) int {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return int(rng % uint64(n))
+			}
+			for i := 0; i < transfers; i++ {
+				from, to := next(nodes), next(nodes)
+				if err := m.Atomically(func(tx *stm.DTx) error {
+					a := listNodeAt(tx, from)
+					b := listNodeAt(tx, to)
+					if a == 0 || b == 0 || a == b {
+						return nil
+					}
+					va := tx.Read(int(a))
+					vb := tx.Read(int(b))
+					amt := va / 2
+					tx.Write(int(a), va-amt)
+					tx.Write(int(b), vb+amt)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rotations; i++ {
+			if err := m.Atomically(func(tx *stm.DTx) error {
+				first := tx.Read(0)
+				if first == 0 {
+					return nil
+				}
+				second := tx.Read(int(first) + 1)
+				if second == 0 {
+					return nil
+				}
+				tail := second
+				for {
+					n := tx.Read(int(tail) + 1)
+					if n == 0 {
+						break
+					}
+					tail = n
+				}
+				tx.Write(0, second)
+				tx.Write(int(tail)+1, first)
+				tx.Write(int(first)+1, 0)
+				return nil
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Quiesced: walk the list unprotected and check both invariants.
+	var sum uint64
+	count := 0
+	for pos := m.Peek(0); pos != 0; pos = m.Peek(int(pos) + 1) {
+		sum += m.Peek(int(pos))
+		count++
+		if count > nodes {
+			t.Fatal("list has a cycle or grew")
+		}
+	}
+	if count != nodes {
+		t.Errorf("list has %d nodes, want %d", count, nodes)
+	}
+	if sum != nodes*initial {
+		t.Errorf("value sum = %d, want %d", sum, nodes*initial)
+	}
+}

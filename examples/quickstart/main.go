@@ -108,7 +108,7 @@ func main() {
 	if err := m.WriteAll(addrs, []uint64{100, 200, 300}); err != nil {
 		log.Fatal(err)
 	}
-	rotated, err := m.Atomically(addrs, func(old []uint64) []uint64 {
+	rotated, err := m.AtomicUpdate(addrs, func(old []uint64) []uint64 {
 		return []uint64{old[1], old[2], old[0]}
 	})
 	if err != nil {

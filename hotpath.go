@@ -181,6 +181,17 @@ type scratch struct {
 	// k-word op parameters (calcCASN, calcStore).
 	exp  []uint64
 	repl []uint64
+
+	// Dynamic-commit parameters (calcDyn), engine order. dynExp[i] is the
+	// value the speculation read at the i-th footprint word (validated only
+	// when dynRead[i]); dynNew[i] is the value to install (only when
+	// dynWr[i]). The slices are copied from the DTx at stage time — like
+	// exp/repl, helpers may evaluate calcDyn long after the initiating
+	// DTx has moved on, so the record must own its inputs.
+	dynExp  []uint64
+	dynNew  []uint64
+	dynRead []bool
+	dynWr   []bool
 }
 
 // ResetForPool drops the references staged for the last attempt (the
@@ -203,6 +214,21 @@ func scratchOf(r *core.Rec) *scratch {
 	s := &scratch{}
 	r.SetEnv(s)
 	return s
+}
+
+// ensureDyn sizes the dynamic-commit staging buffers for a k-word
+// footprint.
+func (s *scratch) ensureDyn(k int) {
+	if cap(s.dynExp) < k {
+		s.dynExp = make([]uint64, k)
+		s.dynNew = make([]uint64, k)
+		s.dynRead = make([]bool, k)
+		s.dynWr = make([]bool, k)
+	}
+	s.dynExp = s.dynExp[:k]
+	s.dynNew = s.dynNew[:k]
+	s.dynRead = s.dynRead[:k]
+	s.dynWr = s.dynWr[:k]
 }
 
 // ensureCaller sizes the exclusive caller-order buffers for a k-word
@@ -260,6 +286,30 @@ func calcCASN(env any, old, new []uint64, _ bool) {
 		}
 	}
 	copy(new, s.repl)
+}
+
+// calcDyn commits a dynamic transaction's discovered footprint: if every
+// validated read still holds the value the speculation saw, install the
+// write set; otherwise commit the data set unchanged (a validated no-op,
+// like calcCASN's mismatch arm). The driver re-derives which case happened
+// from the committed old values and re-executes the speculation on a
+// mismatch — calc evaluations themselves must stay deterministic and must
+// not write to shared state.
+func calcDyn(env any, old, new []uint64, _ bool) {
+	s := env.(*scratch)
+	for i := range old {
+		if s.dynRead[i] && old[i] != s.dynExp[i] {
+			copy(new, old)
+			return
+		}
+	}
+	for i := range old {
+		if s.dynWr[i] {
+			new[i] = s.dynNew[i]
+		} else {
+			new[i] = old[i]
+		}
+	}
 }
 
 // calcTx evaluates a prepared transaction's UpdateInto, remapping between

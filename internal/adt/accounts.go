@@ -63,7 +63,7 @@ func (a *Accounts) Transfer(src, dst int, amount uint64) error {
 	if src == dst || amount == 0 {
 		return nil
 	}
-	old, err := a.m.Atomically([]int{a.base + src, a.base + dst}, func(old []uint64) []uint64 {
+	old, err := a.m.AtomicUpdate([]int{a.base + src, a.base + dst}, func(old []uint64) []uint64 {
 		if old[0] < amount {
 			return []uint64{old[0], old[1]} // reject: validated no-op
 		}

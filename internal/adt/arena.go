@@ -106,7 +106,7 @@ func MoveHeadToCounter(d *Deque, c *Counter) (v uint64, ok bool, err error) {
 	for {
 		head := d.m.Peek(d.base)
 		addrs := []int{d.base, d.base + 1, d.slot(head), c.loc}
-		old, err := d.m.Atomically(addrs, func(old []uint64) []uint64 {
+		old, err := d.m.AtomicUpdate(addrs, func(old []uint64) []uint64 {
 			curHead, tail := old[0], old[1]
 			if curHead != head || tail == curHead {
 				out := make([]uint64, len(old))

@@ -72,7 +72,7 @@ func (d *Deque) TryPushTail(v uint64) (bool, error) {
 	for {
 		tail := d.m.Peek(d.base + 1) // optimistic pre-read to pick the slot
 		addrs := []int{d.base, d.base + 1, d.slot(tail)}
-		old, err := d.m.Atomically(addrs, func(old []uint64) []uint64 {
+		old, err := d.m.AtomicUpdate(addrs, func(old []uint64) []uint64 {
 			head, curTail := old[0], old[1]
 			if curTail != tail || curTail-head >= d.cap {
 				return []uint64{old[0], old[1], old[2]} // validated no-op
@@ -99,7 +99,7 @@ func (d *Deque) TryPopHead() (v uint64, ok bool, err error) {
 	for {
 		head := d.m.Peek(d.base)
 		addrs := []int{d.base, d.base + 1, d.slot(head)}
-		old, err := d.m.Atomically(addrs, func(old []uint64) []uint64 {
+		old, err := d.m.AtomicUpdate(addrs, func(old []uint64) []uint64 {
 			curHead, tail := old[0], old[1]
 			if curHead != head || tail == curHead {
 				return []uint64{old[0], old[1], old[2]}
@@ -128,7 +128,7 @@ func (d *Deque) TryPushHead(v uint64) (bool, error) {
 	for {
 		head := d.m.Peek(d.base)
 		addrs := []int{d.base, d.base + 1, d.slot(head - 1)}
-		old, err := d.m.Atomically(addrs, func(old []uint64) []uint64 {
+		old, err := d.m.AtomicUpdate(addrs, func(old []uint64) []uint64 {
 			curHead, tail := old[0], old[1]
 			if curHead != head || tail-curHead >= d.cap {
 				return []uint64{old[0], old[1], old[2]} // validated no-op
@@ -155,7 +155,7 @@ func (d *Deque) TryPopTail() (v uint64, ok bool, err error) {
 	for {
 		tail := d.m.Peek(d.base + 1)
 		addrs := []int{d.base, d.base + 1, d.slot(tail - 1)}
-		old, err := d.m.Atomically(addrs, func(old []uint64) []uint64 {
+		old, err := d.m.AtomicUpdate(addrs, func(old []uint64) []uint64 {
 			head, curTail := old[0], old[1]
 			if curTail != tail || curTail == head {
 				return []uint64{old[0], old[1], old[2]}

@@ -82,7 +82,7 @@ func (r *ResourceAllocator) TryAcquire(pools []int) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	old, err := r.m.Atomically(addrs, func(old []uint64) []uint64 {
+	old, err := r.m.AtomicUpdate(addrs, func(old []uint64) []uint64 {
 		for _, v := range old {
 			if v == 0 {
 				out := make([]uint64, len(old))
@@ -144,7 +144,7 @@ func (r *ResourceAllocator) Release(pools []int) error {
 	if err != nil {
 		return err
 	}
-	_, err = r.m.Atomically(addrs, func(old []uint64) []uint64 {
+	_, err = r.m.AtomicUpdate(addrs, func(old []uint64) []uint64 {
 		out := make([]uint64, len(old))
 		for i, v := range old {
 			out[i] = v + 1

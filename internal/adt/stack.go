@@ -54,7 +54,7 @@ func (s *Stack) TryPush(v uint64) (bool, error) {
 			continue
 		}
 		addrs := []int{s.base, s.base + 1 + int(top)}
-		old, err := s.m.Atomically(addrs, func(old []uint64) []uint64 {
+		old, err := s.m.AtomicUpdate(addrs, func(old []uint64) []uint64 {
 			if old[0] != top {
 				return []uint64{old[0], old[1]}
 			}
@@ -85,7 +85,7 @@ func (s *Stack) TryPop() (v uint64, ok bool, err error) {
 			continue
 		}
 		addrs := []int{s.base, s.base + int(top)} // slot index top-1 is word base+1+(top-1)
-		old, err := s.m.Atomically(addrs, func(old []uint64) []uint64 {
+		old, err := s.m.AtomicUpdate(addrs, func(old []uint64) []uint64 {
 			if old[0] != top {
 				return []uint64{old[0], old[1]}
 			}

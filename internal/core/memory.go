@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"unsafe"
@@ -15,9 +16,6 @@ var (
 	// ErrAddrOrder reports a data set that is not strictly ascending.
 	ErrAddrOrder = errors.New("core: data set must be strictly ascending (sorted, no duplicates)")
 	// ErrDupAddr reports a data set containing the same address twice.
-	// Duplicate errors also match ErrAddrOrder under errors.Is for one
-	// release (duplicates used to be reported as ordering errors); that
-	// compatibility match is deprecated and will be removed.
 	ErrDupAddr = errors.New("core: data set contains a duplicate address")
 	// ErrEmptyDataSet reports an empty data set.
 	ErrEmptyDataSet = errors.New("core: empty data set")
@@ -25,20 +23,19 @@ var (
 	ErrNilUpdate = errors.New("core: nil update function")
 )
 
-// DupAddrError is a duplicate-address validation failure. It matches both
-// ErrDupAddr and — deprecated, kept for one release — ErrAddrOrder under
-// errors.Is, because duplicates were historically reported as ordering
-// errors.
+// DupAddrError is a duplicate-address validation failure; it matches
+// ErrDupAddr under errors.Is. (It historically also matched ErrAddrOrder,
+// because duplicates used to be reported as ordering errors; that
+// deprecated compatibility window is over.)
 type DupAddrError int
 
 func (e DupAddrError) Error() string {
 	return fmt.Sprintf("%v: address %d appears more than once", ErrDupAddr, int(e))
 }
 
-// Is makes errors.Is(err, ErrDupAddr) and the deprecated
-// errors.Is(err, ErrAddrOrder) both hold.
+// Is makes errors.Is(err, ErrDupAddr) hold.
 func (e DupAddrError) Is(target error) bool {
-	return target == ErrDupAddr || target == ErrAddrOrder
+	return target == ErrDupAddr
 }
 
 // cacheLineSize is the assumed coherence granularity. 64 bytes covers
@@ -97,6 +94,57 @@ func (m *Memory) Size() int { return len(m.words) }
 // an atomic snapshot of one word but carries no consistency guarantee
 // relative to other words; use a transaction for multi-word reads.
 func (m *Memory) Peek(loc int) uint64 { return *m.words[loc].cell.Load() }
+
+// LoadBox reads loc's current value box without acquiring ownership: *box
+// is the word's value, and the pointer itself is a version witness —
+// because committed transactions install a fresh box whenever a word's
+// value changes (and only then; an equal-value write keeps the old box,
+// and a published box is never republished), two equal LoadBox results
+// bracket an interval in which the word's value never changed.
+//
+// A raw LoadBox may observe the physical mid-install state of a multi-word
+// commit (updateMemory CASes one word at a time while ownership is held),
+// so consumers needing a committed value must use StableLoadBox; the raw
+// form is for change detection — dynamic transactions' wakeup polling and
+// revalidation — where a mid-install pointer difference is exactly the
+// signal wanted. See the stm package's Atomically and DESIGN.md §9.
+func (m *Memory) LoadBox(loc int) *uint64 { return m.words[loc].cell.Load() }
+
+// StableLoadBox is LoadBox restricted to committed states: the returned
+// box was loc's current value at an instant when no transaction owned the
+// word — and since a multi-word commit holds ownership of its entire data
+// set from before its first install until after its last, that instant
+// cannot fall inside anyone's install phase. The double-check is sound
+// because published boxes are never reused: cell==box before and after the
+// owner check means the cell held box throughout. When a word is found
+// owned, the caller helps the owner to completion (the protocol's
+// non-blocking answer to every stall) and re-inspects. Dynamic
+// transactions build their speculative snapshot reads on this; see
+// DESIGN.md §9's opacity argument.
+func (m *Memory) StableLoadBox(loc int) *uint64 {
+	w := &m.words[loc]
+	for {
+		box := w.cell.Load()
+		if owner := w.owner.Load(); owner == nil {
+			if w.cell.Load() == box {
+				return box
+			}
+			continue
+		} else if owner.pin() {
+			helped := owner.stable.Load()
+			if helped {
+				m.stats.help(owner.shard)
+				m.transaction(owner, false)
+			}
+			owner.unpin()
+			if helped {
+				continue // the owner is complete; re-inspect immediately
+			}
+		}
+		// The owner was transient (sealed, or not yet stable): let it run.
+		runtime.Gosched()
+	}
+}
 
 // Stats returns a snapshot of the memory's protocol counters.
 func (m *Memory) Stats() StatsSnapshot { return m.stats.snapshot() }

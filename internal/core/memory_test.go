@@ -114,10 +114,11 @@ func TestDupAddrSentinels(t *testing.T) {
 	if !errors.Is(err, ErrDupAddr) {
 		t.Errorf("duplicate: err = %v, want ErrDupAddr", err)
 	}
-	// Deprecated compatibility: duplicates were reported as ordering
-	// errors; errors.Is(err, ErrAddrOrder) keeps working for one release.
-	if !errors.Is(err, ErrAddrOrder) {
-		t.Errorf("duplicate: err = %v, want ErrAddrOrder compat match", err)
+	// The deprecated compatibility match (duplicates used to be reported
+	// as ordering errors) ended with its one-release window: a duplicate
+	// no longer matches ErrAddrOrder.
+	if errors.Is(err, ErrAddrOrder) {
+		t.Errorf("duplicate: err = %v must no longer match ErrAddrOrder (compat window over)", err)
 	}
 	// The reverse does not hold: a pure ordering error is not a duplicate.
 	if err := m.ValidateDataSet([]int{5, 2}); errors.Is(err, ErrDupAddr) {

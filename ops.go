@@ -102,7 +102,7 @@ func (m *Memory) ReadAllInto(addrs []int, dst []uint64) error {
 		return errLengthMismatch(len(addrs), len(dst))
 	}
 	if !m.ascendingInBounds(addrs) {
-		old, err := m.Atomically(addrs, identityUpdate)
+		old, err := m.AtomicUpdate(addrs, identityUpdate)
 		if err != nil {
 			return err
 		}
@@ -138,7 +138,7 @@ func (m *Memory) WriteAll(addrs []int, vals []uint64) error {
 	if !m.ascendingInBounds(addrs) {
 		stored := make([]uint64, len(vals))
 		copy(stored, vals)
-		_, err := m.Atomically(addrs, func(old []uint64) []uint64 { return stored })
+		_, err := m.AtomicUpdate(addrs, func(old []uint64) []uint64 { return stored })
 		return err
 	}
 	m.runAscending(addrs, calcStore, nil, vals, nil)
@@ -192,7 +192,7 @@ func (m *Memory) CompareAndSwapN(addrs []int, expected, new []uint64) (bool, []u
 		copy(exp, expected)
 		nv := make([]uint64, len(new))
 		copy(nv, new)
-		got, err := m.Atomically(addrs, func(old []uint64) []uint64 {
+		got, err := m.AtomicUpdate(addrs, func(old []uint64) []uint64 {
 			for i := range old {
 				if old[i] != exp[i] {
 					out := make([]uint64, len(old))

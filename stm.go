@@ -24,9 +24,6 @@ var (
 	ErrNilUpdate    = core.ErrNilUpdate
 
 	// ErrDupAddr reports a data set containing the same address twice.
-	// For one release duplicate errors also match ErrAddrOrder under
-	// errors.Is (they used to be reported as ordering errors); that
-	// compatibility match is deprecated.
 	ErrDupAddr = core.ErrDupAddr
 
 	// ErrOutOfWords reports that Alloc/AllocWords cannot fit the request
@@ -55,6 +52,7 @@ type Memory struct {
 
 	confPool sync.Pool // of *contention.Conflict; see hotpath.go
 	bufPool  sync.Pool // of *[]uint64 word staging buffers; see hotpath.go
+	dtxPool  sync.Pool // of *DTx dynamic-transaction handles; see dtx.go
 }
 
 // Option configures a Memory at construction.
@@ -150,15 +148,16 @@ func (m *Memory) ConflictCount(loc int) uint64 { return m.eng.ConflictCount(loc)
 // Policy returns the Memory's contention-management policy.
 func (m *Memory) Policy() contention.Policy { return m.pol }
 
-// Atomically applies f to the words at addrs as one atomic transaction,
+// AtomicUpdate applies f to the words at addrs as one static transaction,
 // retrying under the contention policy until it commits. It returns the old
 // values (the consistent snapshot f's result was computed from),
 // index-aligned with addrs. addrs may be in any order but must not contain
 // duplicates.
 //
 // For hot paths that reuse a data set, Prepare once and call Tx.Run — or
-// Tx.RunInto for the allocation-free variant.
-func (m *Memory) Atomically(addrs []int, f UpdateFunc) ([]uint64, error) {
+// Tx.RunInto for the allocation-free variant. For transactions whose data
+// set is not known up front, use Atomically, the dynamic form.
+func (m *Memory) AtomicUpdate(addrs []int, f UpdateFunc) ([]uint64, error) {
 	tx, err := m.Prepare(addrs)
 	if err != nil {
 		return nil, err

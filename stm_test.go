@@ -58,16 +58,17 @@ func TestPrepareValidation(t *testing.T) {
 }
 
 func TestDupAddrCompat(t *testing.T) {
-	// Duplicate addresses report the dedicated ErrDupAddr sentinel, and —
-	// deprecated, for one release — still match ErrAddrOrder, which used
-	// to cover them. A genuine ordering error must NOT match ErrDupAddr.
+	// Duplicate addresses report the dedicated ErrDupAddr sentinel only.
+	// The deprecated one-release compatibility match against ErrAddrOrder
+	// (duplicates used to be reported as ordering errors) is gone, and a
+	// genuine ordering error must NOT match ErrDupAddr.
 	m := mustNew(t, 8)
 	_, err := m.Prepare([]int{3, 3})
 	if !errors.Is(err, stm.ErrDupAddr) {
 		t.Errorf("duplicate: err = %v, want ErrDupAddr", err)
 	}
-	if !errors.Is(err, stm.ErrAddrOrder) {
-		t.Errorf("duplicate: err = %v, want deprecated ErrAddrOrder compat match", err)
+	if errors.Is(err, stm.ErrAddrOrder) {
+		t.Errorf("duplicate: err = %v must no longer match ErrAddrOrder (compat window over)", err)
 	}
 	if _, _, err := m.Try([]int{5, 5}, func(o []uint64) []uint64 { return o }); !errors.Is(err, stm.ErrDupAddr) {
 		t.Errorf("Try duplicate: err = %v, want ErrDupAddr", err)
@@ -113,9 +114,9 @@ func TestTxAddrs(t *testing.T) {
 	}
 }
 
-func TestAtomicallyNilUpdate(t *testing.T) {
+func TestAtomicUpdateNilUpdate(t *testing.T) {
 	m := mustNew(t, 2)
-	if _, err := m.Atomically([]int{0}, nil); !errors.Is(err, stm.ErrNilUpdate) {
+	if _, err := m.AtomicUpdate([]int{0}, nil); !errors.Is(err, stm.ErrNilUpdate) {
 		t.Errorf("err = %v, want ErrNilUpdate", err)
 	}
 	if _, _, err := m.Try([]int{0}, nil); !errors.Is(err, stm.ErrNilUpdate) {
@@ -336,7 +337,7 @@ func TestSnapshotConsistentUnderTransfers(t *testing.T) {
 			if lo > hi {
 				lo, hi = hi, lo
 			}
-			if _, err := m.Atomically([]int{lo, hi}, func(old []uint64) []uint64 {
+			if _, err := m.AtomicUpdate([]int{lo, hi}, func(old []uint64) []uint64 {
 				return []uint64{old[0] - 1, old[1] + 1}
 			}); err != nil {
 				t.Error(err)

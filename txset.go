@@ -194,8 +194,56 @@ func (s Slot[T]) Old() T {
 	return s.c.Decode(s.ts.oldW[s.off : s.off+s.n])
 }
 
-// Atomic1 atomically applies f to one variable: sugar for Var.Update with
-// the combinator shape of Atomic2/Atomic3.
+// atomicRun is the shared engine of the one-shot Atomic combinators: build
+// records the vars on a fresh TxSet and returns the update to run over the
+// compiled set. Each combinator contributes only its typed Get/Set
+// plumbing.
+func atomicRun(m *Memory, build func(ts *TxSet) func(TxView)) error {
+	ts := NewTxSet(m)
+	return ts.Run(build(ts))
+}
+
+// AtomicN atomically applies f to any number of same-typed variables,
+// removing the combinator cliff after Atomic3. f receives the old values
+// index-aligned with vars and returns the new ones — it may mutate its
+// argument in place and return it, but like every update it must be
+// deterministic and side-effect free, and it must return exactly len(vars)
+// values. All vars must share a Memory and must not overlap.
+//
+// One-shot convenience: AtomicN builds and compiles the transaction (and
+// the value slice, per evaluation) on every call. Hot paths should record
+// a TxSet once; variables of mixed types beyond three go through a TxSet
+// too — or through the dynamic Atomically when the set isn't known up
+// front.
+func AtomicN[T any](f func(old []T) []T, vars ...*Var[T]) error {
+	if len(vars) == 0 {
+		return ErrEmptyDataSet
+	}
+	return atomicRun(vars[0].m, func(ts *TxSet) func(TxView) {
+		slots := make([]Slot[T], len(vars))
+		for i, v := range vars {
+			slots[i] = AddVar(ts, v)
+		}
+		return func(tv TxView) {
+			vals := make([]T, len(slots))
+			for i, s := range slots {
+				vals[i] = s.Get(tv)
+			}
+			out := f(vals)
+			if len(out) != len(slots) {
+				panic(fmt.Sprintf("stm: AtomicN update returned %d values for %d vars", len(out), len(slots)))
+			}
+			for i, s := range slots {
+				s.Set(tv, out[i])
+			}
+		}
+	})
+}
+
+// Atomic1 atomically applies f to one variable with the combinator shape
+// of Atomic2/Atomic3. One variable needs no set to compile: it delegates
+// to Var.Update (one closure per call) rather than paying AtomicN's
+// TxSet build.
 func Atomic1[T any](v *Var[T], f func(T) T) error {
 	v.Update(f)
 	return nil
@@ -206,26 +254,25 @@ func Atomic1[T any](v *Var[T], f func(T) T) error {
 // and must not overlap. One-shot convenience: it builds and compiles the
 // two-var transaction per call; prepare a TxSet once for hot paths.
 func Atomic2[T1, T2 any](v1 *Var[T1], v2 *Var[T2], f func(T1, T2) (T1, T2)) error {
-	ts := NewTxSet(v1.m)
-	s1 := AddVar(ts, v1)
-	s2 := AddVar(ts, v2)
-	return ts.Run(func(tv TxView) {
-		a, b := f(s1.Get(tv), s2.Get(tv))
-		s1.Set(tv, a)
-		s2.Set(tv, b)
+	return atomicRun(v1.m, func(ts *TxSet) func(TxView) {
+		s1, s2 := AddVar(ts, v1), AddVar(ts, v2)
+		return func(tv TxView) {
+			a, b := f(s1.Get(tv), s2.Get(tv))
+			s1.Set(tv, a)
+			s2.Set(tv, b)
+		}
 	})
 }
 
 // Atomic3 atomically applies f to three variables; see Atomic2.
 func Atomic3[T1, T2, T3 any](v1 *Var[T1], v2 *Var[T2], v3 *Var[T3], f func(T1, T2, T3) (T1, T2, T3)) error {
-	ts := NewTxSet(v1.m)
-	s1 := AddVar(ts, v1)
-	s2 := AddVar(ts, v2)
-	s3 := AddVar(ts, v3)
-	return ts.Run(func(tv TxView) {
-		a, b, c := f(s1.Get(tv), s2.Get(tv), s3.Get(tv))
-		s1.Set(tv, a)
-		s2.Set(tv, b)
-		s3.Set(tv, c)
+	return atomicRun(v1.m, func(ts *TxSet) func(TxView) {
+		s1, s2, s3 := AddVar(ts, v1), AddVar(ts, v2), AddVar(ts, v3)
+		return func(tv TxView) {
+			a, b, c := f(s1.Get(tv), s2.Get(tv), s3.Get(tv))
+			s1.Set(tv, a)
+			s2.Set(tv, b)
+			s3.Set(tv, c)
+		}
 	})
 }

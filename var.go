@@ -89,6 +89,40 @@ func (v *Var[T]) Store(x T) {
 	v.m.putWordBuf(p)
 }
 
+// ReadVar reads v's value inside the dynamic transaction tx: the typed
+// form of DTx.Read over the variable's word range, recording every word in
+// the transaction's read set. Like all dynamic reads it is repeatable,
+// observes the transaction's own WriteVar, and is consistent with every
+// other read the transaction has made. The variable must belong to the
+// transaction's Memory.
+func ReadVar[T any](tx *DTx, v *Var[T]) T {
+	tx.check()
+	if v.m != tx.m {
+		tx.abort(fmt.Errorf("%w: var at word %d", ErrMemoryMismatch, v.Base()))
+	}
+	buf := tx.varBuf(len(v.addrs))
+	for i, a := range v.addrs {
+		buf[i] = tx.Read(a)
+	}
+	return v.c.Decode(buf)
+}
+
+// WriteVar buffers x as v's new value inside the dynamic transaction tx:
+// the typed form of DTx.Write. The write is installed only if the whole
+// transaction commits. Codecs used inside dynamic transactions must not
+// touch the DTx themselves.
+func WriteVar[T any](tx *DTx, v *Var[T], x T) {
+	tx.check()
+	if v.m != tx.m {
+		tx.abort(fmt.Errorf("%w: var at word %d", ErrMemoryMismatch, v.Base()))
+	}
+	buf := tx.varBuf(len(v.addrs))
+	v.c.Encode(x, buf)
+	for i, a := range v.addrs {
+		tx.Write(a, buf[i])
+	}
+}
+
 // Update atomically applies f to the variable — a one-variable typed
 // read-modify-write — and returns the old value the new one was computed
 // from. f must be deterministic and side-effect free: under helping it may

@@ -405,6 +405,59 @@ func TestAtomicCombinators(t *testing.T) {
 	}
 }
 
+func TestAtomicN(t *testing.T) {
+	// The variadic combinator: no cliff after three variables. Rotate five
+	// counters left in one transaction and bump each.
+	m := mustNew(t, 16)
+	vars := make([]*stm.Var[int64], 5)
+	for i := range vars {
+		v, err := stm.Alloc(m, stm.Int64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.Store(int64(10 * (i + 1)))
+		vars[i] = v
+	}
+	if err := stm.AtomicN(func(old []int64) []int64 {
+		first := old[0]
+		copy(old, old[1:])
+		old[len(old)-1] = first
+		for i := range old {
+			old[i]++
+		}
+		return old
+	}, vars...); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{21, 31, 41, 51, 11}
+	for i, v := range vars {
+		if got := v.Load(); got != want[i] {
+			t.Errorf("vars[%d] = %d, want %d", i, got, want[i])
+		}
+	}
+
+	// Error surface: no vars, cross-memory sets, overlapping vars.
+	if err := stm.AtomicN(func(old []int64) []int64 { return old }); !errors.Is(err, stm.ErrEmptyDataSet) {
+		t.Errorf("AtomicN() err = %v, want ErrEmptyDataSet", err)
+	}
+	m2 := mustNew(t, 8)
+	foreign, _ := stm.Alloc(m2, stm.Int64())
+	if err := stm.AtomicN(func(old []int64) []int64 { return old }, vars[0], foreign); !errors.Is(err, stm.ErrMemoryMismatch) {
+		t.Errorf("cross-memory AtomicN err = %v, want ErrMemoryMismatch", err)
+	}
+	if err := stm.AtomicN(func(old []int64) []int64 { return old }, vars[0], vars[0]); !errors.Is(err, stm.ErrDupAddr) {
+		t.Errorf("overlapping AtomicN err = %v, want ErrDupAddr", err)
+	}
+
+	// A wrong-length result panics like the raw UpdateFunc contract.
+	defer func() {
+		if recover() == nil {
+			t.Error("AtomicN with a short result should panic")
+		}
+	}()
+	_ = stm.AtomicN(func(old []int64) []int64 { return old[:1] }, vars[0], vars[1])
+}
+
 // TestTypedTransfersConserveTotal is the typed bank-account property test,
 // meant to run under -race: concurrent transfers between int64 account
 // vars and a struct vault var must conserve the combined total, while a
