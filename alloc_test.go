@@ -228,6 +228,39 @@ func TestAllocsVarLoadStore(t *testing.T) {
 	assertAllocs(t, "Var.Store/struct", 0, func() { p.Store(benchPoint{1, 2}) })
 }
 
+func TestAllocsVarCompareAndSwap(t *testing.T) {
+	// The typed CAS satellite contract: both the single-word (calcCAS1)
+	// and multi-word (CASN) routes stay allocation-free, success or
+	// failure.
+	m := mustNew(t, 16)
+	v, err := stm.Alloc(m, stm.Int64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertAllocs(t, "Var.CAS/1-word", 0, func() {
+		old := v.Load()
+		if !v.CompareAndSwap(old, old+1) {
+			t.Fatal("uncontended CAS failed")
+		}
+		if v.CompareAndSwap(old, old) {
+			t.Fatal("stale CAS succeeded")
+		}
+	})
+	p, err := stm.Alloc(m, benchPointCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertAllocs(t, "Var.CAS/2-word", 0, func() {
+		old := p.Load()
+		if !p.CompareAndSwap(old, benchPoint{old.X + 1, old.Y - 1}) {
+			t.Fatal("uncontended struct CAS failed")
+		}
+		if p.CompareAndSwap(old, old) {
+			t.Fatal("stale struct CAS succeeded")
+		}
+	})
+}
+
 func TestAllocsAddrsInto(t *testing.T) {
 	m := mustNew(t, 16)
 	tx := mustPrepare(t, m, []int{9, 2, 5})

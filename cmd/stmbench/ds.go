@@ -1,0 +1,386 @@
+package main
+
+// The DS suite: the transactional data-structures library (stmds)
+// measured Synchrobench-style, emitted as BENCH_ds.json. Two layers:
+//
+//   - results: deterministic single-goroutine microbenchmarks of the
+//     stable-shape hot operations (map get/put/delete, queue put/take,
+//     heap push/pop). These are the regression surface the -baseline
+//     gate tracks — allocs/op must stay at 0.
+//   - map_sweep / queue_sweep: the Synchrobench workload grid — update
+//     ratio x key range x goroutines for the map (prefilled to half the
+//     key range, updates split evenly between puts and deletes), and a
+//     producer/consumer grid for the queue. Throughput numbers are
+//     machine-dependent and informational; `cores` records how much
+//     parallelism the measuring machine could physically offer.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	stm "github.com/stm-go/stm"
+	"github.com/stm-go/stm/stmds"
+)
+
+// dsResult is one gated microbenchmark point.
+type dsResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations,omitempty"`
+}
+
+// dsMapPoint is one map-sweep measurement.
+type dsMapPoint struct {
+	Goroutines int     `json:"goroutines"`
+	UpdatePct  int     `json:"update_pct"`
+	KeyRange   int     `json:"key_range"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+}
+
+// dsQueuePoint is one producer/consumer measurement.
+type dsQueuePoint struct {
+	Producers int     `json:"producers"`
+	Consumers int     `json:"consumers"`
+	OpsPerSec float64 `json:"ops_per_sec"` // elements through the queue per second
+}
+
+// dsReport is the BENCH_ds.json document.
+type dsReport struct {
+	Note  string `json:"note"`
+	Cores int    `json:"cores"`
+	// MapScale is map ops/s at the largest goroutine count over ops/s at
+	// one goroutine, at 10% updates on the smallest key range — the
+	// scaling headline. On a single-core machine the ceiling is ~1.0 by
+	// construction; the committed number must be read against `cores`.
+	MapScale   float64        `json:"map_scale_10pct"`
+	Results    []dsResult     `json:"results"`
+	MapSweep   []dsMapPoint   `json:"map_sweep"`
+	QueueSweep []dsQueuePoint `json:"queue_sweep"`
+}
+
+// dsSweepMap measures one Synchrobench map point: goroutines hammer a
+// Map prefilled to half the key range for the window, each op a lookup
+// or (updatePct of the time) a put/delete pair member chosen at random.
+func dsSweepMap(goroutines, updatePct, keyRange int, window time.Duration) (dsMapPoint, error) {
+	m, err := stm.New(1 << 18)
+	if err != nil {
+		return dsMapPoint{}, err
+	}
+	mp, err := stmds.NewMap[int64, int64](m, stm.Int64(), stm.Int64(), keyRange)
+	if err != nil {
+		return dsMapPoint{}, err
+	}
+	for i := int64(0); i < int64(keyRange); i += 2 {
+		if _, _, err := mp.Put(i, i); err != nil {
+			return dsMapPoint{}, err
+		}
+	}
+	var stop atomic.Bool
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := uint64(g)*0x9e3779b97f4a7c15 + 0x243f6a8885a308d3
+			ops := int64(0)
+			for !stop.Load() {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				k := int64(rng % uint64(keyRange))
+				if int(rng>>32%100) < updatePct {
+					if rng>>16&1 == 0 {
+						if _, _, err := mp.Put(k, k); err != nil {
+							errs <- err
+							return
+						}
+					} else {
+						mp.Delete(k)
+					}
+				} else {
+					mp.Get(k)
+				}
+				ops++
+			}
+			total.Add(ops)
+		}(g)
+	}
+	start := time.Now()
+	time.Sleep(window)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	close(errs)
+	for err := range errs {
+		return dsMapPoint{}, err
+	}
+	return dsMapPoint{
+		Goroutines: goroutines,
+		UpdatePct:  updatePct,
+		KeyRange:   keyRange,
+		OpsPerSec:  float64(total.Load()) / elapsed,
+	}, nil
+}
+
+// dsSweepQueue measures one producer/consumer point: producers Put and
+// consumers Take (both blocking) through a shared queue for the window.
+func dsSweepQueue(producers, consumers int, window time.Duration) (dsQueuePoint, error) {
+	m, err := stm.New(1 << 12)
+	if err != nil {
+		return dsQueuePoint{}, err
+	}
+	q, err := stmds.NewQueue[int64](m, stm.Int64(), 1024)
+	if err != nil {
+		return dsQueuePoint{}, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var consumed atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := int64(0); ; i++ {
+				if q.PutContext(ctx, int64(p)<<32|i) != nil {
+					return
+				}
+			}
+		}(p)
+	}
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := int64(0)
+			for {
+				if _, err := q.TakeContext(ctx); err != nil {
+					consumed.Add(n)
+					return
+				}
+				n++
+			}
+		}()
+	}
+	start := time.Now()
+	time.Sleep(window)
+	cancel()
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	return dsQueuePoint{
+		Producers: producers,
+		Consumers: consumers,
+		OpsPerSec: float64(consumed.Load()) / elapsed,
+	}, nil
+}
+
+// runDs measures the DS suite and returns the report plus a table. quick
+// trims the sweep to one point per workload and keeps the full gated
+// micro set (CI's regression surface).
+func runDs(quick bool) (dsReport, string, error) {
+	var results []dsResult
+	measure := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		results = append(results, dsResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		})
+	}
+
+	newBenchMap := func(b *testing.B, entries int64) *stmds.Map[int64, int64] {
+		m, err := stm.New(1 << 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mp, err := stmds.NewMap[int64, int64](m, stm.Int64(), stm.Int64(), int(entries)*2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := int64(0); i < entries; i++ {
+			if _, _, err := mp.Put(i, i*3); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return mp
+	}
+
+	measure("DsMapGetHit", func(b *testing.B) {
+		mp := newBenchMap(b, 1024)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := mp.Get(int64(i) % 1024); !ok {
+				b.Fatal("miss on a present key")
+			}
+		}
+	})
+	measure("DsMapGetMiss", func(b *testing.B) {
+		mp := newBenchMap(b, 1024)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := mp.Get(int64(i)%1024 + 1_000_000); ok {
+				b.Fatal("hit on an absent key")
+			}
+		}
+	})
+	measure("DsMapPutOverwrite", func(b *testing.B) {
+		mp := newBenchMap(b, 1024)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := mp.Put(int64(i)%1024, int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	measure("DsMapPutDelete", func(b *testing.B) {
+		mp := newBenchMap(b, 1024)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			k := int64(i)%1024 + 2048 // outside the prefill: insert+delete
+			if _, _, err := mp.Put(k, k); err != nil {
+				b.Fatal(err)
+			}
+			if _, ok := mp.Delete(k); !ok {
+				b.Fatal("delete missed")
+			}
+		}
+	})
+	measure("DsQueuePutTake", func(b *testing.B) {
+		m, err := stm.New(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		q, err := stmds.NewQueue[int64](m, stm.Int64(), 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q.Put(int64(i))
+			if got := q.Take(); got != int64(i) {
+				b.Fatal("wrong element")
+			}
+		}
+	})
+	measure("DsPQPushPop", func(b *testing.B) {
+		m, err := stm.New(1 << 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pq, err := stmds.NewPQ[int64](m, stm.Int64(), 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := uint64(0); i < 32; i++ {
+			pq.Push(int64(i), i*3)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pq.Push(int64(i), uint64(i)%97)
+			pq.TakeMin()
+		}
+	})
+
+	// The Synchrobench grid.
+	gs := []int{1, 2, 4, 8}
+	updates := []int{0, 10, 50}
+	ranges := []int{1024, 8192}
+	qpairs := [][2]int{{1, 1}, {2, 2}, {4, 4}}
+	window := 150 * time.Millisecond
+	if quick {
+		gs = []int{1, 2}
+		updates = []int{10}
+		ranges = []int{1024}
+		qpairs = [][2]int{{1, 1}}
+		window = 30 * time.Millisecond
+	}
+	var mapSweep []dsMapPoint
+	for _, r := range ranges {
+		for _, u := range updates {
+			for _, g := range gs {
+				pt, err := dsSweepMap(g, u, r, window)
+				if err != nil {
+					return dsReport{}, "", err
+				}
+				mapSweep = append(mapSweep, pt)
+			}
+		}
+	}
+	var queueSweep []dsQueuePoint
+	for _, pc := range qpairs {
+		pt, err := dsSweepQueue(pc[0], pc[1], window)
+		if err != nil {
+			return dsReport{}, "", err
+		}
+		queueSweep = append(queueSweep, pt)
+	}
+
+	// Scaling headline: 10% updates, smallest key range.
+	scale := 0.0
+	var base, top float64
+	for _, pt := range mapSweep {
+		if pt.UpdatePct == 10 && pt.KeyRange == ranges[0] {
+			if pt.Goroutines == 1 {
+				base = pt.OpsPerSec
+			}
+			if pt.Goroutines == gs[len(gs)-1] {
+				top = pt.OpsPerSec
+			}
+		}
+	}
+	if base > 0 {
+		scale = top / base
+	}
+
+	report := dsReport{
+		Note: "transactional data-structures suite (cmd/stmbench -suite ds); " +
+			"results are the gated micros (allocs/op must stay 0), map_sweep/queue_sweep " +
+			"the Synchrobench-style grid — throughput read against `cores`",
+		Cores:      runtime.NumCPU(),
+		MapScale:   scale,
+		Results:    results,
+		MapSweep:   mapSweep,
+		QueueSweep: queueSweep,
+	}
+
+	var sb strings.Builder
+	sb.WriteString("DS: transactional data-structures latency, allocations, and Synchrobench sweep\n")
+	fmt.Fprintf(&sb, "%-22s %12s %10s %12s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%-22s %12.1f %10d %12d\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	fmt.Fprintf(&sb, "\nmap sweep (%d cores):\n", report.Cores)
+	fmt.Fprintf(&sb, "%6s %8s %9s %14s\n", "goros", "upd%", "keys", "ops/s")
+	for _, pt := range mapSweep {
+		fmt.Fprintf(&sb, "%6d %8d %9d %14.0f\n", pt.Goroutines, pt.UpdatePct, pt.KeyRange, pt.OpsPerSec)
+	}
+	sb.WriteString("\nqueue producer/consumer sweep:\n")
+	fmt.Fprintf(&sb, "%6s %6s %14s\n", "prod", "cons", "ops/s")
+	for _, pt := range queueSweep {
+		fmt.Fprintf(&sb, "%6d %6d %14.0f\n", pt.Producers, pt.Consumers, pt.OpsPerSec)
+	}
+	fmt.Fprintf(&sb, "map scaling at 10%% updates, %d keys: %.2fx (1 -> %d goroutines)\n",
+		ranges[0], scale, gs[len(gs)-1])
+	return report, sb.String(), nil
+}
+
+// dsJSON marshals the report for -json output.
+func dsJSON(rep dsReport) ([]byte, error) {
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDsSweepMapPoint(t *testing.T) {
+	pt, err := dsSweepMap(2, 10, 256, 15*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Goroutines != 2 || pt.UpdatePct != 10 || pt.KeyRange != 256 {
+		t.Fatalf("point parameters mangled: %+v", pt)
+	}
+	if pt.OpsPerSec <= 0 {
+		t.Fatalf("sweep measured no throughput: %+v", pt)
+	}
+}
+
+func TestDsSweepQueuePoint(t *testing.T) {
+	pt, err := dsSweepQueue(2, 2, 15*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.OpsPerSec <= 0 {
+		t.Fatalf("queue sweep consumed nothing: %+v", pt)
+	}
+}
+
+func TestRunDsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures real benchmarks")
+	}
+	rep, table, err := runDs(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) == 0 || len(rep.MapSweep) == 0 || len(rep.QueueSweep) == 0 {
+		t.Fatal("quick DS suite measured nothing")
+	}
+	if !strings.Contains(table, "DsQueuePutTake") {
+		t.Errorf("table missing the queue benchmark:\n%s", table)
+	}
+	if rep.Cores <= 0 {
+		t.Error("report did not record the core count")
+	}
+	for _, r := range rep.Results {
+		if r.AllocsPerOp != 0 && !raceEnabled {
+			t.Errorf("%s = %d allocs/op, want 0 (the DS gate contract)", r.Name, r.AllocsPerOp)
+		}
+		if r.NsPerOp <= 0 {
+			t.Errorf("%s: empty measurement %+v", r.Name, r)
+		}
+	}
+	// The gated JSON shape must stay baseline-compatible: a "results"
+	// array with name/ns/allocs.
+	data, err := dsJSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc baselineDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != len(rep.Results) {
+		t.Errorf("baseline gate sees %d results, suite measured %d", len(doc.Results), len(rep.Results))
+	}
+}

@@ -11,6 +11,7 @@
 //	stmbench -suite cont -json BENCH_contention.json  # policy sweep
 //	stmbench -suite vars -json BENCH_vars.json        # typed Var/TxSet suite
 //	stmbench -suite dyn -json BENCH_dynamic.json      # dynamic Atomically suite
+//	stmbench -suite ds -json BENCH_ds.json            # data-structures Synchrobench sweep
 //	stmbench -suite hot -baseline BENCH_hotpath.json  # regression gate vs committed numbers
 //
 // Experiments: T0 protocol footprint (ideal machine), F1/F2 counting
@@ -21,7 +22,9 @@
 // see DESIGN.md §6), CONT host contention-policy sweep (the numbers
 // tracked in BENCH_contention.json; see DESIGN.md §7), VARS host typed
 // Var/TxSet suite (the numbers tracked in BENCH_vars.json; see
-// DESIGN.md §8).
+// DESIGN.md §8), DS host data-structures suite with the Synchrobench
+// workload grid (the numbers tracked in BENCH_ds.json; see DESIGN.md
+// §10).
 package main
 
 import (
@@ -89,8 +92,10 @@ func run(args []string, out *os.File) error {
 			ids = []string{"VARS"}
 		case "dyn":
 			ids = []string{"DYN"}
+		case "ds":
+			ids = []string{"DS"}
 		default:
-			return fmt.Errorf("unknown suite %q (want hot, cont, vars, or dyn)", *suite)
+			return fmt.Errorf("unknown suite %q (want hot, cont, vars, dyn, or ds)", *suite)
 		}
 	case *exp != "all":
 		ids = []string{strings.ToUpper(*exp)}
@@ -99,14 +104,14 @@ func run(args []string, out *os.File) error {
 		// simulator sweep along unless an experiment was asked for.
 		ids = nil
 	}
-	if *jsonOut != "" && !slices.Contains(ids, "HOT") && !slices.Contains(ids, "CONT") && !slices.Contains(ids, "VARS") && !slices.Contains(ids, "DYN") {
+	if *jsonOut != "" && !slices.Contains(ids, "HOT") && !slices.Contains(ids, "CONT") && !slices.Contains(ids, "VARS") && !slices.Contains(ids, "DYN") && !slices.Contains(ids, "DS") {
 		// -json always delivers its file, whatever experiments run with it.
 		ids = append(ids, "HOT")
 	}
-	if *baseline != "" && !slices.Contains(ids, "HOT") && !slices.Contains(ids, "VARS") && !slices.Contains(ids, "DYN") {
+	if *baseline != "" && !slices.Contains(ids, "HOT") && !slices.Contains(ids, "VARS") && !slices.Contains(ids, "DYN") && !slices.Contains(ids, "DS") {
 		// Never let a regression gate silently not run: the flag only
 		// means something for the host suites with per-benchmark results.
-		return fmt.Errorf("-baseline requires a host suite with per-benchmark results (-suite hot, vars, or dyn)")
+		return fmt.Errorf("-baseline requires a host suite with per-benchmark results (-suite hot, vars, dyn, or ds)")
 	}
 
 	// deliver writes a host suite's JSON report (when -json asked for it)
@@ -163,6 +168,21 @@ func run(args []string, out *os.File) error {
 			report, table := runDyn(*quick)
 			fmt.Fprintln(out, table)
 			data, err := dynJSON(report)
+			if err != nil {
+				return err
+			}
+			if err := deliver(data); err != nil {
+				return err
+			}
+			continue
+		}
+		if id == "DS" {
+			report, table, err := runDs(*quick)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, table)
+			data, err := dsJSON(report)
 			if err != nil {
 				return err
 			}

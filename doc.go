@@ -94,6 +94,22 @@
 // state, within ~2x of the equivalent compiled TxSet; see DESIGN.md §9
 // and `stmbench -suite dyn`.
 //
+// # Choosing a structure: the stmds package
+//
+// Ready-made concurrent structures composed from these layers live in
+// the stmds subpackage: Map[K, V] (hash map with transactional
+// incremental resize), Set[K], Queue[T] (bounded FIFO with blocking
+// Put/Take), and PQ[T] (bounded priority queue). Use Map/Set for point
+// access by key — operations touch only a probe chain, so disjoint keys
+// run in parallel; Queue where hand-off is the point (put and take
+// serialize by design); PQ for retrieval in priority order. Every
+// operation has a standalone form and an in-transaction form (GetTx,
+// PutTx, TakeTx, ...) that joins a caller's Atomically block, so moving
+// an element between structures is one atomic step. Stable-shape
+// operations run at zero heap allocations per op; `stmbench -suite ds`
+// benchmarks the library Synchrobench-style. See the stmds package docs
+// and DESIGN.md §10.
+//
 // # Engine-level access: raw words
 //
 // The word-addressed API underneath is fully supported for engine-level

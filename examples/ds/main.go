@@ -1,0 +1,163 @@
+// Transactional data structures: a producer/consumer pipeline composed
+// from stmds.Queue and stmds.Map sharing one Memory.
+//
+// Producers put jobs into a bounded Queue, blocking (via the queue's
+// internal Retry) when consumers fall behind. Each consumer moves a job
+// from the queue into a shared results Map in ONE atomic transaction —
+// TakeTx plus PutTx inside a single Atomically block — so at every
+// instant each job is in exactly one place: no interleaving can observe
+// a job in both the queue and the map, or in neither. A monitor
+// goroutine demonstrates the OrElse composition: it polls the pipeline
+// with TryTakeTx-style semantics instead of blocking.
+//
+// Run with: go run ./examples/ds
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	stm "github.com/stm-go/stm"
+	"github.com/stm-go/stm/stmds"
+)
+
+const (
+	producers = 3
+	consumers = 2
+	perProd   = 200
+	queueCap  = 8
+)
+
+func main() {
+	m, err := stm.New(1 << 14)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobs, err := stmds.NewQueue[int64](m, stm.Int64(), queueCap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The consumers write results only through PutTx, which joins the
+	// caller's transaction and therefore cannot grow the table (growth
+	// needs its own transactions). So the map is sized for the full job
+	// count up front — the contract documented on Map.PutTx.
+	results, err := stmds.NewMap[int64, int64](m, stm.Int64(), stm.Int64(), producers*perProd)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := int64(0); i < perProd; i++ {
+				jobs.Put(int64(p)*perProd + i) // blocks while the queue is full
+			}
+		}(p)
+	}
+
+	var processed atomic.Int64
+	var cg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cg.Add(1)
+		go func(c int) {
+			defer cg.Done()
+			for {
+				var job int64
+				// Take a job and record its result in the same atomic
+				// step. TakeTx retries while the queue is empty, parking
+				// this goroutine until a producer commits a put.
+				err := m.Atomically(func(tx *stm.DTx) error {
+					job = jobs.TakeTx(tx)
+					if job < 0 {
+						return nil // poison pill: drained below
+					}
+					_, _, err := results.PutTx(tx, job, job*job)
+					return err
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				if job < 0 {
+					return
+				}
+				processed.Add(1)
+			}
+		}(c)
+	}
+
+	// The monitor prefers draining a waiting job (first branch); when the
+	// queue is empty — TakeTx retries — OrElse falls through to a pure
+	// read of the scoreboard instead of blocking.
+	snapshots := 0
+	for s := 0; s < 5; s++ {
+		var qlen, done int
+		var tookJob bool
+		// Transaction functions may re-execute, so they only assign to
+		// locals; the side effect (the processed counter) happens after
+		// the commit, from what the committed execution recorded.
+		err := m.OrElse(
+			func(tx *stm.DTx) error {
+				tookJob = false
+				job := jobs.TakeTx(tx)
+				if job < 0 {
+					// Never steal a consumer's poison pill: re-enqueue it
+					// in the same transaction (this rotates it behind any
+					// queued jobs — harmless, the pill still reaches a
+					// consumer) and report the scoreboard instead. In this
+					// program pills only appear after the monitor loop has
+					// finished; the branch is robustness, not a hot path.
+					jobs.PutTx(tx, job)
+				} else {
+					if _, _, err := results.PutTx(tx, job, job*job); err != nil {
+						return err
+					}
+					tookJob = true
+				}
+				qlen = jobs.LenTx(tx)
+				done = results.LenTx(tx)
+				return nil
+			},
+			func(tx *stm.DTx) error {
+				tookJob = false
+				qlen = jobs.LenTx(tx)
+				done = results.LenTx(tx)
+				return nil
+			},
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if tookJob {
+			processed.Add(1)
+		}
+		snapshots++
+		fmt.Printf("monitor: queue=%d results=%d\n", qlen, done)
+		time.Sleep(2 * time.Millisecond) // let the pipeline move between looks
+	}
+
+	wg.Wait() // all jobs produced
+	for c := 0; c < consumers; c++ {
+		jobs.Put(-1)
+	}
+	cg.Wait()
+
+	// Verify the pipeline conserved every job.
+	total := int64(producers * perProd)
+	if got := int64(results.Len()); got != total {
+		log.Fatalf("results hold %d jobs, want %d", got, total)
+	}
+	for j := int64(0); j < total; j++ {
+		v, ok := results.Get(j)
+		if !ok || v != j*j {
+			log.Fatalf("job %d: result (%d, %v), want (%d, true)", j, v, ok, j*j)
+		}
+	}
+	fmt.Printf("pipeline done: %d jobs through a %d-slot queue into the map "+
+		"(%d consumer transactions, %d monitor snapshots), all conserved\n",
+		total, queueCap, processed.Load(), snapshots)
+}

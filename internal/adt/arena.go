@@ -68,15 +68,6 @@ func (a *Arena) NewDeque(capacity int) (*Deque, error) {
 	return NewDeque(a.m, base, capacity)
 }
 
-// NewStack allocates and constructs a Stack in the arena.
-func (a *Arena) NewStack(capacity int) (*Stack, error) {
-	base, err := a.Alloc(StackWords(capacity))
-	if err != nil {
-		return nil, err
-	}
-	return NewStack(a.m, base, capacity)
-}
-
 // NewAccounts allocates and constructs Accounts in the arena.
 func (a *Arena) NewAccounts(n int, initial uint64) (*Accounts, error) {
 	base, err := a.Alloc(AccountsWords(n))

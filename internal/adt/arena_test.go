@@ -42,18 +42,15 @@ func TestArenaConstructors(t *testing.T) {
 	if _, err := a.NewDeque(8); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := a.NewStack(8); err != nil {
-		t.Fatal(err)
-	}
 	if _, err := a.NewAccounts(4, 100); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := a.NewResourceAllocator(4, 1); err != nil {
 		t.Fatal(err)
 	}
-	// 1+1+10+9+4+4 = 29 words used.
-	if got := a.Remaining(); got != 128-29 {
-		t.Errorf("Remaining = %d, want %d", got, 128-29)
+	// 1+1+10+4+4 = 20 words used.
+	if got := a.Remaining(); got != 128-20 {
+		t.Errorf("Remaining = %d, want %d", got, 128-20)
 	}
 	// Exhaustion propagates through typed constructors.
 	if _, err := a.NewDeque(1000); err == nil {
@@ -198,92 +195,4 @@ func (a *atomic64) addN(d uint64) uint64 {
 	defer a.mu.Unlock()
 	a.v += d
 	return a.v
-}
-
-func TestStackBasics(t *testing.T) {
-	m := mem(t, StackWords(3))
-	s, err := NewStack(m, 0, 3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if s.Capacity() != 3 || s.Len() != 0 {
-		t.Fatalf("fresh stack: cap=%d len=%d", s.Capacity(), s.Len())
-	}
-	if _, ok, _ := s.TryPop(); ok {
-		t.Error("pop from empty stack reported ok")
-	}
-	for _, v := range []uint64{1, 2, 3} {
-		ok, err := s.TryPush(v)
-		if err != nil || !ok {
-			t.Fatalf("TryPush(%d) = (%v,%v)", v, ok, err)
-		}
-	}
-	if ok, _ := s.TryPush(4); ok {
-		t.Error("push to full stack reported ok")
-	}
-	// LIFO order out.
-	for want := uint64(3); want >= 1; want-- {
-		v, ok, err := s.TryPop()
-		if err != nil || !ok || v != want {
-			t.Fatalf("TryPop = (%d,%v,%v), want (%d,true,nil)", v, ok, err, want)
-		}
-	}
-	if _, err := NewStack(m, 0, 0); err == nil {
-		t.Error("zero-capacity stack: want error")
-	}
-	if _, err := NewStack(m, 2, 3); err == nil {
-		t.Error("stack past memory end: want error")
-	}
-}
-
-func TestStackConcurrentNoLossNoDup(t *testing.T) {
-	const (
-		workers = 6
-		each    = 400
-	)
-	m := mem(t, StackWords(32))
-	s, err := NewStack(m, 0, 32)
-	if err != nil {
-		t.Fatal(err)
-	}
-	seen := make(chan uint64, workers*each)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := 0; i < each; i++ {
-				v := uint64(w)<<32 | uint64(i)
-				if err := s.Push(v); err != nil {
-					t.Errorf("push: %v", err)
-					return
-				}
-				got, err := s.Pop()
-				if err != nil {
-					t.Errorf("pop: %v", err)
-					return
-				}
-				seen <- got
-			}
-		}(w)
-	}
-	wg.Wait()
-	close(seen)
-	counts := map[uint64]int{}
-	total := 0
-	for v := range seen {
-		counts[v]++
-		total++
-	}
-	if total != workers*each {
-		t.Fatalf("popped %d values, want %d", total, workers*each)
-	}
-	for v, n := range counts {
-		if n != 1 {
-			t.Errorf("value %#x popped %d times", v, n)
-		}
-	}
-	if s.Len() != 0 {
-		t.Errorf("stack not empty: %d", s.Len())
-	}
 }

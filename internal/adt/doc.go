@@ -1,11 +1,18 @@
-// Package adt provides data types built on static STM transactions: the
-// shared counter and doubly-linked queue of the paper's evaluation
-// (Shavit & Touitou, PODC 1995, §benchmarks), plus the bank-account and
-// k-resource-allocation objects used by the examples and the ablation
-// experiments.
+// Package adt provides the paper-evaluation objects built on static STM
+// transactions: the shared counter and doubly-linked queue of the
+// evaluation in Shavit & Touitou (PODC 1995, §benchmarks), plus the
+// bank-account and k-resource-allocation objects used by the examples and
+// the ablation experiments.
 //
-// Every type is laid out in a caller-supplied region of an stm.Memory, so
-// multiple objects can share one memory and single transactions can span
-// them. Constructors validate and reserve [base, base+Words) and return an
-// error if the region does not fit.
+// This package is the simulator/benchmark harness's private toolbox, not
+// the data-structures library: general-purpose, typed, growable
+// structures (hash map, set, FIFO queue, priority queue) live in the
+// public stmds package. The stack this package once carried was retired
+// in its favor (stmds.Queue/PQ cover the hand-off use cases). New
+// structure work belongs there.
+//
+// Every type here is laid out in a caller-supplied region of an
+// stm.Memory, so multiple objects can share one memory and single
+// transactions can span them. Constructors validate and reserve
+// [base, base+Words) and return an error if the region does not fit.
 package adt

@@ -70,62 +70,6 @@ func TestDequeLinearizable(t *testing.T) {
 	}
 }
 
-func TestStackLinearizable(t *testing.T) {
-	const (
-		rounds  = 60
-		workers = 3
-		opsPer  = 4
-	)
-	for round := 0; round < rounds; round++ {
-		m := mem(t, StackWords(4))
-		s, err := NewStack(m, 0, 4)
-		if err != nil {
-			t.Fatal(err)
-		}
-		rec := lin.NewRecorder()
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				rng := xrand.New(uint64(round*37+w) + 5)
-				for i := 0; i < opsPer; i++ {
-					if rng.Bool() {
-						v := rng.Uint64()%100 + 1
-						call := rec.Begin(w, lin.Op{Kind: lin.OpPush, Arg: v})
-						ok, err := s.TryPush(v)
-						if err != nil {
-							t.Error(err)
-							return
-						}
-						ret := uint64(0)
-						if ok {
-							ret = 1
-						}
-						rec.End(call, ret)
-					} else {
-						call := rec.Begin(w, lin.Op{Kind: lin.OpPop})
-						v, ok, err := s.TryPop()
-						if err != nil {
-							t.Error(err)
-							return
-						}
-						ret := lin.EmptyRet
-						if ok {
-							ret = v
-						}
-						rec.End(call, ret)
-					}
-				}
-			}(w)
-		}
-		wg.Wait()
-		if !lin.CheckG(rec.History(), lin.StackModel(4)) {
-			t.Fatalf("round %d: stack history not linearizable as a LIFO stack", round)
-		}
-	}
-}
-
 func TestCounterLinearizable(t *testing.T) {
 	const (
 		rounds  = 40

@@ -16,6 +16,14 @@ const (
 	OpPush
 	// OpPop pops from a stack; Ret is the value, or EmptyRet if empty.
 	OpPop
+	// OpPut maps the fixed key to Arg; Ret is the previous value, or
+	// EmptyRet if the key was absent.
+	OpPut
+	// OpGet reads the fixed key; Ret is the value, or EmptyRet if absent.
+	OpGet
+	// OpDel removes the fixed key; Ret is the previous value, or EmptyRet
+	// if the key was absent.
+	OpDel
 )
 
 // EmptyRet is the return value encoding "container was empty".
@@ -131,6 +139,45 @@ func QueueModel(capacity int) GModel {
 			}
 		},
 		Key: func(state interface{}) string { return encodeVals(state.(queueState)) },
+	}
+}
+
+// mapCell is the presence/value state of one map key.
+type mapCell struct {
+	present bool
+	val     uint64
+}
+
+// MapModel is the sequential specification of a single map key supporting
+// put, get, and delete, for OpPut/OpGet/OpDel histories. Absence is
+// reported as EmptyRet, so EmptyRet must not be used as a stored value.
+func MapModel() GModel {
+	return GModel{
+		Init: mapCell{},
+		Step: func(state interface{}, op Op) (interface{}, uint64, bool) {
+			c := state.(mapCell)
+			prev := EmptyRet
+			if c.present {
+				prev = c.val
+			}
+			switch op.Kind {
+			case OpPut:
+				return mapCell{present: true, val: op.Arg}, prev, true
+			case OpGet:
+				return c, prev, true
+			case OpDel:
+				return mapCell{}, prev, true
+			default:
+				return c, 0, false
+			}
+		},
+		Key: func(state interface{}) string {
+			c := state.(mapCell)
+			if !c.present {
+				return "-"
+			}
+			return strconv.FormatUint(c.val, 10)
+		},
 	}
 }
 

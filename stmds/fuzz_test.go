@@ -1,0 +1,77 @@
+package stmds_test
+
+// Native fuzz target for the map's hashing, probe-chain, and incremental
+// resize invariants: an arbitrary operation stream driven against Go's
+// built-in map as the sequential model. `go test` runs the seed corpus;
+// `go test -fuzz=FuzzMapModel ./stmds` explores further.
+
+import (
+	"testing"
+
+	stm "github.com/stm-go/stm"
+	"github.com/stm-go/stm/stmds"
+)
+
+func FuzzMapModel(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{1, 1, 1, 1, 2, 2, 2, 2})
+	f.Add([]byte{0, 255, 3, 17, 0, 255, 3, 17, 9})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		m, err := stm.New(1 << 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Deliberately undersized hint: growth and migration run mid-stream.
+		mp, err := stmds.NewMap[int64, int64](m, stm.Int64(), stm.Int64(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := make(map[int64]int64)
+		for i := 0; i+1 < len(ops); i += 2 {
+			k := int64(ops[i] % 64)
+			switch ops[i+1] % 4 {
+			case 0, 1: // put (weighted: growth needs inserts)
+				v := int64(ops[i+1])*64 + k
+				wantPrev, wantOk := model[k]
+				prev, replaced, err := mp.Put(k, v)
+				if err != nil {
+					t.Fatalf("op %d: Put(%d, %d): %v", i, k, v, err)
+				}
+				if replaced != wantOk || (wantOk && prev != wantPrev) {
+					t.Fatalf("op %d: Put(%d) = (%d, %v), model (%d, %v)", i, k, prev, replaced, wantPrev, wantOk)
+				}
+				model[k] = v
+			case 2: // get
+				wantV, wantOk := model[k]
+				v, ok := mp.Get(k)
+				if ok != wantOk || (wantOk && v != wantV) {
+					t.Fatalf("op %d: Get(%d) = (%d, %v), model (%d, %v)", i, k, v, ok, wantV, wantOk)
+				}
+			default: // delete
+				wantPrev, wantOk := model[k]
+				prev, ok := mp.Delete(k)
+				if ok != wantOk || (wantOk && prev != wantPrev) {
+					t.Fatalf("op %d: Delete(%d) = (%d, %v), model (%d, %v)", i, k, prev, ok, wantPrev, wantOk)
+				}
+				delete(model, k)
+			}
+		}
+		// Final sweep: every model key present with its value, length in
+		// agreement, and a sample of absent keys really absent.
+		if got := mp.Len(); got != len(model) {
+			t.Fatalf("Len = %d, model has %d", got, len(model))
+		}
+		for k, wantV := range model {
+			if v, ok := mp.Get(k); !ok || v != wantV {
+				t.Fatalf("final Get(%d) = (%d, %v), model %d", k, v, ok, wantV)
+			}
+		}
+		for k := int64(64); k < 68; k++ {
+			if _, ok := mp.Get(k); ok {
+				t.Fatalf("key %d was never inserted but Get hit", k)
+			}
+		}
+	})
+}

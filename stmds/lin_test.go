@@ -1,0 +1,180 @@
+package stmds_test
+
+// The internal/adt linearizability harness, ported to the public
+// structures: many short randomized concurrent histories checked against
+// sequential specifications with the Wing & Gong search in internal/lin.
+// Short windows keep the exponential checker fast while still exposing
+// ordering violations with high probability; the conservation tests in
+// map_test.go/queue_test.go cover the long-history side.
+
+import (
+	"sync"
+	"testing"
+
+	stm "github.com/stm-go/stm"
+	"github.com/stm-go/stm/internal/lin"
+	"github.com/stm-go/stm/internal/xrand"
+	"github.com/stm-go/stm/stmds"
+)
+
+func TestMapLinearizable(t *testing.T) {
+	// Concurrent put/get/delete on one key, checked as a presence/value
+	// register. The map is seeded tiny and a churn key keeps a resize in
+	// flight during some rounds, so migration is covered too.
+	const (
+		rounds  = 60
+		workers = 3
+		opsPer  = 4
+	)
+	for round := 0; round < rounds; round++ {
+		m := mustMem(t, 1<<12)
+		mp, err := stmds.NewMap[int64, int64](m, stm.Int64(), stm.Int64(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pre-churn pushes occupancy near the growth threshold so some
+		// rounds run their history across an incremental resize.
+		for i := int64(0); i < int64(round%8); i++ {
+			if _, _, err := mp.Put(100+i, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		const key = int64(7)
+		rec := lin.NewRecorder()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := xrand.New(uint64(round*41+w) + 3)
+				for i := 0; i < opsPer; i++ {
+					switch rng.Uint64() % 3 {
+					case 0:
+						v := rng.Uint64()%100 + 1
+						call := rec.Begin(w, lin.Op{Kind: lin.OpPut, Arg: v})
+						prev, replaced, err := mp.Put(key, int64(v))
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						ret := lin.EmptyRet
+						if replaced {
+							ret = uint64(prev)
+						}
+						rec.End(call, ret)
+					case 1:
+						call := rec.Begin(w, lin.Op{Kind: lin.OpGet})
+						v, ok := mp.Get(key)
+						ret := lin.EmptyRet
+						if ok {
+							ret = uint64(v)
+						}
+						rec.End(call, ret)
+					default:
+						call := rec.Begin(w, lin.Op{Kind: lin.OpDel})
+						prev, ok := mp.Delete(key)
+						ret := lin.EmptyRet
+						if ok {
+							ret = uint64(prev)
+						}
+						rec.End(call, ret)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		h := rec.History()
+		if !lin.CheckG(h, lin.MapModel()) {
+			t.Fatalf("round %d: map history not linearizable as a register:\n%+v", round, h)
+		}
+	}
+}
+
+func TestQueueLinearizable(t *testing.T) {
+	// Concurrent TryPut/TryTake histories checked against the bounded
+	// FIFO specification.
+	const (
+		rounds  = 60
+		workers = 3
+		opsPer  = 4
+		qcap    = 4
+	)
+	for round := 0; round < rounds; round++ {
+		m := mustMem(t, 64)
+		q, err := stmds.NewQueue[int64](m, stm.Int64(), qcap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := lin.NewRecorder()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := xrand.New(uint64(round*31+w) + 1)
+				for i := 0; i < opsPer; i++ {
+					if rng.Bool() {
+						v := rng.Uint64()%100 + 1
+						call := rec.Begin(w, lin.Op{Kind: lin.OpEnq, Arg: v})
+						ok := q.TryPut(int64(v))
+						ret := uint64(0)
+						if ok {
+							ret = 1
+						}
+						rec.End(call, ret)
+					} else {
+						call := rec.Begin(w, lin.Op{Kind: lin.OpDeq})
+						v, ok := q.TryTake()
+						ret := lin.EmptyRet
+						if ok {
+							ret = uint64(v)
+						}
+						rec.End(call, ret)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if !lin.CheckG(rec.History(), lin.QueueModel(qcap)) {
+			t.Fatalf("round %d: queue history not linearizable as a FIFO queue", round)
+		}
+	}
+}
+
+func TestPQLinearizableDrain(t *testing.T) {
+	// The heap's global ordering claim, checked without the exponential
+	// search: after any concurrent prefix, a single-threaded drain must
+	// come out sorted by priority.
+	const workers = 3
+	m := mustMem(t, 1<<10)
+	pq, err := stmds.NewPQ[int64](m, stm.Int64(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(w) + 11)
+			for i := 0; i < 20; i++ {
+				pq.Push(int64(w*100+i), rng.Uint64()%50)
+				if i%3 == 0 {
+					pq.TryTakeMin()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	last := uint64(0)
+	for {
+		_, p, ok := pq.TryTakeMin()
+		if !ok {
+			break
+		}
+		if p < last {
+			t.Fatalf("drain out of order: %d after %d", p, last)
+		}
+		last = p
+	}
+}

@@ -1,0 +1,727 @@
+package stmds
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	stm "github.com/stm-go/stm"
+)
+
+// ErrMapFull reports a Put that found no free slot and could not grow the
+// table: either the Memory's word allocator is exhausted, or the put ran
+// inside a caller's transaction (PutTx), which cannot allocate or migrate.
+var ErrMapFull = errors.New("stmds: map table full")
+
+// Map is a transactional hash map from K to V: an open-addressing table
+// (linear probing, tombstone deletion) laid out in the words of one
+// stm.Memory, with every operation an atomic transaction over the probe
+// chain it touches. Disjoint keys probe disjoint slots, so operations on
+// different keys run in parallel; the live-count bookkeeping is striped
+// across countStripes words for the same reason.
+//
+// The table grows by transactional incremental resize: when occupancy
+// (live entries plus tombstones) crosses 3/4, a new table is installed
+// and subsequent Put/Delete calls each migrate a small chunk of old-table
+// slots in their own short transactions — no single commit ever owns the
+// whole table. While a migration is in flight a live key exists in
+// exactly one of the two tables: lookups probe the active table first,
+// then the old; writes install into the active table and tombstone any
+// old-table copy in the same atomic step. See DESIGN.md §10.
+//
+// A Map is safe for concurrent use. Table words (including those of
+// outgrown tables) are reserved from the Memory's allocator and never
+// freed; size the Memory with MapWords plus growth headroom.
+type Map[K comparable, V any] struct {
+	m  *stm.Memory
+	kc stm.Codec[K]
+	vc stm.Codec[V] // nil: no value words (Set rides this)
+
+	kw, vw    int
+	slotWords int
+	ctl       int   // base of the control block (ctlWords words)
+	cntAddrs  []int // the live-count stripe words, ascending
+
+	growMu sync.Mutex // serializes table allocation, not operations
+	ops    sync.Pool  // of *mapOp[K, V]
+}
+
+// Control-block layout (word offsets from Map.ctl) and slot states.
+const (
+	ctlAbase  = 0                // active table base
+	ctlAcap   = 1                // active table capacity (slots, power of two)
+	ctlObase  = 2                // old table base (during migration)
+	ctlOcap   = 3                // old table capacity; 0 = no migration in flight
+	ctlCursor = 4                // next old-table slot index to migrate
+	ctlCnt    = 5                // countStripes live-count stripe words
+	ctlTmb    = 5 + countStripes // countStripes active-tombstone stripe words
+	ctlWords  = 5 + 2*countStripes
+
+	countStripes = 8 // power of two; stripe = hash & (countStripes-1)
+
+	// migrateChunk old-table slots move per helping operation. With every
+	// standalone Put/Delete helping one chunk, the active table provably
+	// cannot fill before migration completes (DESIGN.md §10).
+	migrateChunk = 4
+
+	slotEmpty = 0
+	slotFull  = 1
+	slotTomb  = 2
+)
+
+// minMapCap is the smallest table; capacities are powers of two.
+const minMapCap = 8
+
+// mapCapFor returns the table capacity for a size hint: the smallest
+// power of two holding hint entries below the 3/4 growth threshold.
+func mapCapFor(hint int) uint64 {
+	c := uint64(minMapCap)
+	for hint > 0 && 4*uint64(hint) >= 3*c {
+		c <<= 1
+	}
+	return c
+}
+
+// MapWords returns the number of Memory words a NewMap with the given
+// codecs and size hint reserves up front: the control block plus the
+// initial table. Each later growth step reserves a further table of twice
+// the current capacity (the outgrown table's words are never reused), so
+// a map expected to grow needs headroom beyond this figure.
+func MapWords[K comparable, V any](kc stm.Codec[K], vc stm.Codec[V], sizeHint int) int {
+	vw := 0
+	if vc != nil {
+		vw = vc.Words()
+	}
+	return ctlWords + int(mapCapFor(sizeHint))*(1+kc.Words()+vw)
+}
+
+// NewMap lays a map in m sized for sizeHint entries (it grows beyond the
+// hint by incremental resize). Keys are hashed and stored through kc;
+// values through vc. A nil vc stores no value words — every lookup
+// returns the zero V — which is how Set embeds a Map without paying a
+// value word per entry.
+func NewMap[K comparable, V any](m *stm.Memory, kc stm.Codec[K], vc stm.Codec[V], sizeHint int) (*Map[K, V], error) {
+	if kc == nil || kc.Words() <= 0 {
+		return nil, fmt.Errorf("stmds: map key codec must have positive width")
+	}
+	vw := 0
+	if vc != nil {
+		if vc.Words() <= 0 {
+			return nil, fmt.Errorf("stmds: map value codec must have positive width")
+		}
+		vw = vc.Words()
+	}
+	mp := &Map[K, V]{
+		m: m, kc: kc, vc: vc,
+		kw: kc.Words(), vw: vw,
+		slotWords: 1 + kc.Words() + vw,
+	}
+	ctl, err := m.AllocWords(ctlWords)
+	if err != nil {
+		return nil, err
+	}
+	mp.ctl = ctl
+	cap0 := mapCapFor(sizeHint)
+	base, err := m.AllocWords(int(cap0) * mp.slotWords)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.WriteAll([]int{ctl + ctlAbase, ctl + ctlAcap}, []uint64{uint64(base), cap0}); err != nil {
+		return nil, err
+	}
+	mp.cntAddrs = make([]int, countStripes)
+	for i := range mp.cntAddrs {
+		mp.cntAddrs[i] = ctl + ctlCnt + i
+	}
+	mp.ops.New = func() any { return newMapOp(mp) }
+	return mp, nil
+}
+
+// Memory returns the Memory the map lives in.
+func (mp *Map[K, V]) Memory() *stm.Memory { return mp.m }
+
+// Get returns the value stored under k.
+func (mp *Map[K, V]) Get(k K) (V, bool) {
+	op := mp.getOp()
+	defer mp.putOp(op)
+	op.k = k
+	op.encodeKey()
+	_ = mp.m.Atomically(op.getFn)
+	return op.prev, op.found
+}
+
+// GetTx is Get inside the caller's transaction: the lookup joins tx's
+// read set, so it is consistent with everything else tx reads and writes.
+func (mp *Map[K, V]) GetTx(tx *stm.DTx, k K) (V, bool) {
+	op := mp.getOp()
+	defer mp.putOp(op)
+	op.k = k
+	op.encodeKey()
+	_ = op.runGet(tx)
+	return op.prev, op.found
+}
+
+// Put stores v under k, returning the value it replaced (the zero V and
+// false if k was absent). It grows the table as needed; the only errors
+// are allocation failures (stm.ErrOutOfWords) surfaced as growth becomes
+// impossible, reported as ErrMapFull once no slot can be found.
+func (mp *Map[K, V]) Put(k K, v V) (prev V, replaced bool, err error) {
+	op := mp.getOp()
+	defer mp.putOp(op)
+	for tries := 0; ; tries++ {
+		mp.helpMigrate(op)
+		op.k, op.v = k, v
+		op.encodeKey()
+		_ = mp.m.Atomically(op.putFn)
+		if !op.needGrow {
+			break
+		}
+		// No free slot: drive any in-flight migration (helpMigrate above
+		// advances it each lap) and grow once the table is migrated.
+		// wedged=true — this loop's needGrow is the proof the active
+		// table is 100% live-full, which is what licenses the emergency
+		// path when a migration is also in flight.
+		if tries >= growRetryLimit {
+			return prev, false, ErrMapFull
+		}
+		if err := mp.grow(true); err != nil {
+			return prev, false, err
+		}
+	}
+	prev, replaced = op.prev, op.found
+	if mp.shouldGrow() {
+		// Advisory trigger: the put itself succeeded, so an allocation
+		// failure here is not this call's error — later puts surface it
+		// when the table really runs out of slots.
+		_ = mp.grow(false)
+	}
+	return prev, replaced, nil
+}
+
+// growRetryLimit bounds Put's grow-and-retry laps; hitting it means the
+// allocator cannot deliver a bigger table (or a migration cannot finish)
+// and the put fails with ErrMapFull rather than spinning.
+const growRetryLimit = 64
+
+// PutTx is Put inside the caller's transaction. It cannot allocate or
+// migrate (both need their own transactions), so on a table with no free
+// slot it returns ErrMapFull instead of growing — size the map for
+// PutTx-heavy workloads up front (MapWords). Standalone-driven workloads
+// keep the table below that point, and a later standalone Put repairs
+// even a table that PutTx bursts filled mid-migration (see
+// emergencyGrow), so an ErrMapFull here is a transient of the current
+// transaction, never a permanent state. The put is buffered in tx and
+// takes effect only if the whole transaction commits.
+func (mp *Map[K, V]) PutTx(tx *stm.DTx, k K, v V) (prev V, replaced bool, err error) {
+	op := mp.getOp()
+	defer mp.putOp(op)
+	op.k, op.v = k, v
+	op.encodeKey()
+	_ = op.runPut(tx)
+	if op.needGrow {
+		return prev, false, ErrMapFull
+	}
+	return op.prev, op.found, nil
+}
+
+// Delete removes k, returning the value it held (zero V and false if k
+// was absent).
+func (mp *Map[K, V]) Delete(k K) (V, bool) {
+	op := mp.getOp()
+	defer mp.putOp(op)
+	mp.helpMigrate(op)
+	op.k = k
+	op.encodeKey()
+	_ = mp.m.Atomically(op.delFn)
+	return op.prev, op.found
+}
+
+// DeleteTx is Delete inside the caller's transaction.
+func (mp *Map[K, V]) DeleteTx(tx *stm.DTx, k K) (V, bool) {
+	op := mp.getOp()
+	defer mp.putOp(op)
+	op.k = k
+	op.encodeKey()
+	_ = op.runDel(tx)
+	return op.prev, op.found
+}
+
+// Len returns the number of live entries: one consistent read of the
+// count stripes.
+func (mp *Map[K, V]) Len() int {
+	op := mp.getOp()
+	defer mp.putOp(op)
+	_ = mp.m.ReadAllInto(mp.cntAddrs, op.stripes)
+	var n uint64
+	for _, s := range op.stripes {
+		n += s
+	}
+	return int(n)
+}
+
+// LenTx is Len inside the caller's transaction. Note that it reads every
+// count stripe, so it conflicts with all concurrent mutations; prefer it
+// for coordination points, not hot paths.
+func (mp *Map[K, V]) LenTx(tx *stm.DTx) int {
+	var n uint64
+	for i := 0; i < countStripes; i++ {
+		n += tx.Read(mp.ctl + ctlCnt + i)
+	}
+	return int(n)
+}
+
+// getOp draws pooled operation scratch; putOp recycles it, dropping the
+// key/value references so an idle op retains nothing of its last caller.
+func (mp *Map[K, V]) getOp() *mapOp[K, V] { return mp.ops.Get().(*mapOp[K, V]) }
+
+func (mp *Map[K, V]) putOp(op *mapOp[K, V]) {
+	var zk K
+	var zv V
+	op.k, op.v, op.prev = zk, zv, zv
+	mp.ops.Put(op)
+}
+
+// helpMigrate advances an in-flight migration by one chunk (its own short
+// transaction). The Peek is advisory — a stale read at worst skips or
+// wastes one help.
+func (mp *Map[K, V]) helpMigrate(op *mapOp[K, V]) {
+	if mp.m.Peek(mp.ctl+ctlOcap) == 0 {
+		return
+	}
+	_ = mp.m.Atomically(op.migFn)
+}
+
+// shouldGrow estimates (from unvalidated Peeks — the trigger is advisory)
+// whether active-table occupancy has crossed the 3/4 threshold.
+func (mp *Map[K, V]) shouldGrow() bool {
+	if mp.m.Peek(mp.ctl+ctlOcap) != 0 {
+		return false // migration already in flight
+	}
+	acap := mp.m.Peek(mp.ctl + ctlAcap)
+	var occ uint64
+	for i := 0; i < countStripes; i++ {
+		occ += mp.m.Peek(mp.ctl+ctlCnt+i) + mp.m.Peek(mp.ctl+ctlTmb+i)
+	}
+	return 4*(occ+1) >= 3*acap
+}
+
+// grow allocates the next table and installs it as active in one small
+// transaction, leaving the old table to be drained incrementally by
+// helpMigrate. The mutex serializes allocation (so racing triggers cannot
+// both reserve tables); the in-transaction re-check makes the flip itself
+// safe regardless. A doubling is chosen while live load justifies it;
+// otherwise the table is rebuilt at the same capacity, which sheds
+// tombstones.
+//
+// When a migration is already in flight, growth normally just waits for
+// it — except in the wedged state (see emergencyGrow), which only
+// PutTx-heavy workloads can reach: the active table is 100% live-full,
+// so the incremental migration has nowhere to put the old table's
+// remaining entries and can never finish. Put's retry loop lands here
+// with that exact evidence, and grow unwedges instead of refusing.
+func (mp *Map[K, V]) grow(wedged bool) error {
+	mp.growMu.Lock()
+	defer mp.growMu.Unlock()
+	if mp.m.Peek(mp.ctl+ctlOcap) != 0 {
+		if !wedged {
+			// An advisory trigger racing a just-started migration: the
+			// drain in flight is already the growth step. Only the
+			// wedged Put path may escalate.
+			return nil
+		}
+		return mp.emergencyGrow()
+	}
+	acap := mp.m.Peek(mp.ctl + ctlAcap)
+	var live uint64
+	for i := 0; i < countStripes; i++ {
+		live += mp.m.Peek(mp.ctl + ctlCnt + i)
+	}
+	newCap := acap
+	if 2*live >= acap {
+		newCap = acap * 2
+	}
+	base, err := mp.m.AllocWords(int(newCap) * mp.slotWords)
+	if err != nil {
+		return err
+	}
+	ctl := mp.ctl
+	return mp.m.Atomically(func(tx *stm.DTx) error {
+		if tx.Read(ctl+ctlOcap) != 0 || tx.Read(ctl+ctlAcap) != acap {
+			return nil // someone else already flipped; the words are wasted
+		}
+		tx.Write(ctl+ctlObase, tx.Read(ctl+ctlAbase))
+		tx.Write(ctl+ctlOcap, acap)
+		tx.Write(ctl+ctlCursor, 0)
+		tx.Write(ctl+ctlAbase, uint64(base))
+		tx.Write(ctl+ctlAcap, newCap)
+		for i := 0; i < countStripes; i++ {
+			tx.Write(ctl+ctlTmb+i, 0) // tombstones die with the old table
+		}
+		return nil
+	})
+}
+
+// emergencyGrow unwedges a stuck migration. The §10 occupancy bound
+// guarantees standalone-driven workloads never fill the active table
+// mid-migration, but PutTx/DeleteTx mutate without helping and can
+// defeat it: with the active table 100% live-full and old-table entries
+// still unmigrated, neither the migration (no slot) nor a normal grow
+// (migration in flight) can proceed, and without intervention Put would
+// report ErrMapFull with the allocator full of free words.
+//
+// The repair is one transaction that rehomes the old table's remaining
+// entries into a freshly allocated, larger table — empty and invisible
+// until the same transaction installs it, so those writes conflict with
+// nobody — and flips: the fresh table becomes active, the formerly
+// full active table becomes the old one, and the normal incremental
+// drain resumes with room to work. This is the one commit whose
+// footprint spans a whole (old) table; it is reachable only from the
+// wedged state, never on the standalone-op path.
+func (mp *Map[K, V]) emergencyGrow() error {
+	ctl := mp.ctl
+	acap := mp.m.Peek(ctl + ctlAcap)
+	var live uint64
+	for i := 0; i < countStripes; i++ {
+		live += mp.m.Peek(ctl + ctlCnt + i)
+	}
+	newCap := 2 * acap
+	for 4*(live+1) >= 3*newCap {
+		newCap <<= 1
+	}
+	base, err := mp.m.AllocWords(int(newCap) * mp.slotWords)
+	if err != nil {
+		return err
+	}
+	mask := newCap - 1
+	return mp.m.Atomically(func(tx *stm.DTx) error {
+		ocap := tx.Read(ctl + ctlOcap)
+		if ocap == 0 || tx.Read(ctl+ctlAcap) != acap {
+			return nil // drained or flipped meanwhile; the words are wasted
+		}
+		obase := int(tx.Read(ctl + ctlObase))
+		for i := tx.Read(ctl + ctlCursor); i < ocap; i++ {
+			a := obase + int(i)*mp.slotWords
+			if tx.Read(a) != slotFull {
+				continue
+			}
+			h := uint64(0x9e3779b97f4a7c15)
+			for j := 0; j < mp.kw; j++ {
+				h = mix64(h ^ tx.Read(a+1+j))
+			}
+			// The fresh table is all-empty except for this transaction's
+			// own buffered inserts, which tx.Read observes — a plain walk
+			// to the first empty slot is a correct probe.
+			idx := h & mask
+			steps := uint64(0)
+			for tx.Read(base+int(idx)*mp.slotWords) != slotEmpty {
+				idx = (idx + 1) & mask
+				if steps++; steps > newCap {
+					return ErrMapFull // unreachable: newCap > total live
+				}
+			}
+			dst := base + int(idx)*mp.slotWords
+			for j := 0; j < mp.slotWords; j++ {
+				tx.Write(dst+j, tx.Read(a+j))
+			}
+			tx.Write(a, slotTomb)
+		}
+		tx.Write(ctl+ctlObase, tx.Read(ctl+ctlAbase))
+		tx.Write(ctl+ctlOcap, acap)
+		tx.Write(ctl+ctlCursor, 0)
+		tx.Write(ctl+ctlAbase, uint64(base))
+		tx.Write(ctl+ctlAcap, newCap)
+		for i := 0; i < countStripes; i++ {
+			tx.Write(ctl+ctlTmb+i, 0) // the full table carries no tombstones anyway
+		}
+		return nil
+	})
+}
+
+// mapOp is one operation's scratch: buffers, parameters, results, and the
+// pre-bound transaction functions, pooled per map so stable-shape
+// operations allocate nothing.
+type mapOp[K comparable, V any] struct {
+	mp      *Map[K, V]
+	kbuf    []uint64 // encoded op key
+	vbuf    []uint64 // value staging
+	stripes []uint64 // Len staging
+
+	k    K
+	v    V
+	hash uint64
+
+	prev     V
+	found    bool
+	needGrow bool
+
+	getFn, putFn, delFn, migFn func(*stm.DTx) error
+}
+
+func newMapOp[K comparable, V any](mp *Map[K, V]) *mapOp[K, V] {
+	op := &mapOp[K, V]{
+		mp:      mp,
+		kbuf:    make([]uint64, mp.kw),
+		vbuf:    make([]uint64, mp.vw),
+		stripes: make([]uint64, countStripes),
+	}
+	op.getFn = op.runGet
+	op.putFn = op.runPut
+	op.delFn = op.runDel
+	op.migFn = op.runMigrate
+	return op
+}
+
+// encodeKey stages op.k's words and hash; called once per operation,
+// outside the transaction (the key is immutable across re-executions).
+func (op *mapOp[K, V]) encodeKey() {
+	op.mp.kc.Encode(op.k, op.kbuf)
+	op.hash = hashWords(op.kbuf)
+}
+
+// readCtl reads the table geometry into the transaction's read set. The
+// cursor and count words are deliberately not read here: operations that
+// don't need them must not conflict on them.
+func (op *mapOp[K, V]) readCtl(tx *stm.DTx) (abase int, acap uint64, obase int, ocap uint64) {
+	ctl := op.mp.ctl
+	abase = int(tx.Read(ctl + ctlAbase))
+	acap = tx.Read(ctl + ctlAcap)
+	ocap = tx.Read(ctl + ctlOcap)
+	if ocap != 0 {
+		obase = int(tx.Read(ctl + ctlObase))
+	}
+	return
+}
+
+// probe walks the staged key's chain (op.kbuf/op.hash) in the table at
+// base/tcap. It returns the matching slot's address (-1 if absent), the
+// address where an insert of the key belongs (the first tombstone of the chain, else the terminating
+// empty slot; -1 if the chain covers the whole table), and whether that
+// insert slot is a tombstone.
+func (op *mapOp[K, V]) probe(tx *stm.DTx, base int, tcap uint64) (foundAddr, availAddr int, availTomb bool) {
+	mp := op.mp
+	mask := tcap - 1
+	idx := op.hash & mask
+	firstTomb := -1
+	for n := uint64(0); n < tcap; n++ {
+		a := base + int(idx)*mp.slotWords
+		switch tx.Read(a) {
+		case slotEmpty:
+			if firstTomb >= 0 {
+				return -1, firstTomb, true
+			}
+			return -1, a, false
+		case slotFull:
+			// Keys match iff their encoded words match — the same
+			// transactional-truth convention as Var.CompareAndSwap, and
+			// the only definition consistent with hashing the encoding
+			// (a canonicalizing codec or a NaN float key would otherwise
+			// hash equal but compare unequal and duplicate).
+			match := true
+			for j := 0; j < mp.kw; j++ {
+				if tx.Read(a+1+j) != op.kbuf[j] {
+					match = false
+					break
+				}
+			}
+			if match {
+				return a, -1, false
+			}
+		default: // tombstone
+			if firstTomb < 0 {
+				firstTomb = a
+			}
+		}
+		idx = (idx + 1) & mask
+	}
+	return -1, firstTomb, firstTomb >= 0
+}
+
+// loadVal decodes the value words of the slot at a into op.prev.
+func (op *mapOp[K, V]) loadVal(tx *stm.DTx, a int) {
+	mp := op.mp
+	if mp.vc == nil {
+		return
+	}
+	for j := 0; j < mp.vw; j++ {
+		op.vbuf[j] = tx.Read(a + 1 + mp.kw + j)
+	}
+	op.prev = mp.vc.Decode(op.vbuf)
+}
+
+// storeVal writes op.v's encoded words into the slot at a.
+func (op *mapOp[K, V]) storeVal(tx *stm.DTx, a int) {
+	mp := op.mp
+	if mp.vc == nil {
+		return
+	}
+	mp.vc.Encode(op.v, op.vbuf)
+	for j := 0; j < mp.vw; j++ {
+		tx.Write(a+1+mp.kw+j, op.vbuf[j])
+	}
+}
+
+// storeKey writes the encoded key in src into the slot at a and marks it
+// full.
+func (op *mapOp[K, V]) storeKey(tx *stm.DTx, a int, src []uint64) {
+	tx.Write(a, slotFull)
+	for j := 0; j < op.mp.kw; j++ {
+		tx.Write(a+1+j, src[j])
+	}
+}
+
+// bumpStripe adds delta (two's complement for decrements) to op.k's
+// stripe of the counter array at ctl offset off.
+func (op *mapOp[K, V]) bumpStripe(tx *stm.DTx, off int, delta uint64) {
+	a := op.mp.ctl + off + int(op.hash&(countStripes-1))
+	tx.Write(a, tx.Read(a)+delta)
+}
+
+// runGet: probe active, then (during migration) the old table. A live key
+// exists in exactly one table, so the first hit wins.
+func (op *mapOp[K, V]) runGet(tx *stm.DTx) error {
+	op.found = false
+	var zero V
+	op.prev = zero
+	abase, acap, obase, ocap := op.readCtl(tx)
+	if fa, _, _ := op.probe(tx, abase, acap); fa >= 0 {
+		op.loadVal(tx, fa)
+		op.found = true
+		return nil
+	}
+	if ocap != 0 {
+		if fa, _, _ := op.probe(tx, obase, ocap); fa >= 0 {
+			op.loadVal(tx, fa)
+			op.found = true
+		}
+	}
+	return nil
+}
+
+// runPut: overwrite in the active table if present there; otherwise
+// install into the active table — tombstoning any unmigrated old-table
+// copy in the same atomic step, so a key is never live in both tables.
+func (op *mapOp[K, V]) runPut(tx *stm.DTx) error {
+	op.found = false
+	op.needGrow = false
+	var zero V
+	op.prev = zero
+	abase, acap, obase, ocap := op.readCtl(tx)
+	fa, avail, availTomb := op.probe(tx, abase, acap)
+	if fa >= 0 {
+		op.loadVal(tx, fa)
+		op.storeVal(tx, fa)
+		op.found = true
+		return nil
+	}
+	if avail < 0 {
+		// No insert slot: report before touching anything, so the old
+		// table's copy (if any) stays live for the post-growth retry.
+		op.needGrow = true
+		return nil
+	}
+	if ocap != 0 {
+		if ofa, _, _ := op.probe(tx, obase, ocap); ofa >= 0 {
+			op.loadVal(tx, ofa)
+			op.found = true
+			tx.Write(ofa, slotTomb) // the live copy moves to the active table
+		}
+	}
+	op.storeKey(tx, avail, op.kbuf)
+	op.storeVal(tx, avail)
+	if availTomb {
+		op.bumpStripe(tx, ctlTmb, ^uint64(0)) // reused a tombstone
+	}
+	if !op.found {
+		op.bumpStripe(tx, ctlCnt, 1)
+	}
+	return nil
+}
+
+// runDel: tombstone the live copy, wherever it is.
+func (op *mapOp[K, V]) runDel(tx *stm.DTx) error {
+	op.found = false
+	var zero V
+	op.prev = zero
+	abase, acap, obase, ocap := op.readCtl(tx)
+	if fa, _, _ := op.probe(tx, abase, acap); fa >= 0 {
+		op.loadVal(tx, fa)
+		tx.Write(fa, slotTomb)
+		op.bumpStripe(tx, ctlCnt, ^uint64(0))
+		op.bumpStripe(tx, ctlTmb, 1)
+		op.found = true
+		return nil
+	}
+	if ocap != 0 {
+		if fa, _, _ := op.probe(tx, obase, ocap); fa >= 0 {
+			op.loadVal(tx, fa)
+			tx.Write(fa, slotTomb)
+			op.bumpStripe(tx, ctlCnt, ^uint64(0))
+			// Old-table tombstones don't feed the active-occupancy trigger.
+			op.found = true
+		}
+	}
+	return nil
+}
+
+// runMigrate moves one chunk of old-table slots into the active table and
+// advances the cursor; the transaction that moves the last chunk also
+// retires the old table. Re-executions are safe: everything is derived
+// from transactional reads. Live entries keep their count (migration
+// moves them, it doesn't create or destroy), so no stripe changes here.
+func (op *mapOp[K, V]) runMigrate(tx *stm.DTx) error {
+	mp := op.mp
+	ctl := mp.ctl
+	ocap := tx.Read(ctl + ctlOcap)
+	if ocap == 0 {
+		return nil
+	}
+	obase := int(tx.Read(ctl + ctlObase))
+	abase := int(tx.Read(ctl + ctlAbase))
+	acap := tx.Read(ctl + ctlAcap)
+	cur := tx.Read(ctl + ctlCursor)
+	end := cur + migrateChunk
+	if end > ocap {
+		end = ocap
+	}
+	for i := cur; i < end; i++ {
+		a := obase + int(i)*mp.slotWords
+		if tx.Read(a) != slotFull {
+			continue
+		}
+		// Stage the moving entry's key words in kbuf for the rehoming
+		// probe. runMigrate always runs as its own transaction, before
+		// its op is reused for the caller's main operation, so
+		// clobbering op.hash/op.kbuf here is fine.
+		for j := 0; j < mp.kw; j++ {
+			op.kbuf[j] = tx.Read(a + 1 + j)
+		}
+		op.hash = hashWords(op.kbuf)
+		fa, avail, availTomb := op.probe(tx, abase, acap)
+		if fa < 0 {
+			if avail < 0 {
+				// Active table momentarily has no slot for this chain: park
+				// the cursor here; a later help (after puts grow the table)
+				// finishes the job. Unreachable under the §10 occupancy
+				// bound, but never silently drop an entry.
+				tx.Write(ctl+ctlCursor, i)
+				return nil
+			}
+			op.storeKey(tx, avail, op.kbuf)
+			for j := 0; j < mp.vw; j++ {
+				tx.Write(avail+1+mp.kw+j, tx.Read(a+1+mp.kw+j))
+			}
+			if availTomb {
+				op.bumpStripe(tx, ctlTmb, ^uint64(0))
+			}
+		}
+		tx.Write(a, slotTomb)
+	}
+	if end == ocap {
+		tx.Write(ctl+ctlObase, 0)
+		tx.Write(ctl+ctlOcap, 0)
+		tx.Write(ctl+ctlCursor, 0)
+	} else {
+		tx.Write(ctl+ctlCursor, end)
+	}
+	return nil
+}

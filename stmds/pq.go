@@ -1,0 +1,343 @@
+package stmds
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	stm "github.com/stm-go/stm"
+)
+
+// PQ is a bounded transactional priority queue of T: a binary min-heap
+// keyed by a caller-supplied uint64 priority, laid out as a size word
+// plus an array of (priority, element) slots. Every operation is one
+// atomic transaction over the root-to-leaf path it sifts along, so an
+// operation touches O(log n) slots and operations on disjoint paths run
+// in parallel. Push blocks while the heap is full and TakeMin while it is
+// empty (DTx.Retry); the TryX forms never block.
+//
+// Elements of equal priority come out in no particular order. A PQ is
+// safe for concurrent use.
+type PQ[T any] struct {
+	m         *stm.Memory
+	c         stm.Codec[T]
+	vw        int
+	slotWords int
+	size      int // size word address
+	slots     int // base of the slot array
+	capacity  uint64
+	ops       sync.Pool
+}
+
+// PQWords returns the number of Memory words a PQ with the given codec
+// and capacity occupies.
+func PQWords[T any](c stm.Codec[T], capacity int) int {
+	return 1 + capacity*(1+c.Words())
+}
+
+// NewPQ lays a priority queue of the given capacity in m.
+func NewPQ[T any](m *stm.Memory, c stm.Codec[T], capacity int) (*PQ[T], error) {
+	if c == nil || c.Words() <= 0 {
+		return nil, fmt.Errorf("stmds: pq codec must have positive width")
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("stmds: pq capacity must be positive, got %d", capacity)
+	}
+	base, err := m.AllocWords(PQWords(c, capacity))
+	if err != nil {
+		return nil, err
+	}
+	pq := &PQ[T]{
+		m: m, c: c, vw: c.Words(), slotWords: 1 + c.Words(),
+		size: base, slots: base + 1, capacity: uint64(capacity),
+	}
+	pq.ops.New = func() any { return newPQOp(pq) }
+	return pq, nil
+}
+
+// Memory returns the Memory the heap lives in.
+func (pq *PQ[T]) Memory() *stm.Memory { return pq.m }
+
+// Cap returns the heap's fixed capacity.
+func (pq *PQ[T]) Cap() int { return int(pq.capacity) }
+
+// Len returns the number of elements (a single-word atomic read).
+func (pq *PQ[T]) Len() int { return int(pq.m.Peek(pq.size)) }
+
+// LenTx is Len inside the caller's transaction.
+func (pq *PQ[T]) LenTx(tx *stm.DTx) int { return int(tx.Read(pq.size)) }
+
+// slot returns the address of heap index i.
+func (pq *PQ[T]) slot(i int) int { return pq.slots + i*pq.slotWords }
+
+// Push inserts x with the given priority, blocking while the heap is
+// full.
+func (pq *PQ[T]) Push(x T, prio uint64) {
+	op := pq.getOp()
+	defer pq.putOp(op)
+	op.stage(x, prio)
+	_ = pq.m.Atomically(op.pushFn)
+}
+
+// PushContext is Push with cancellation.
+func (pq *PQ[T]) PushContext(ctx context.Context, x T, prio uint64) error {
+	op := pq.getOp()
+	defer pq.putOp(op)
+	op.stage(x, prio)
+	return pq.m.AtomicallyContext(ctx, op.pushFn)
+}
+
+// TryPush inserts x if there is room, reporting whether it did.
+func (pq *PQ[T]) TryPush(x T, prio uint64) bool {
+	op := pq.getOp()
+	defer pq.putOp(op)
+	op.stage(x, prio)
+	_ = pq.m.OrElse(op.pushFn, op.elseFn)
+	return op.ok
+}
+
+// TakeMin removes and returns the minimum-priority element and its
+// priority, blocking while the heap is empty.
+func (pq *PQ[T]) TakeMin() (T, uint64) {
+	op := pq.getOp()
+	defer pq.putOp(op)
+	_ = pq.m.Atomically(op.popFn)
+	return pq.c.Decode(op.vbuf), op.prio
+}
+
+// TakeMinContext is TakeMin with cancellation; the zero T accompanies a
+// non-nil error.
+func (pq *PQ[T]) TakeMinContext(ctx context.Context) (T, uint64, error) {
+	op := pq.getOp()
+	defer pq.putOp(op)
+	if err := pq.m.AtomicallyContext(ctx, op.popFn); err != nil {
+		var zero T
+		return zero, 0, err
+	}
+	return pq.c.Decode(op.vbuf), op.prio, nil
+}
+
+// TryTakeMin removes the minimum if the heap is non-empty.
+func (pq *PQ[T]) TryTakeMin() (T, uint64, bool) {
+	op := pq.getOp()
+	defer pq.putOp(op)
+	_ = pq.m.OrElse(op.popFn, op.elseFn)
+	if !op.ok {
+		var zero T
+		return zero, 0, false
+	}
+	return pq.c.Decode(op.vbuf), op.prio, true
+}
+
+// Min returns the minimum without removing it (one read-only
+// transaction).
+func (pq *PQ[T]) Min() (T, uint64, bool) {
+	op := pq.getOp()
+	defer pq.putOp(op)
+	_ = pq.m.Atomically(op.minFn)
+	if !op.ok {
+		var zero T
+		return zero, 0, false
+	}
+	return pq.c.Decode(op.vbuf), op.prio, true
+}
+
+// PushTx is Push inside the caller's transaction; on a full heap it calls
+// tx.Retry.
+func (pq *PQ[T]) PushTx(tx *stm.DTx, x T, prio uint64) {
+	op := pq.getOp()
+	defer pq.putOp(op)
+	op.stage(x, prio)
+	_ = op.runPush(tx)
+}
+
+// TryPushTx is PushTx reporting fullness instead of retrying.
+func (pq *PQ[T]) TryPushTx(tx *stm.DTx, x T, prio uint64) bool {
+	op := pq.getOp()
+	defer pq.putOp(op)
+	op.stage(x, prio)
+	s := tx.Read(pq.size)
+	if s >= pq.capacity {
+		return false
+	}
+	op.siftUp(tx, s)
+	return true
+}
+
+// TakeMinTx is TakeMin inside the caller's transaction; on an empty heap
+// it calls tx.Retry.
+func (pq *PQ[T]) TakeMinTx(tx *stm.DTx) (T, uint64) {
+	op := pq.getOp()
+	defer pq.putOp(op)
+	_ = op.runPop(tx)
+	return pq.c.Decode(op.vbuf), op.prio
+}
+
+// TryTakeMinTx is TakeMinTx reporting emptiness instead of retrying.
+func (pq *PQ[T]) TryTakeMinTx(tx *stm.DTx) (T, uint64, bool) {
+	op := pq.getOp()
+	defer pq.putOp(op)
+	s := tx.Read(pq.size)
+	if s == 0 {
+		var zero T
+		return zero, 0, false
+	}
+	op.extractMin(tx, s)
+	return pq.c.Decode(op.vbuf), op.prio, true
+}
+
+func (pq *PQ[T]) getOp() *pqOp[T] { return pq.ops.Get().(*pqOp[T]) }
+
+func (pq *PQ[T]) putOp(op *pqOp[T]) {
+	var zero T
+	op.v = zero
+	pq.ops.Put(op)
+}
+
+// pqOp is one heap operation's pooled scratch.
+type pqOp[T any] struct {
+	pq   *PQ[T]
+	v    T
+	prio uint64
+	vbuf []uint64 // staged element (push) / extracted element (pop)
+	lbuf []uint64 // the heap's last element, re-sifted during pop
+	ok   bool
+
+	pushFn, popFn, minFn, elseFn func(*stm.DTx) error
+}
+
+func newPQOp[T any](pq *PQ[T]) *pqOp[T] {
+	op := &pqOp[T]{
+		pq:   pq,
+		vbuf: make([]uint64, pq.vw),
+		lbuf: make([]uint64, pq.vw),
+	}
+	op.pushFn = op.runPush
+	op.popFn = op.runPop
+	op.minFn = op.runMin
+	op.elseFn = func(tx *stm.DTx) error { return nil }
+	return op
+}
+
+// stage encodes the pushed element once, outside the transaction.
+func (op *pqOp[T]) stage(x T, prio uint64) {
+	op.v = x
+	op.prio = prio
+	op.pq.c.Encode(x, op.vbuf)
+}
+
+// siftUp inserts the staged element into a heap of s elements: walk the
+// ancestor chain from the new leaf, pulling larger parents down, and drop
+// the element into the hole that remains. Every slot on the path is read
+// and written through tx, so the whole sift is one atomic step.
+func (op *pqOp[T]) siftUp(tx *stm.DTx, s uint64) {
+	pq := op.pq
+	hole := int(s)
+	for hole > 0 {
+		parent := (hole - 1) / 2
+		pa := pq.slot(parent)
+		pp := tx.Read(pa)
+		if pp <= op.prio {
+			break
+		}
+		ha := pq.slot(hole)
+		tx.Write(ha, pp)
+		for j := 0; j < pq.vw; j++ {
+			tx.Write(ha+1+j, tx.Read(pa+1+j))
+		}
+		hole = parent
+	}
+	ha := pq.slot(hole)
+	tx.Write(ha, op.prio)
+	for j, w := range op.vbuf {
+		tx.Write(ha+1+j, w)
+	}
+	tx.Write(pq.size, s+1)
+}
+
+// extractMin removes the root of a heap of s (> 0) elements into
+// op.vbuf/op.prio, then re-sifts the last element down from the root.
+func (op *pqOp[T]) extractMin(tx *stm.DTx, s uint64) {
+	pq := op.pq
+	root := pq.slot(0)
+	op.prio = tx.Read(root)
+	for j := 0; j < pq.vw; j++ {
+		op.vbuf[j] = tx.Read(root + 1 + j)
+	}
+	last := int(s - 1)
+	tx.Write(pq.size, s-1)
+	if last == 0 {
+		return
+	}
+	la := pq.slot(last)
+	lp := tx.Read(la)
+	for j := 0; j < pq.vw; j++ {
+		op.lbuf[j] = tx.Read(la + 1 + j)
+	}
+	hole := 0
+	for {
+		c := 2*hole + 1
+		if c >= last {
+			break
+		}
+		ca := pq.slot(c)
+		cp := tx.Read(ca)
+		if c+1 < last {
+			ca2 := pq.slot(c + 1)
+			if cp2 := tx.Read(ca2); cp2 < cp {
+				c, ca, cp = c+1, ca2, cp2
+			}
+		}
+		if lp <= cp {
+			break
+		}
+		ha := pq.slot(hole)
+		tx.Write(ha, cp)
+		for j := 0; j < pq.vw; j++ {
+			tx.Write(ha+1+j, tx.Read(ca+1+j))
+		}
+		hole = c
+	}
+	ha := pq.slot(hole)
+	tx.Write(ha, lp)
+	for j, w := range op.lbuf {
+		tx.Write(ha+1+j, w)
+	}
+}
+
+func (op *pqOp[T]) runPush(tx *stm.DTx) error {
+	op.ok = false
+	s := tx.Read(op.pq.size)
+	if s >= op.pq.capacity {
+		tx.Retry()
+	}
+	op.siftUp(tx, s)
+	op.ok = true
+	return nil
+}
+
+func (op *pqOp[T]) runPop(tx *stm.DTx) error {
+	op.ok = false
+	s := tx.Read(op.pq.size)
+	if s == 0 {
+		tx.Retry()
+	}
+	op.extractMin(tx, s)
+	op.ok = true
+	return nil
+}
+
+func (op *pqOp[T]) runMin(tx *stm.DTx) error {
+	op.ok = false
+	s := tx.Read(op.pq.size)
+	if s == 0 {
+		return nil
+	}
+	root := op.pq.slot(0)
+	op.prio = tx.Read(root)
+	for j := 0; j < op.pq.vw; j++ {
+		op.vbuf[j] = tx.Read(root + 1 + j)
+	}
+	op.ok = true
+	return nil
+}

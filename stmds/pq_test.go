@@ -1,0 +1,183 @@
+package stmds_test
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	stm "github.com/stm-go/stm"
+	"github.com/stm-go/stm/stmds"
+)
+
+func mustPQ(t *testing.T, m *stm.Memory, capacity int) *stmds.PQ[int64] {
+	t.Helper()
+	pq, err := stmds.NewPQ[int64](m, stm.Int64(), capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pq
+}
+
+func TestPQOrdering(t *testing.T) {
+	m := mustMem(t, 256)
+	pq := mustPQ(t, m, 16)
+	prios := []uint64{9, 3, 7, 1, 8, 2, 5, 4, 6, 0}
+	for _, p := range prios {
+		pq.Push(int64(p)*10, p)
+	}
+	if pq.Len() != len(prios) {
+		t.Fatalf("Len = %d, want %d", pq.Len(), len(prios))
+	}
+	if v, p, ok := pq.Min(); !ok || p != 0 || v != 0 {
+		t.Fatalf("Min = (%d, %d, %v), want (0, 0, true)", v, p, ok)
+	}
+	for want := uint64(0); want < 10; want++ {
+		v, p := pq.TakeMin()
+		if p != want || v != int64(want)*10 {
+			t.Fatalf("TakeMin = (%d, %d), want (%d, %d)", v, p, int64(want)*10, want)
+		}
+	}
+	if _, _, ok := pq.TryTakeMin(); ok {
+		t.Fatal("TryTakeMin on an empty heap succeeded")
+	}
+	if _, _, ok := pq.Min(); ok {
+		t.Fatal("Min on an empty heap succeeded")
+	}
+}
+
+func TestPQDuplicatePriorities(t *testing.T) {
+	m := mustMem(t, 256)
+	pq := mustPQ(t, m, 16)
+	for i := int64(0); i < 9; i++ {
+		pq.Push(i, uint64(i%3))
+	}
+	var got []uint64
+	for i := 0; i < 9; i++ {
+		_, p := pq.TakeMin()
+		got = append(got, p)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("priorities came out unsorted: %v", got)
+	}
+}
+
+func TestPQBlockingAndTry(t *testing.T) {
+	m := mustMem(t, 64)
+	pq := mustPQ(t, m, 2)
+	if !pq.TryPush(1, 1) || !pq.TryPush(2, 2) {
+		t.Fatal("TryPush with room failed")
+	}
+	if pq.TryPush(3, 3) {
+		t.Fatal("TryPush on a full heap succeeded")
+	}
+	done := make(chan struct{})
+	go func() { pq.Push(3, 0); close(done) }()
+	select {
+	case <-done:
+		t.Fatal("Push returned on a full heap")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if v, p := pq.TakeMin(); p != 1 || v != 1 {
+		t.Fatalf("TakeMin = (%d, %d), want (1, 1)", v, p)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Push did not wake after TakeMin freed a slot")
+	}
+	// The blocked push carried priority 0: it must now be the minimum.
+	if v, p := pq.TakeMin(); p != 0 || v != 3 {
+		t.Fatalf("TakeMin = (%d, %d), want (3, 0)", v, p)
+	}
+}
+
+func TestPQConcurrentHeapProperty(t *testing.T) {
+	// Concurrent pushers and poppers: every popped priority sequence per
+	// popper need not be globally sorted, but conservation must hold and
+	// the final drain must be exactly the undelivered multiset.
+	const (
+		pushers = 3
+		perP    = 300
+	)
+	m := mustMem(t, 1<<12)
+	pq := mustPQ(t, m, 64)
+	var wg sync.WaitGroup
+	for p := 0; p < pushers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			rng := uint64(p)*2654435761 + 13
+			for i := 0; i < perP; i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				pq.Push(int64(p*perP+i), rng%1000)
+			}
+		}(p)
+	}
+	var mu sync.Mutex
+	taken := make(map[int64]bool)
+	var cg sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < 2; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if v, _, ok := pq.TryTakeMin(); ok {
+					mu.Lock()
+					if taken[v] {
+						t.Errorf("value %d taken twice", v)
+					}
+					taken[v] = true
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	cg.Wait()
+	for {
+		v, _, ok := pq.TryTakeMin()
+		if !ok {
+			break
+		}
+		if taken[v] {
+			t.Fatalf("drained value %d was already taken", v)
+		}
+		taken[v] = true
+	}
+	if len(taken) != pushers*perP {
+		t.Fatalf("conserved %d values, want %d", len(taken), pushers*perP)
+	}
+}
+
+func TestPQTxComposition(t *testing.T) {
+	// Move the min of one heap into another atomically.
+	m := mustMem(t, 512)
+	a := mustPQ(t, m, 8)
+	b := mustPQ(t, m, 8)
+	a.Push(11, 1)
+	a.Push(22, 2)
+	err := m.Atomically(func(tx *stm.DTx) error {
+		v, p := a.TakeMinTx(tx)
+		b.PushTx(tx, v, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("lens = (%d, %d), want (1, 1)", a.Len(), b.Len())
+	}
+	if v, p := b.TakeMin(); v != 11 || p != 1 {
+		t.Fatalf("moved element = (%d, %d), want (11, 1)", v, p)
+	}
+}

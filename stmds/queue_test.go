@@ -1,0 +1,245 @@
+package stmds_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	stm "github.com/stm-go/stm"
+	"github.com/stm-go/stm/stmds"
+)
+
+func mustQueue(t *testing.T, m *stm.Memory, capacity int) *stmds.Queue[int64] {
+	t.Helper()
+	q, err := stmds.NewQueue[int64](m, stm.Int64(), capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestQueueFIFO(t *testing.T) {
+	m := mustMem(t, 64)
+	q := mustQueue(t, m, 4)
+	if q.Cap() != 4 || q.Len() != 0 {
+		t.Fatalf("fresh queue: cap %d len %d", q.Cap(), q.Len())
+	}
+	for i := int64(1); i <= 4; i++ {
+		q.Put(i * 10)
+	}
+	if q.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", q.Len())
+	}
+	if ok := q.TryPut(99); ok {
+		t.Fatal("TryPut on a full queue succeeded")
+	}
+	for i := int64(1); i <= 4; i++ {
+		if got := q.Take(); got != i*10 {
+			t.Fatalf("Take = %d, want %d", got, i*10)
+		}
+	}
+	if _, ok := q.TryTake(); ok {
+		t.Fatal("TryTake on an empty queue succeeded")
+	}
+	// Wrap around the ring a few times.
+	for lap := 0; lap < 3; lap++ {
+		for i := int64(0); i < 3; i++ {
+			if !q.TryPut(int64(lap)*100 + i) {
+				t.Fatal("TryPut failed with room available")
+			}
+		}
+		for i := int64(0); i < 3; i++ {
+			v, ok := q.TryTake()
+			if !ok || v != int64(lap)*100+i {
+				t.Fatalf("lap %d: TryTake = (%d, %v), want %d", lap, v, ok, int64(lap)*100+i)
+			}
+		}
+	}
+}
+
+func TestQueueBlockingTake(t *testing.T) {
+	m := mustMem(t, 64)
+	q := mustQueue(t, m, 4)
+	done := make(chan int64, 1)
+	go func() { done <- q.Take() }()
+	select {
+	case v := <-done:
+		t.Fatalf("Take returned %d from an empty queue", v)
+	case <-time.After(20 * time.Millisecond):
+	}
+	q.Put(42)
+	select {
+	case v := <-done:
+		if v != 42 {
+			t.Fatalf("Take = %d, want 42", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Take did not wake after Put")
+	}
+}
+
+func TestQueueBlockingPut(t *testing.T) {
+	m := mustMem(t, 64)
+	q := mustQueue(t, m, 2)
+	q.Put(1)
+	q.Put(2)
+	done := make(chan struct{})
+	go func() { q.Put(3); close(done) }()
+	select {
+	case <-done:
+		t.Fatal("Put returned on a full queue")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if got := q.Take(); got != 1 {
+		t.Fatalf("Take = %d, want 1", got)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Put did not wake after Take freed a slot")
+	}
+	if got, want := q.Take(), int64(2); got != want {
+		t.Fatalf("Take = %d, want %d", got, want)
+	}
+	if got, want := q.Take(), int64(3); got != want {
+		t.Fatalf("Take = %d, want %d", got, want)
+	}
+}
+
+func TestQueueContextCancel(t *testing.T) {
+	m := mustMem(t, 64)
+	q := mustQueue(t, m, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := q.TakeContext(ctx); err == nil {
+		t.Fatal("TakeContext on an empty queue returned nil error after cancel")
+	}
+	q.Put(1)
+	q.Put(2)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel2()
+	if err := q.PutContext(ctx2, 3); err == nil {
+		t.Fatal("PutContext on a full queue returned nil after cancel")
+	}
+	// The failed put must not have corrupted the queue.
+	if got := q.Take(); got != 1 {
+		t.Fatalf("Take = %d, want 1", got)
+	}
+}
+
+func TestQueueConservation(t *testing.T) {
+	// Producers put tagged values, consumers take (blocking both ways):
+	// every produced value arrives exactly once — nothing lost, nothing
+	// duplicated — even though the queue is tiny and both sides park on
+	// Retry constantly.
+	const (
+		producers = 3
+		consumers = 3
+		perP      = 400
+	)
+	m := mustMem(t, 64)
+	q := mustQueue(t, m, 4)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perP; i++ {
+				q.Put(int64(p*perP + i))
+			}
+		}(p)
+	}
+	var mu sync.Mutex
+	seen := make(map[int64]int, producers*perP)
+	var cg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				v, err := q.TakeContext(context.Background())
+				if err != nil {
+					return
+				}
+				if v < 0 {
+					return // poison pill
+				}
+				mu.Lock()
+				seen[v]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	for c := 0; c < consumers; c++ {
+		q.Put(-1)
+	}
+	cg.Wait()
+	if len(seen) != producers*perP {
+		t.Fatalf("consumed %d distinct values, want %d", len(seen), producers*perP)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d consumed %d times", v, n)
+		}
+	}
+}
+
+func TestQueueTxComposition(t *testing.T) {
+	// Atomically move an element from a queue into a map: the element is
+	// never observable in both, and a retry on the empty queue falls
+	// through OrElse.
+	m := mustMem(t, 1<<12)
+	q := mustQueue(t, m, 4)
+	mp := mustMap(t, m, 8)
+	q.Put(5)
+	moved := false
+	err := m.OrElse(
+		func(tx *stm.DTx) error {
+			v := q.TakeTx(tx) // retries if empty
+			_, _, err := mp.PutTx(tx, v, v*100)
+			moved = err == nil
+			return err
+		},
+		func(tx *stm.DTx) error { moved = false; return nil },
+	)
+	if err != nil || !moved {
+		t.Fatalf("move = (%v, moved=%v)", err, moved)
+	}
+	if q.Len() != 0 {
+		t.Fatal("queue still holds the moved element")
+	}
+	if v, ok := mp.Get(5); !ok || v != 500 {
+		t.Fatalf("map.Get(5) = (%d, %v), want (500, true)", v, ok)
+	}
+	// Empty queue: the first branch retries, the second must run.
+	ran := false
+	err = m.OrElse(
+		func(tx *stm.DTx) error {
+			v := q.TakeTx(tx)
+			_, _, err := mp.PutTx(tx, v, v)
+			return err
+		},
+		func(tx *stm.DTx) error { ran = true; return nil },
+	)
+	if err != nil || !ran {
+		t.Fatalf("OrElse fallback: err=%v ran=%v", err, ran)
+	}
+	// TryTakeTx inside a transaction reports emptiness without retrying.
+	err = m.Atomically(func(tx *stm.DTx) error {
+		if _, ok := q.TryTakeTx(tx); ok {
+			t.Error("TryTakeTx on empty queue succeeded")
+		}
+		if !q.TryPutTx(tx, 9) {
+			t.Error("TryPutTx with room failed")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Take(); got != 9 {
+		t.Fatalf("Take = %d, want 9", got)
+	}
+}

@@ -1,0 +1,100 @@
+package stmds_test
+
+import (
+	"sync"
+	"testing"
+
+	stm "github.com/stm-go/stm"
+	"github.com/stm-go/stm/stmds"
+)
+
+func TestSetBasic(t *testing.T) {
+	m := mustMem(t, 1<<12)
+	s, err := stmds.NewSet[int64](m, stm.Int64(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains(1) {
+		t.Fatal("empty set contains 1")
+	}
+	if added, err := s.Add(1); err != nil || !added {
+		t.Fatalf("Add(1) = (%v, %v), want (true, nil)", added, err)
+	}
+	if added, err := s.Add(1); err != nil || added {
+		t.Fatalf("second Add(1) = (%v, %v), want (false, nil)", added, err)
+	}
+	if !s.Contains(1) || s.Len() != 1 {
+		t.Fatalf("Contains(1)=%v Len=%d", s.Contains(1), s.Len())
+	}
+	if !s.Remove(1) || s.Remove(1) {
+		t.Fatal("Remove semantics broken")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+}
+
+func TestSetGrowthAndTx(t *testing.T) {
+	m := mustMem(t, 1<<14)
+	s, err := stmds.NewSet[int64](m, stm.Int64(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 300; i++ {
+		if _, err := s.Add(i); err != nil {
+			t.Fatalf("Add(%d): %v", i, err)
+		}
+	}
+	if s.Len() != 300 {
+		t.Fatalf("Len = %d, want 300", s.Len())
+	}
+	// Atomic swap of membership between two elements.
+	err = m.Atomically(func(tx *stm.DTx) error {
+		if !s.ContainsTx(tx, 5) {
+			t.Error("ContainsTx(5) false")
+		}
+		s.RemoveTx(tx, 5)
+		_, err := s.AddTx(tx, 1000)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains(5) || !s.Contains(1000) || s.Len() != 300 {
+		t.Fatalf("after swap: Contains(5)=%v Contains(1000)=%v Len=%d",
+			s.Contains(5), s.Contains(1000), s.Len())
+	}
+}
+
+func TestSetConcurrent(t *testing.T) {
+	const workers = 4
+	const perW = 250
+	m := mustMem(t, 1<<16)
+	s, err := stmds.NewSet[int64](m, stm.Int64(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := int64(0); i < perW; i++ {
+				k := int64(w*perW) + i
+				if _, err := s.Add(k); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != workers*perW {
+		t.Fatalf("Len = %d, want %d", s.Len(), workers*perW)
+	}
+	for k := int64(0); k < workers*perW; k++ {
+		if !s.Contains(k) {
+			t.Fatalf("Contains(%d) = false after concurrent adds", k)
+		}
+	}
+}

@@ -123,6 +123,44 @@ func WriteVar[T any](tx *DTx, v *Var[T], x T) {
 	}
 }
 
+// CompareAndSwap atomically replaces the variable's value with new if its
+// current value equals old, reporting whether the replacement happened.
+// Equality is decided on the codec's encoded words — the transactional
+// truth — so values the codec canonicalizes compare in canonical form
+// (an over-long string matches its truncation) and a NaN float matches
+// the same NaN bit pattern even though Go's == would say false.
+//
+// Like the raw Memory.CompareAndSwap it rides the pooled engine CAS fast
+// path (calcCAS1 for one-word vars, the k-word CASN calc for wider ones)
+// and is allocation-free (amortized), so simple typed CAS loops need no
+// Update closure.
+func (v *Var[T]) CompareAndSwap(old, new T) bool {
+	k := len(v.addrs)
+	pe := v.m.getWordBuf(k)
+	v.c.Encode(old, *pe)
+	pn := v.m.getWordBuf(k)
+	v.c.Encode(new, *pn)
+	var ok bool
+	if k == 1 {
+		got := v.m.runSingle(v.addrs[0], calcCAS1, (*pe)[0], (*pn)[0])
+		ok = got == (*pe)[0]
+	} else {
+		po := v.m.getWordBuf(k)
+		v.m.runAscending(v.addrs, calcCASN, *pe, *pn, *po)
+		ok = true
+		for i, w := range *po {
+			if w != (*pe)[i] {
+				ok = false
+				break
+			}
+		}
+		v.m.putWordBuf(po)
+	}
+	v.m.putWordBuf(pn)
+	v.m.putWordBuf(pe)
+	return ok
+}
+
 // Update atomically applies f to the variable — a one-variable typed
 // read-modify-write — and returns the old value the new one was computed
 // from. f must be deterministic and side-effect free: under helping it may

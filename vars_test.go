@@ -172,6 +172,93 @@ func TestVarLoadStoreUpdate(t *testing.T) {
 	}
 }
 
+func TestVarCompareAndSwap(t *testing.T) {
+	m := mustNew(t, 16)
+	v, err := stm.Alloc(m, stm.Int64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Store(10)
+	if v.CompareAndSwap(9, 20) {
+		t.Error("CAS with wrong old value succeeded")
+	}
+	if got := v.Load(); got != 10 {
+		t.Errorf("failed CAS changed the value to %d", got)
+	}
+	if !v.CompareAndSwap(10, 20) {
+		t.Error("CAS with matching old value failed")
+	}
+	if got := v.Load(); got != 20 {
+		t.Errorf("Load = %d after CAS, want 20", got)
+	}
+
+	// Multi-word vars go through the k-word CASN calc: the swap is atomic
+	// across the whole encoding, or nothing changes.
+	p, err := stm.Alloc(m, pointCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Store(point{1, 2})
+	if p.CompareAndSwap(point{1, 3}, point{9, 9}) {
+		t.Error("struct CAS with one mismatched word succeeded")
+	}
+	if got := p.Load(); got != (point{1, 2}) {
+		t.Errorf("failed struct CAS changed the value to %+v", got)
+	}
+	if !p.CompareAndSwap(point{1, 2}, point{3, 4}) {
+		t.Error("struct CAS with matching value failed")
+	}
+	if got := p.Load(); got != (point{3, 4}) {
+		t.Errorf("Load = %+v after struct CAS, want {3 4}", got)
+	}
+
+	// Equality is on encoded words: the String codec canonicalizes by
+	// truncation, so an over-long expected value matches its truncation.
+	s, err := stm.Alloc(m, stm.String(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Store("abcdef") // stored as "abcd"
+	if !s.CompareAndSwap("abcdXYZ", "ok") {
+		t.Error("string CAS did not compare in canonical (truncated) form")
+	}
+	if got := s.Load(); got != "ok" {
+		t.Errorf("Load = %q after string CAS, want \"ok\"", got)
+	}
+}
+
+func TestVarCompareAndSwapConcurrentCounter(t *testing.T) {
+	// A typed CAS loop is a correct counter under contention.
+	const (
+		workers = 4
+		perW    = 500
+	)
+	m := mustNew(t, 8)
+	v, err := stm.Alloc(m, stm.Int64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				for {
+					old := v.Load()
+					if v.CompareAndSwap(old, old+1) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.Load(); got != workers*perW {
+		t.Errorf("counter = %d, want %d", got, workers*perW)
+	}
+}
+
 func TestVarAtRawInterop(t *testing.T) {
 	// A VarAt over hand-addressed words sees raw writes and vice versa.
 	m := mustNew(t, 8)
