@@ -75,6 +75,7 @@ type contResult struct {
 // contReport is the BENCH_contention.json document.
 type contReport struct {
 	Note       string       `json:"note"`
+	Env        benchEnv     `json:"env"`
 	GoMaxProcs int          `json:"gomaxprocs"`
 	Workers    int          `json:"workers"`
 	WarmupMs   int64        `json:"warmup_ms"`
@@ -93,7 +94,7 @@ type padCounter struct {
 // counter words for the measurement window, with stats reset at its start
 // so the reported rates are windowed, not monotonic.
 func runContCell(factory func() contention.Policy, lv contLevel, workers int, warmup, measure time.Duration) (contResult, error) {
-	m, err := stm.New(lv.Words, stm.WithPolicyFactory(factory))
+	m, err := benchNew(lv.Words, stm.WithPolicyFactory(factory))
 	if err != nil {
 		return contResult{}, err
 	}
@@ -205,6 +206,7 @@ func runContention(quick bool) (contReport, string, error) {
 	}
 
 	report := contReport{
+		Env: currentBenchEnv(),
 		Note: "host-mode contention-policy sweep (cmd/stmbench -suite cont): " +
 			"shared-counter workload, per-cell windowed stats; yield_every > 0 " +
 			"parks every n-th transaction mid-flight to model preemption",

@@ -55,8 +55,9 @@ type dsQueuePoint struct {
 
 // dsReport is the BENCH_ds.json document.
 type dsReport struct {
-	Note  string `json:"note"`
-	Cores int    `json:"cores"`
+	Note  string   `json:"note"`
+	Env   benchEnv `json:"env"`
+	Cores int      `json:"cores"`
 	// MapScale is map ops/s at the largest goroutine count over ops/s at
 	// one goroutine, at 10% updates on the smallest key range — the
 	// scaling headline. On a single-core machine the ceiling is ~1.0 by
@@ -71,7 +72,7 @@ type dsReport struct {
 // Map prefilled to half the key range for the window, each op a lookup
 // or (updatePct of the time) a put/delete pair member chosen at random.
 func dsSweepMap(goroutines, updatePct, keyRange int, window time.Duration) (dsMapPoint, error) {
-	m, err := stm.New(1 << 18)
+	m, err := benchNew(1 << 18)
 	if err != nil {
 		return dsMapPoint{}, err
 	}
@@ -136,7 +137,7 @@ func dsSweepMap(goroutines, updatePct, keyRange int, window time.Duration) (dsMa
 // dsSweepQueue measures one producer/consumer point: producers Put and
 // consumers Take (both blocking) through a shared queue for the window.
 func dsSweepQueue(producers, consumers int, window time.Duration) (dsQueuePoint, error) {
-	m, err := stm.New(1 << 12)
+	m, err := benchNew(1 << 12)
 	if err != nil {
 		return dsQueuePoint{}, err
 	}
@@ -201,7 +202,7 @@ func runDs(quick bool) (dsReport, string, error) {
 	}
 
 	newBenchMap := func(b *testing.B, entries int64) *stmds.Map[int64, int64] {
-		m, err := stm.New(1 << 16)
+		m, err := benchNew(1 << 16)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -258,7 +259,7 @@ func runDs(quick bool) (dsReport, string, error) {
 		}
 	})
 	measure("DsQueuePutTake", func(b *testing.B) {
-		m, err := stm.New(64)
+		m, err := benchNew(64)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -275,7 +276,7 @@ func runDs(quick bool) (dsReport, string, error) {
 		}
 	})
 	measure("DsPQPushPop", func(b *testing.B) {
-		m, err := stm.New(1 << 10)
+		m, err := benchNew(1 << 10)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -345,6 +346,7 @@ func runDs(quick bool) (dsReport, string, error) {
 	}
 
 	report := dsReport{
+		Env: currentBenchEnv(),
 		Note: "transactional data-structures suite (cmd/stmbench -suite ds); " +
 			"results are the gated micros (allocs/op must stay 0), map_sweep/queue_sweep " +
 			"the Synchrobench-style grid — throughput read against `cores`",

@@ -30,7 +30,8 @@ type dynResult struct {
 
 // dynReport is the BENCH_dynamic.json document.
 type dynReport struct {
-	Note string `json:"note"`
+	Note string   `json:"note"`
+	Env  benchEnv `json:"env"`
 	// DynVsTxSetRatio is DynCounterRMW2 ns/op over TxSetCounterRMW2
 	// ns/op: the dynamic layer's overhead for a footprint the static API
 	// could have compiled. The acceptance ceiling is 2.0.
@@ -51,7 +52,7 @@ type dynList struct {
 }
 
 func newDynList(capacity int) (*dynList, error) {
-	m, err := stm.New(1 + 2*capacity)
+	m, err := benchNew(1 + 2*capacity)
 	if err != nil {
 		return nil, err
 	}
@@ -162,7 +163,7 @@ func runDyn(quick bool) (dynReport, string) {
 	// The headline pair: the same uncontended two-counter RMW, dynamic vs
 	// the compiled TxSet it executes through.
 	dyn := measure("DynCounterRMW2", func(b *testing.B) {
-		m, _ := stm.New(16)
+		m, _ := benchNew(16)
 		a, _ := stm.Alloc(m, stm.Int64())
 		c, _ := stm.Alloc(m, stm.Int64())
 		rmw := func(tx *stm.DTx) error {
@@ -180,7 +181,7 @@ func runDyn(quick bool) (dynReport, string) {
 		}
 	})
 	txset := measure("TxSetCounterRMW2", func(b *testing.B) {
-		m, _ := stm.New(16)
+		m, _ := benchNew(16)
 		a, _ := stm.Alloc(m, stm.Int64())
 		c, _ := stm.Alloc(m, stm.Int64())
 		ts := stm.NewTxSet(m)
@@ -253,7 +254,7 @@ func runDyn(quick bool) (dynReport, string) {
 			// measures the footprint-cache MISS path: discover, sort,
 			// commit.
 			const size = 64
-			m, _ := stm.New(2 * size)
+			m, _ := benchNew(2 * size)
 			for i := 0; i < size; i++ {
 				if _, err := m.Swap(i, uint64(i+1)); err != nil {
 					b.Fatal(err)
@@ -285,6 +286,7 @@ func runDyn(quick bool) (dynReport, string) {
 
 	ratio := dyn.NsPerOp / txset.NsPerOp
 	report := dynReport{
+		Env: currentBenchEnv(),
 		Note: "dynamic transaction suite (cmd/stmbench -suite dyn); " +
 			"DynCounterRMW2 must stay 0 allocs/op and within 2x of TxSetCounterRMW2 (dyn_vs_txset_ratio)",
 		DynVsTxSetRatio: ratio,

@@ -1,0 +1,334 @@
+package main
+
+// The ENG suite: the pluggable-engine head-to-head, emitted as
+// BENCH_engines.json. Both commit engines run the same workload grid —
+// read ratio × contention level × structure — on the host with one worker
+// per GOMAXPROCS, so the trade-off the engines exist for is measured, not
+// asserted: TL2's invisible reads and read-only commits must win the
+// read-dominated cells, and ST must stay competitive where helping matters.
+//
+// The report has two layers. `results` is the gate surface: per-engine
+// single-threaded micros whose allocs/op are deterministic (and must stay
+// 0), compatible with the -baseline comparator. `sweep` is the head-to-head
+// grid with per-cell throughput, and `headlines` condenses it into the
+// numbers the acceptance gate reads — tl2_read90_speedup is the geometric
+// mean, across structures and contention levels, of ST ns/op over TL2
+// ns/op at 90% reads.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	stm "github.com/stm-go/stm"
+	"github.com/stm-go/stm/internal/xrand"
+	"github.com/stm-go/stm/stmds"
+)
+
+// engCell is one sweep point: one engine on one workload cell.
+type engCell struct {
+	Structure  string  `json:"structure"`  // "vars" or "map"
+	ReadPct    int     `json:"read_pct"`   // percentage of ops that are pure reads
+	Contention string  `json:"contention"` // "low" (1024 hot entities) or "high" (8)
+	Engine     string  `json:"engine"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	Workers    int     `json:"workers"`
+}
+
+// enginesReport is the BENCH_engines.json document.
+type enginesReport struct {
+	Note      string             `json:"note"`
+	Env       benchEnv           `json:"env"`
+	Results   []varsResult       `json:"results"`
+	Sweep     []engCell          `json:"sweep"`
+	Headlines map[string]float64 `json:"headlines"`
+}
+
+// engWords returns the entity count for a contention level: "high" funnels
+// every worker through 8 entities, "low" spreads them over 1024.
+func engWords(contention string) int {
+	if contention == "high" {
+		return 8
+	}
+	return 1024
+}
+
+// benchVarsCell builds the raw-words workload: a read is a consistent
+// 8-word snapshot (ReadAllInto — a whole-data-set acquisition on ST, a
+// zero-RMW read-only commit on TL2), a write a single-word Add.
+func benchVarsCell(eng stm.Engine, readPct int, contention string) func(b *testing.B) {
+	words := engWords(contention)
+	return func(b *testing.B) {
+		m, err := stm.New(words, stm.WithEngine(eng))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		var worker atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			rng := xrand.New(uint64(worker.Add(1))*0x9e3779b97f4a7c15 + 12345)
+			addrs := make([]int, 8)
+			dst := make([]uint64, 8)
+			for pb.Next() {
+				if int(rng.Uint64()%100) < readPct {
+					start := int(rng.Uint64()) & (words - 1)
+					for i := range addrs {
+						addrs[i] = (start + i) & (words - 1)
+					}
+					// ReadAllInto wants no duplicates; words >= 8 and the
+					// stride is 1, so the window never wraps onto itself.
+					if start+8 > words {
+						for i := range addrs {
+							addrs[i] = i
+						}
+					}
+					if err := m.ReadAllInto(addrs, dst); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					if _, err := m.Add(int(rng.Uint64())&(words-1), 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// benchMapCell builds the structure workload: point Get vs Put on a settled
+// stmds.Map — the dynamic-transaction path both engines must carry.
+func benchMapCell(eng stm.Engine, readPct int, contention string) func(b *testing.B) {
+	keys := int64(engWords(contention))
+	return func(b *testing.B) {
+		m, err := stm.New(1<<16, stm.WithEngine(eng))
+		if err != nil {
+			b.Fatal(err)
+		}
+		mp, err := stmds.NewMap[int64, int64](m, stm.Int64(), stm.Int64(), int(keys)*2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for k := int64(0); k < keys; k++ {
+			if _, _, err := mp.Put(k, k); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		var worker atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			rng := xrand.New(uint64(worker.Add(1))*0x9e3779b97f4a7c15 + 99)
+			for pb.Next() {
+				k := int64(rng.Uint64()) % keys
+				if k < 0 {
+					k = -k
+				}
+				if int(rng.Uint64()%100) < readPct {
+					mp.Get(k)
+				} else {
+					if _, _, err := mp.Put(k, k+1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// runEngines measures the head-to-head suite. quick keeps the 90%-read row
+// only — the acceptance surface — and skips the 50/99 rows.
+func runEngines(quick bool) (enginesReport, string) {
+	var results []varsResult
+	micro := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		results = append(results, varsResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		})
+	}
+
+	// The gate surface: the same stable-shape micros on each engine, all
+	// required to hold the zero-allocation contract.
+	for _, eng := range stm.Engines() {
+		eng := eng
+		micro(eng.String()+"/Add", func(b *testing.B) {
+			m, _ := stm.New(4, stm.WithEngine(eng))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.Add(0, 1)
+			}
+		})
+		micro(eng.String()+"/ReadAllInto8", func(b *testing.B) {
+			m, _ := stm.New(8, stm.WithEngine(eng))
+			addrs := make([]int, 8)
+			for i := range addrs {
+				addrs[i] = i
+			}
+			dst := make([]uint64, 8)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := m.ReadAllInto(addrs, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		micro(eng.String()+"/TxSetRMW2", func(b *testing.B) {
+			m, _ := stm.New(16, stm.WithEngine(eng))
+			counter, _ := stm.Alloc(m, stm.Int64())
+			pt, _ := stm.Alloc(m, benchPointCodec{})
+			ts := stm.NewTxSet(m)
+			sc := stm.AddVar(ts, counter)
+			sp := stm.AddVar(ts, pt)
+			if err := ts.Compile(); err != nil {
+				b.Fatal(err)
+			}
+			rmw := func(tv stm.TxView) {
+				x := sc.Get(tv)
+				q := sp.Get(tv)
+				sc.Set(tv, x+1)
+				sp.Set(tv, benchPoint{q.X + x, q.Y - x})
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := ts.Run(rmw); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		micro(eng.String()+"/MapGetHit", func(b *testing.B) {
+			m, _ := stm.New(1<<14, stm.WithEngine(eng))
+			mp, err := stmds.NewMap[int64, int64](m, stm.Int64(), stm.Int64(), 256)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := int64(0); i < 128; i++ {
+				if _, _, err := mp.Put(i, i*3); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if v, ok := mp.Get(64); !ok || v != 192 {
+					b.Fatal("wrong value")
+				}
+			}
+		})
+	}
+
+	readRows := []int{50, 90, 99}
+	if quick {
+		readRows = []int{90}
+	}
+	var sweep []engCell
+	for _, structure := range []string{"vars", "map"} {
+		for _, readPct := range readRows {
+			for _, contention := range []string{"low", "high"} {
+				for _, eng := range stm.Engines() {
+					var fn func(b *testing.B)
+					if structure == "vars" {
+						fn = benchVarsCell(eng, readPct, contention)
+					} else {
+						fn = benchMapCell(eng, readPct, contention)
+					}
+					r := testing.Benchmark(fn)
+					ns := float64(r.T.Nanoseconds()) / float64(r.N)
+					sweep = append(sweep, engCell{
+						Structure:  structure,
+						ReadPct:    readPct,
+						Contention: contention,
+						Engine:     eng.String(),
+						NsPerOp:    ns,
+						OpsPerSec:  1e9 / ns,
+						Workers:    runtime.GOMAXPROCS(0),
+					})
+				}
+			}
+		}
+	}
+
+	// Headlines: per-cell ST/TL2 speedups, plus the geometric mean over
+	// the 90%-read cells — the acceptance number (must be >= 1.3 on a
+	// multicore host).
+	headlines := make(map[string]float64)
+	cell := func(structure string, readPct int, contention, engine string) (engCell, bool) {
+		for _, c := range sweep {
+			if c.Structure == structure && c.ReadPct == readPct && c.Contention == contention && c.Engine == engine {
+				return c, true
+			}
+		}
+		return engCell{}, false
+	}
+	logSum, n := 0.0, 0
+	for _, structure := range []string{"vars", "map"} {
+		for _, readPct := range readRows {
+			for _, contention := range []string{"low", "high"} {
+				st, ok1 := cell(structure, readPct, contention, "st")
+				tl2, ok2 := cell(structure, readPct, contention, "tl2")
+				if !ok1 || !ok2 || tl2.NsPerOp <= 0 {
+					continue
+				}
+				speedup := st.NsPerOp / tl2.NsPerOp
+				headlines[fmt.Sprintf("tl2_speedup_%s_r%d_%s", structure, readPct, contention)] = speedup
+				if readPct == 90 {
+					logSum += math.Log(speedup)
+					n++
+				}
+			}
+		}
+	}
+	if n > 0 {
+		headlines["tl2_read90_speedup"] = math.Exp(logSum / float64(n))
+	}
+
+	report := enginesReport{
+		Note: "commit-engine head-to-head (cmd/stmbench -suite engines); results are the " +
+			"gated per-engine micros (allocs/op must stay 0), sweep the read-ratio x " +
+			"contention x structure grid, tl2_read90_speedup the geomean ST/TL2 ns ratio " +
+			"at 90% reads (acceptance floor 1.3 on a multicore host)",
+		Env:       currentBenchEnv(),
+		Results:   results,
+		Sweep:     sweep,
+		Headlines: headlines,
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ENG: commit-engine head-to-head (%d workers)\n", runtime.GOMAXPROCS(0))
+	fmt.Fprintf(&sb, "%-22s %12s %10s %12s\n", "micro", "ns/op", "B/op", "allocs/op")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%-22s %12.1f %10d %12d\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	fmt.Fprintf(&sb, "\n%-10s %8s %11s %12s %12s %9s\n", "structure", "reads", "contention", "st ns/op", "tl2 ns/op", "tl2 gain")
+	for _, structure := range []string{"vars", "map"} {
+		for _, readPct := range readRows {
+			for _, contention := range []string{"low", "high"} {
+				st, ok1 := cell(structure, readPct, contention, "st")
+				tl2, ok2 := cell(structure, readPct, contention, "tl2")
+				if !ok1 || !ok2 {
+					continue
+				}
+				fmt.Fprintf(&sb, "%-10s %7d%% %11s %12.1f %12.1f %8.2fx\n",
+					structure, readPct, contention, st.NsPerOp, tl2.NsPerOp, st.NsPerOp/tl2.NsPerOp)
+			}
+		}
+	}
+	if v, ok := headlines["tl2_read90_speedup"]; ok {
+		fmt.Fprintf(&sb, "\ntl2_read90_speedup (geomean): %.2fx\n", v)
+	}
+	return report, sb.String()
+}
+
+// enginesJSON marshals the report for -json output.
+func enginesJSON(rep enginesReport) ([]byte, error) {
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

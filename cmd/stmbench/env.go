@@ -1,0 +1,38 @@
+package main
+
+// Shared host-suite environment: which commit engine the suite ran on and
+// what parallelism the host offered. Every BENCH_*.json header embeds this
+// so committed numbers are attributable — a TL2 run on a 4-core laptop and
+// an ST run on a 64-core server must never be confused by the gate or by a
+// reader.
+
+import (
+	"runtime"
+
+	stm "github.com/stm-go/stm"
+)
+
+// benchEngine is the commit engine every suite Memory is built with,
+// selected by the -engine flag (default ST, the paper's protocol).
+var benchEngine stm.Engine
+
+// benchEnv is the report header block recording the run's environment.
+type benchEnv struct {
+	Engine     string `json:"engine"`
+	Cores      int    `json:"cores"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+func currentBenchEnv() benchEnv {
+	return benchEnv{
+		Engine:     benchEngine.String(),
+		Cores:      runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// benchNew is the suites' stm.New: same signature, with the selected engine
+// appended so one flag threads through every benchmark's Memory.
+func benchNew(size int, opts ...stm.Option) (*stm.Memory, error) {
+	return stm.New(size, append(opts, stm.WithEngine(benchEngine))...)
+}

@@ -11,8 +11,6 @@ import (
 	"fmt"
 	"strings"
 	"testing"
-
-	stm "github.com/stm-go/stm"
 )
 
 // hotpathBaseline records the seed-tree measurements these paths are
@@ -38,6 +36,7 @@ type hotpathResult struct {
 // hotpathReport is the BENCH_hotpath.json document.
 type hotpathReport struct {
 	Note     string          `json:"note"`
+	Env      benchEnv        `json:"env"`
 	Baseline []hotpathResult `json:"baseline_seed"`
 	Results  []hotpathResult `json:"results"`
 }
@@ -61,7 +60,7 @@ func runHotpath() (hotpathReport, string) {
 	}
 
 	measure("PreparedRun1", func(b *testing.B) {
-		m, _ := stm.New(4)
+		m, _ := benchNew(4)
 		tx, _ := m.Prepare([]int{0})
 		f := func(old []uint64) []uint64 { return []uint64{old[0] + 1} }
 		b.ReportAllocs()
@@ -70,7 +69,7 @@ func runHotpath() (hotpathReport, string) {
 		}
 	})
 	measure("PreparedRunInto1", func(b *testing.B) {
-		m, _ := stm.New(4)
+		m, _ := benchNew(4)
 		tx, _ := m.Prepare([]int{0})
 		var old [1]uint64
 		f := func(o, n []uint64) { n[0] = o[0] + 1 }
@@ -80,7 +79,7 @@ func runHotpath() (hotpathReport, string) {
 		}
 	})
 	measure("PreparedRunInto8", func(b *testing.B) {
-		m, _ := stm.New(8)
+		m, _ := benchNew(8)
 		addrs := make([]int, 8)
 		for i := range addrs {
 			addrs[i] = i
@@ -98,21 +97,21 @@ func runHotpath() (hotpathReport, string) {
 		}
 	})
 	measure("Add", func(b *testing.B) {
-		m, _ := stm.New(4)
+		m, _ := benchNew(4)
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			m.Add(0, 1)
 		}
 	})
 	measure("Swap", func(b *testing.B) {
-		m, _ := stm.New(4)
+		m, _ := benchNew(4)
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			m.Swap(0, uint64(i))
 		}
 	})
 	measure("CASN1", func(b *testing.B) {
-		m, _ := stm.New(1)
+		m, _ := benchNew(1)
 		b.ReportAllocs()
 		var v uint64
 		for i := 0; i < b.N; i++ {
@@ -125,7 +124,7 @@ func runHotpath() (hotpathReport, string) {
 	})
 	measure("CASN8", func(b *testing.B) {
 		const k = 8
-		m, _ := stm.New(k)
+		m, _ := benchNew(k)
 		addrs := make([]int, k)
 		exp := make([]uint64, k)
 		next := make([]uint64, k)
@@ -148,7 +147,7 @@ func runHotpath() (hotpathReport, string) {
 	})
 	measure("ReadAll8", func(b *testing.B) {
 		const k = 8
-		m, _ := stm.New(k)
+		m, _ := benchNew(k)
 		addrs := make([]int, k)
 		for i := range addrs {
 			addrs[i] = i
@@ -162,7 +161,7 @@ func runHotpath() (hotpathReport, string) {
 	})
 	measure("ReadAllInto8", func(b *testing.B) {
 		const k = 8
-		m, _ := stm.New(k)
+		m, _ := benchNew(k)
 		addrs := make([]int, k)
 		for i := range addrs {
 			addrs[i] = i
@@ -177,6 +176,7 @@ func runHotpath() (hotpathReport, string) {
 	})
 
 	report := hotpathReport{
+		Env: currentBenchEnv(),
 		Note: "host-mode hot-path microbenchmarks (cmd/stmbench -json); " +
 			"baseline_seed is the frozen pre-pooling engine measurement",
 		Baseline: hotpathBaseline,

@@ -12,6 +12,8 @@
 //	stmbench -suite vars -json BENCH_vars.json        # typed Var/TxSet suite
 //	stmbench -suite dyn -json BENCH_dynamic.json      # dynamic Atomically suite
 //	stmbench -suite ds -json BENCH_ds.json            # data-structures Synchrobench sweep
+//	stmbench -suite engines -json BENCH_engines.json  # ST vs TL2 head-to-head sweep
+//	stmbench -engine tl2 -suite hot                   # any host suite on the TL2 engine
 //	stmbench -suite hot -baseline BENCH_hotpath.json  # regression gate vs committed numbers
 //
 // Experiments: T0 protocol footprint (ideal machine), F1/F2 counting
@@ -36,6 +38,7 @@ import (
 	"strconv"
 	"strings"
 
+	stm "github.com/stm-go/stm"
 	"github.com/stm-go/stm/internal/bench"
 	"github.com/stm-go/stm/internal/workload"
 )
@@ -57,13 +60,20 @@ func run(args []string, out *os.File) error {
 		seed     = fs.Uint64("seed", 0, "override random seed")
 		csvDir   = fs.String("csv", "", "directory to write per-experiment CSV files")
 		jsonOut  = fs.String("json", "", "write the host suite's JSON report (HOT by default; CONT/VARS/DYN with -suite) to this path")
-		suite    = fs.String("suite", "", `host suite to run ("hot", "cont", "vars", or "dyn"); overrides -exp`)
+		suite    = fs.String("suite", "", `host suite to run ("hot", "cont", "vars", "dyn", "ds", or "engines"); overrides -exp`)
+		engine   = fs.String("engine", "st", `commit engine for the host suites ("st", "tl2"); the simulator experiments always model the paper's protocol`)
 		baseline = fs.String("baseline", "", "committed BENCH_*.json to gate the host suite against (allocs strict; see -maxslow)")
 		maxSlow  = fs.Float64("maxslow", 0, "with -baseline, also fail benchmarks slower than this ratio of the baseline ns/op (0 = report only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	eng, err := stm.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
+	benchEngine = eng
 
 	opt := bench.DefaultOptions(*quick)
 	if *duration > 0 {
@@ -94,8 +104,10 @@ func run(args []string, out *os.File) error {
 			ids = []string{"DYN"}
 		case "ds":
 			ids = []string{"DS"}
+		case "engines", "eng":
+			ids = []string{"ENG"}
 		default:
-			return fmt.Errorf("unknown suite %q (want hot, cont, vars, dyn, or ds)", *suite)
+			return fmt.Errorf("unknown suite %q (want hot, cont, vars, dyn, ds, or engines)", *suite)
 		}
 	case *exp != "all":
 		ids = []string{strings.ToUpper(*exp)}
@@ -104,14 +116,14 @@ func run(args []string, out *os.File) error {
 		// simulator sweep along unless an experiment was asked for.
 		ids = nil
 	}
-	if *jsonOut != "" && !slices.Contains(ids, "HOT") && !slices.Contains(ids, "CONT") && !slices.Contains(ids, "VARS") && !slices.Contains(ids, "DYN") && !slices.Contains(ids, "DS") {
+	if *jsonOut != "" && !slices.Contains(ids, "HOT") && !slices.Contains(ids, "CONT") && !slices.Contains(ids, "VARS") && !slices.Contains(ids, "DYN") && !slices.Contains(ids, "DS") && !slices.Contains(ids, "ENG") {
 		// -json always delivers its file, whatever experiments run with it.
 		ids = append(ids, "HOT")
 	}
-	if *baseline != "" && !slices.Contains(ids, "HOT") && !slices.Contains(ids, "VARS") && !slices.Contains(ids, "DYN") && !slices.Contains(ids, "DS") {
+	if *baseline != "" && !slices.Contains(ids, "HOT") && !slices.Contains(ids, "VARS") && !slices.Contains(ids, "DYN") && !slices.Contains(ids, "DS") && !slices.Contains(ids, "ENG") {
 		// Never let a regression gate silently not run: the flag only
 		// means something for the host suites with per-benchmark results.
-		return fmt.Errorf("-baseline requires a host suite with per-benchmark results (-suite hot, vars, dyn, or ds)")
+		return fmt.Errorf("-baseline requires a host suite with per-benchmark results (-suite hot, vars, dyn, ds, or engines)")
 	}
 
 	// deliver writes a host suite's JSON report (when -json asked for it)
@@ -183,6 +195,18 @@ func run(args []string, out *os.File) error {
 			}
 			fmt.Fprintln(out, table)
 			data, err := dsJSON(report)
+			if err != nil {
+				return err
+			}
+			if err := deliver(data); err != nil {
+				return err
+			}
+			continue
+		}
+		if id == "ENG" {
+			report, table := runEngines(*quick)
+			fmt.Fprintln(out, table)
+			data, err := enginesJSON(report)
 			if err != nil {
 				return err
 			}

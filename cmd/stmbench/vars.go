@@ -43,6 +43,7 @@ type varsResult struct {
 // varsReport is the BENCH_vars.json document.
 type varsReport struct {
 	Note    string       `json:"note"`
+	Env     benchEnv     `json:"env"`
 	Results []varsResult `json:"results"`
 }
 
@@ -63,7 +64,7 @@ func runVars(quick bool) (varsReport, string) {
 	}
 
 	measure("VarLoadInt64", func(b *testing.B) {
-		m, _ := stm.New(16)
+		m, _ := benchNew(16)
 		v, _ := stm.Alloc(m, stm.Int64())
 		v.Store(42)
 		b.ReportAllocs()
@@ -74,7 +75,7 @@ func runVars(quick bool) (varsReport, string) {
 		}
 	})
 	measure("VarStoreStruct", func(b *testing.B) {
-		m, _ := stm.New(16)
+		m, _ := benchNew(16)
 		v, _ := stm.Alloc(m, benchPointCodec{})
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -83,7 +84,7 @@ func runVars(quick bool) (varsReport, string) {
 	})
 	measure("TxSetRMW2", func(b *testing.B) {
 		// The headline: reused TxSet over Var[int64] + 2-word struct var.
-		m, _ := stm.New(16)
+		m, _ := benchNew(16)
 		counter, _ := stm.Alloc(m, stm.Int64())
 		pt, _ := stm.Alloc(m, benchPointCodec{})
 		ts := stm.NewTxSet(m)
@@ -115,7 +116,7 @@ func runVars(quick bool) (varsReport, string) {
 
 	if !quick {
 		measure("VarUpdateInt64", func(b *testing.B) {
-			m, _ := stm.New(16)
+			m, _ := benchNew(16)
 			v, _ := stm.Alloc(m, stm.Int64())
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -123,7 +124,7 @@ func runVars(quick bool) (varsReport, string) {
 			}
 		})
 		measure("Atomic2OneShot", func(b *testing.B) {
-			m, _ := stm.New(16)
+			m, _ := benchNew(16)
 			a, _ := stm.Alloc(m, stm.Int64())
 			c, _ := stm.Alloc(m, stm.Int64())
 			b.ReportAllocs()
@@ -136,7 +137,7 @@ func runVars(quick bool) (varsReport, string) {
 			}
 		})
 		measure("TxSetRMWString", func(b *testing.B) {
-			m, _ := stm.New(16)
+			m, _ := benchNew(16)
 			name, _ := stm.Alloc(m, stm.String(16))
 			gen, _ := stm.Alloc(m, stm.Int64())
 			name.Store("service-a")
@@ -161,6 +162,7 @@ func runVars(quick bool) (varsReport, string) {
 	}
 
 	report := varsReport{
+		Env: currentBenchEnv(),
 		Note: "typed Var/TxSet suite (cmd/stmbench -suite vars); " +
 			"TxSetRMW2 is the prepared typed RMW headline and must stay 0 allocs/op",
 		Results: results,

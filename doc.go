@@ -4,12 +4,13 @@
 //
 // A Memory is a fixed-size vector of uint64 words supporting static
 // transactions: atomic multi-word updates whose data set (the set of word
-// addresses read and written) is declared up front. The implementation is
-// the paper's non-blocking cooperative protocol — per-word ownership
-// records acquired in increasing address order, with non-redundant helping
-// — so no transaction ever waits on a stalled peer: it completes the peer's
-// work instead. See DESIGN.md for the protocol and internal/core for the
-// engine.
+// addresses read and written) is declared up front. The default commit
+// engine is the paper's non-blocking cooperative protocol — per-word
+// ownership records acquired in increasing address order, with
+// non-redundant helping — so no transaction ever waits on a stalled peer:
+// it completes the peer's work instead. A TL2-style global-version-clock
+// engine is available as an alternative (see "Choosing an engine").
+// See DESIGN.md for the protocols and internal/core for the engines.
 //
 // # Quick start: typed variables
 //
@@ -118,6 +119,35 @@
 // CompareAndSwap, CompareAndSwapN, plus Tx.RunWhen for guarded updates.
 // Reserve raw regions from the same allocator with AllocWords so typed and
 // raw words never collide; VarAt overlays typed access on raw words.
+//
+// # Choosing an engine
+//
+// The commit protocol itself is pluggable per Memory (WithEngine). Two
+// engines ship; every layer above — typed, dynamic, stmds, contention
+// policies — runs unchanged, and at the same zero-allocation contract,
+// on either:
+//
+//   - stm.ST (the default) is the paper's cooperative-helping ownership
+//     protocol. Every attempt, including a pure read, acquires ownership
+//     of its whole data set; a blocked attempt helps its blocker to
+//     completion. No transaction ever waits on a preempted peer — the
+//     strongest liveness — at the cost of several atomic
+//     read-modify-writes per word even on reads.
+//   - stm.TL2 is a TL2/LSA-style global-version-clock protocol: reads
+//     are invisible (no ownership, validated against a clock sample),
+//     writes commit under short per-word locks, and read-only
+//     transactions commit with zero atomic read-modify-writes. On
+//     read-dominated workloads it is a multiple faster (see
+//     `stmbench -suite engines` / BENCH_engines.json); the trade is that
+//     a preempted committer briefly blocks conflicting writers, which
+//     retry under the contention policy instead of helping.
+//
+// Rule of thumb: reach for TL2 when reads dominate or scalability of
+// read paths matters; keep ST when worst-case progress under preemption
+// is the priority or when reproducing the paper's protocol is the point.
+// ParseEngine maps the selector strings ("st", "tl2") used by
+// `stmbench -engine`; Memory.Engine reports the choice. See DESIGN.md §11
+// for both protocols and the opacity argument.
 //
 // # Choosing a contention policy
 //

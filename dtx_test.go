@@ -625,6 +625,10 @@ func listNodeAt(tx *stm.DTx, k int) uint64 {
 }
 
 func TestDynamicLinkedListConservation(t *testing.T) {
+	forEachEngine(t, testDynamicLinkedListConservation)
+}
+
+func testDynamicLinkedListConservation(t *testing.T, eng stm.Engine) {
 	// Transfers pointer-chase to two list positions and move value between
 	// them while a rotator keeps restructuring the list (head to tail).
 	// The workload is dynamic through and through — every footprint depends
@@ -638,7 +642,7 @@ func TestDynamicLinkedListConservation(t *testing.T) {
 		transfers = 250
 		rotations = 150
 	)
-	m := mustNew(t, 2+2*nodes)
+	m := mustNewEngine(t, 2+2*nodes, eng)
 	base := func(i int) int { return 1 + 2*i }
 	for i := 0; i < nodes; i++ {
 		next := uint64(0)

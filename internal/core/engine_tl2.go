@@ -1,0 +1,223 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// The TL2/LSA-style engine: a global-version-clock protocol tuned for
+// read-mostly workloads.
+//
+// Reads are invisible: an attempt samples a read version rv from the global
+// clock and reads each data-set word with no ownership acquisition at all,
+// accepting a word only if its version stamp is ≤ rv, it is unlocked, and
+// the stamp is identical before and after the value load. A transaction
+// whose computed new values equal its old values (every pure read: Var.Load,
+// ReadAll, a guard-unmet RunWhen round, calcDyn's no-op arm) commits right
+// there — zero atomic read-modify-writes, the path the ST engine cannot
+// offer because it must CAS ownership of every word it even looks at.
+//
+// Writes are lazy: new values are computed into the record's private buffer,
+// and only the words whose value actually changes are locked (owner CAS, in
+// ascending address order — the same deadlock-freedom argument as ST's
+// acquire phase), validated, written back, and released. The write version
+// wv comes from the clock via a GV4-style "pass on failure" step: one CAS
+// attempt, and a loser adopts the winner's value instead of retrying — safe
+// because both hold their commit locks before touching the clock, and it
+// keeps the clock line from serializing concurrent commits into a CAS
+// convoy. A commit whose CAS moved the clock rv→rv+1 proved no other commit
+// intervened since its reads and skips validation entirely.
+//
+// The write-back order per word is stamp-then-install: version.Store(wv)
+// strictly before cell.Store(box). A concurrent invisible reader that sees
+// the new value therefore cannot see the old stamp (its post-read stamp
+// check finds wv), and one that sees the old stamp with the new value is
+// impossible; locks held across the whole install phase close the remaining
+// window (see DESIGN.md §11 for the full opacity argument).
+//
+// What TL2 gives up is ST's helping: a preempted lock holder briefly blocks
+// conflicting commits, which fail their attempts and defer to the
+// contention policy rather than completing the blocker's work. The
+// obstruction is bounded by the (short) lock→validate→write-back window,
+// and StableLoadBox waits it out with a yield loop.
+
+// tl2Engine implements Engine with the protocol above. The clock sits alone
+// on its own cache line so commit traffic on it never false-shares with the
+// memory pointer (or anything else).
+type tl2Engine struct {
+	m *Memory
+	_ [cacheLineSize - 8]byte
+
+	// clock is the global version clock: the serialization order of every
+	// writing commit. It only moves by CAS from a just-loaded value, so it
+	// is monotonic; readers sample it with a plain load.
+	clock atomic.Uint64
+	_     [cacheLineSize - 8]byte
+}
+
+func (e *tl2Engine) Kind() EngineKind { return EngineTL2 }
+
+// Attempt executes one TL2 attempt: invisible versioned reads, calc, then —
+// only if some word actually changes — lock, clock step, validate, write
+// back, release.
+func (e *tl2Engine) Attempt(rec *Rec, oldOut []uint64, info *ConflictInfo) bool {
+	m := e.m
+	k := len(rec.addrs)
+	old := rec.oldBuf[:k]
+	nv := rec.newBuf[:k]
+	rv := e.clock.Load()
+
+	// Invisible read phase: no ownership, no stores. A word is admitted
+	// only if its stamp is ≤ rv, it is unlocked, and the stamp did not move
+	// across the value load — writers stamp before installing, so a new
+	// value can never slip in under an old stamp.
+	for i, loc := range rec.addrs {
+		w := &m.words[loc]
+		v1 := w.version.Load()
+		if owner := w.owner.Load(); owner != nil {
+			return e.fail(rec, info, i, owner)
+		}
+		val := *w.cell.Load()
+		if w.version.Load() != v1 || v1 > rv {
+			return e.fail(rec, info, i, nil)
+		}
+		old[i] = val
+	}
+
+	rec.calc(rec.env, old, nv, true)
+
+	// Lazy write set: only words whose value changes are ever locked.
+	wr := rec.writeSet(k)
+	writes := 0
+	for i := range old {
+		wr[i] = nv[i] != old[i]
+		if wr[i] {
+			writes++
+		}
+	}
+	if writes == 0 {
+		// Pure read: every word held a version ≤ rv while unlocked, so the
+		// snapshot is the committed state at the rv sample — serialize
+		// there and commit without touching the clock or any lock.
+		if oldOut != nil {
+			copy(oldOut, old)
+		}
+		return true
+	}
+
+	// Lock the write set in ascending address order.
+	for i, loc := range rec.addrs {
+		if !wr[i] {
+			continue
+		}
+		w := &m.words[loc]
+		if !w.owner.CompareAndSwap(nil, rec) {
+			e.release(rec, wr, i)
+			return e.fail(rec, info, i, w.owner.Load())
+		}
+	}
+
+	// Clock step (GV4): one CAS; a loser adopts the winner's value rather
+	// than retrying, which is safe because every participant holds its
+	// locks before stepping the clock — any reader that samples the shared
+	// wv afterwards finds all of their words still locked.
+	wv := rv + 1
+	skipValidate := e.clock.CompareAndSwap(rv, wv)
+	if !skipValidate {
+		cur := e.clock.Load()
+		if e.clock.CompareAndSwap(cur, cur+1) {
+			wv = cur + 1
+		} else {
+			wv = e.clock.Load()
+		}
+
+		// Validate the snapshot against rv: read-only words must still be
+		// unlocked at a stamp ≤ rv; write-set words (locked by us) must
+		// not have been overwritten since our read. A clock step that
+		// moved rv→rv+1 proved no commit intervened and skipped this.
+		for i, loc := range rec.addrs {
+			w := &m.words[loc]
+			if wr[i] {
+				if w.version.Load() > rv {
+					e.release(rec, wr, k)
+					return e.fail(rec, info, i, nil)
+				}
+				continue
+			}
+			v := w.version.Load()
+			if owner := w.owner.Load(); owner != nil && owner != rec {
+				e.release(rec, wr, k)
+				return e.fail(rec, info, i, owner)
+			}
+			if v > rv {
+				e.release(rec, wr, k)
+				return e.fail(rec, info, i, nil)
+			}
+		}
+	}
+
+	// Write back: stamp wv, then install a fresh box — in that order, per
+	// word — holding every lock until all installs land so no reader can
+	// observe a partially installed write set through StableLoadBox.
+	for i, loc := range rec.addrs {
+		if !wr[i] {
+			continue
+		}
+		w := &m.words[loc]
+		w.version.Store(wv)
+		box := rec.carveBox()
+		*box = nv[i]
+		w.cell.Store(box)
+		rec.commitBox()
+	}
+	e.release(rec, wr, k)
+
+	if oldOut != nil {
+		copy(oldOut, old)
+	}
+	return true
+}
+
+// release frees the write-set locks among the first upto data-set words.
+func (e *tl2Engine) release(rec *Rec, wr []bool, upto int) {
+	for i := 0; i < upto; i++ {
+		if wr[i] {
+			e.m.words[rec.addrs[i]].owner.CompareAndSwap(rec, nil)
+		}
+	}
+}
+
+// fail charges the failed attempt to the word it died at and fills the
+// caller's conflict report. owner, when present, is read through atomics
+// only: it may already be recycled onto a later attempt, which yields
+// stale-but-safe advisory values, same as the ST engine's inspection.
+func (e *tl2Engine) fail(rec *Rec, info *ConflictInfo, idx int, owner *Rec) bool {
+	loc := rec.addrs[idx]
+	e.m.words[loc].conflicts.Add(1)
+	if info != nil {
+		*info = ConflictInfo{Index: idx, Addr: loc}
+		if owner != nil && owner != rec {
+			info.OwnerPresent = true
+			info.OwnerVersion = owner.version.Load()
+			info.OwnerPriority = owner.prio.Load()
+		}
+	}
+	return false
+}
+
+// StableLoadBox waits out the short commit-lock window instead of helping:
+// TL2 owners finish on their own, and the yield loop keeps the waiter off
+// the contended line. The cell double-check around the owner inspection is
+// the same argument as the ST engine's: published boxes are never reused,
+// so cell==box on both sides of an unlocked observation means the box was
+// the word's committed value throughout.
+func (e *tl2Engine) StableLoadBox(loc int) *uint64 {
+	w := &e.m.words[loc]
+	for {
+		box := w.cell.Load()
+		if w.owner.Load() == nil && w.cell.Load() == box {
+			return box
+		}
+		runtime.Gosched()
+	}
+}

@@ -44,19 +44,24 @@ func (e DupAddrError) Is(target error) bool {
 const cacheLineSize = 64
 
 // word is one transactional memory word: the value cell, its ownership
-// record, and its conflict counter, packed into a single cache line. A
-// transaction touching address i CASes the owner, loads the cell, and CASes
-// the cell — all on one line — and transactions on adjacent addresses never
-// false-share. The conflict counter rides the same line because it is only
-// bumped when an attempt fails at this word — a moment when the line is
-// already bouncing — so telemetry adds no new coherence traffic. The padding
-// is computed from the actual field sizes so the layout holds on 32-bit
-// platforms too. See DESIGN.md §3 for the layout rationale.
+// record, its TL2 version stamp, and its conflict counter, packed into a
+// single cache line. A transaction touching address i CASes the owner,
+// loads the cell, and CASes the cell — all on one line — and transactions
+// on adjacent addresses never false-share. The conflict counter rides the
+// same line because it is only bumped when an attempt fails at this word —
+// a moment when the line is already bouncing — and the version stamp rides
+// it because the TL2 engine always reads or writes it next to the cell.
+// The padding is computed from the actual field sizes so the layout holds
+// on 32-bit platforms too. See DESIGN.md §3 for the layout rationale.
 type word struct {
-	cell      atomic.Pointer[uint64]
-	owner     atomic.Pointer[Rec]
-	conflicts atomic.Uint64 // failed attempts whose acquisition died at this word
-	_         [cacheLineSize - (unsafe.Sizeof(atomic.Pointer[uint64]{})+unsafe.Sizeof(atomic.Pointer[Rec]{})+unsafe.Sizeof(atomic.Uint64{}))%cacheLineSize]byte
+	cell  atomic.Pointer[uint64]
+	owner atomic.Pointer[Rec]
+	// version is the TL2 engine's write stamp: the global-clock value of
+	// the commit that last installed this word's value. The ST engine
+	// never touches it (its version witness is the box pointer itself).
+	version   atomic.Uint64
+	conflicts atomic.Uint64 // failed attempts that died at this word
+	_         [cacheLineSize - (unsafe.Sizeof(atomic.Pointer[uint64]{})+unsafe.Sizeof(atomic.Pointer[Rec]{})+2*unsafe.Sizeof(atomic.Uint64{}))%cacheLineSize]byte
 }
 
 // Memory is a software transactional memory of fixed size: a vector of
@@ -66,19 +71,34 @@ type word struct {
 // Words are stored as pointers to immutable boxes so that pointer
 // CompareAndSwap provides LL/SC semantics (see package documentation).
 type Memory struct {
-	words []word
+	words  []word
+	engine Engine // commit protocol; see engine.go
 
 	versions atomic.Uint64 // attempt identity source (legacy path)
 	stats    Stats
 	pool     sync.Pool // of *Rec; see pool.go
 }
 
-// NewMemory returns a Memory of size words, all initialized to zero.
+// NewMemory returns a Memory of size words, all initialized to zero,
+// running the default Shavit–Touitou engine.
 func NewMemory(size int) (*Memory, error) {
+	return NewMemoryEngine(size, EngineST)
+}
+
+// NewMemoryEngine returns a Memory of size words, all initialized to zero,
+// whose transactions execute through the given commit engine. The engine is
+// fixed for the Memory's lifetime: every transaction on one Memory speaks
+// the same protocol.
+func NewMemoryEngine(size int, kind EngineKind) (*Memory, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("core: memory size must be positive, got %d", size)
 	}
 	m := &Memory{words: make([]word, size)}
+	eng, err := newEngine(kind, m)
+	if err != nil {
+		return nil, err
+	}
+	m.engine = eng
 	zero := new(uint64)
 	for i := range m.words {
 		// All cells may share one zero box: boxes are immutable.
@@ -86,6 +106,12 @@ func NewMemory(size int) (*Memory, error) {
 	}
 	return m, nil
 }
+
+// Engine returns the Memory's commit engine.
+func (m *Memory) Engine() Engine { return m.engine }
+
+// EngineKind returns the kind of the Memory's commit engine.
+func (m *Memory) EngineKind() EngineKind { return m.engine.Kind() }
 
 // Size returns the number of words in the memory.
 func (m *Memory) Size() int { return len(m.words) }
@@ -112,16 +138,21 @@ func (m *Memory) LoadBox(loc int) *uint64 { return m.words[loc].cell.Load() }
 
 // StableLoadBox is LoadBox restricted to committed states: the returned
 // box was loc's current value at an instant when no transaction owned the
-// word — and since a multi-word commit holds ownership of its entire data
-// set from before its first install until after its last, that instant
-// cannot fall inside anyone's install phase. The double-check is sound
-// because published boxes are never reused: cell==box before and after the
-// owner check means the cell held box throughout. When a word is found
-// owned, the caller helps the owner to completion (the protocol's
-// non-blocking answer to every stall) and re-inspects. Dynamic
-// transactions build their speculative snapshot reads on this; see
-// DESIGN.md §9's opacity argument.
-func (m *Memory) StableLoadBox(loc int) *uint64 {
+// word — and since a multi-word commit holds ownership (ST) or its commit
+// locks (TL2) on its entire install set from before its first install
+// until after its last, that instant cannot fall inside anyone's install
+// phase. The double-check is sound because published boxes are never
+// reused: cell==box before and after the owner check means the cell held
+// box throughout. How an owned word is waited out is engine-specific: the
+// ST engine helps the owner to completion (the protocol's non-blocking
+// answer to every stall), the TL2 engine yields until the short commit
+// lock is released. Dynamic transactions build their speculative snapshot
+// reads on this; see DESIGN.md §9's opacity argument.
+func (m *Memory) StableLoadBox(loc int) *uint64 { return m.engine.StableLoadBox(loc) }
+
+// stStableLoadBox is the ST engine's StableLoadBox: an observed stable
+// owner is helped to completion before re-inspecting.
+func (m *Memory) stStableLoadBox(loc int) *uint64 {
 	w := &m.words[loc]
 	for {
 		box := w.cell.Load()
@@ -219,13 +250,10 @@ func (m *Memory) TryOnceValidated(addrs []int, f UpdateFunc) (old []uint64, ok b
 	rec := newRec(addrs, f, m.versions.Add(1))
 	m.stats.attempt(rec.shard)
 
-	rec.stable.Store(true)
-	m.transaction(rec, true)
-	rec.stable.Store(false)
-
-	if rec.Succeeded() {
+	out := make([]uint64, len(addrs))
+	if m.attempt(rec, out, nil) {
 		m.stats.commit(rec.shard)
-		return rec.snapshot(), true
+		return out, true
 	}
 	m.stats.failure(rec.shard)
 	return nil, false

@@ -107,31 +107,19 @@ type ConflictInfo struct {
 
 // RunAttemptConflict is RunAttempt with conflict telemetry: on failure it
 // fills info (which may be nil to skip the inspection) before the record is
-// recycled. On success info is left untouched.
+// recycled. On success info is left untouched. The attempt itself — how the
+// data set is read, validated, and installed — is the Memory's engine's
+// protocol; this wrapper owns what every engine shares: stats counting and
+// record recycling.
 func (m *Memory) RunAttemptConflict(rec *Rec, calc CalcFunc, oldOut []uint64, info *ConflictInfo) bool {
 	rec.calc = calc
 	m.stats.attempt(rec.shard)
 
-	// Unseal only now: between Begin and here the caller was writing addrs
-	// and env, and the seal kept any stale helper (still holding this
-	// record's pointer from a previous attempt) from acting on the
-	// half-armed state.
-	rec.sealed.Store(false)
-	rec.stable.Store(true)
-	m.transaction(rec, true)
-	rec.stable.Store(false)
-
-	ok := rec.Succeeded()
+	ok := m.attempt(rec, oldOut, info)
 	if ok {
 		m.stats.commit(rec.shard)
-		if oldOut != nil {
-			rec.snapshotInto(oldOut)
-		}
 	} else {
 		m.stats.failure(rec.shard)
-		if info != nil {
-			m.fillConflict(rec, info)
-		}
 	}
 	m.recycle(rec)
 	return ok

@@ -125,6 +125,11 @@ type Rec struct {
 	boxes   []uint64
 	boxOff  int
 
+	// wrBuf marks the TL2 engine's write set (wrBuf[i]: new[i] != old[i]).
+	// It is private to the attempt — TL2 has no helpers — and sized lazily
+	// because the ST engine never needs it.
+	wrBuf []bool
+
 	pooled bool // carved from Memory.pool; sized for reuse
 	shard  int  // stats shard, fixed at record creation
 }
@@ -241,6 +246,16 @@ func (r *Rec) carveBox() *uint64 {
 }
 
 func (r *Rec) commitBox() { r.boxOff++ }
+
+// writeSet returns the record's k-entry write-set marker buffer, growing it
+// on first use (amortized to zero across pool recycles, like the value
+// buffers).
+func (r *Rec) writeSet(k int) []bool {
+	if cap(r.wrBuf) < k {
+		r.wrBuf = make([]bool, k)
+	}
+	return r.wrBuf[:k]
+}
 
 // snapshotInto copies the agreed old values into out. It must only be
 // called once the record's status is Success and the agreement phase has

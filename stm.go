@@ -60,6 +60,7 @@ type Option func(*config)
 
 type config struct {
 	policy contention.Policy
+	engine Engine
 }
 
 // WithPolicy selects the contention-management policy for the Memory. The
@@ -86,13 +87,13 @@ func WithPolicyFactory(factory func() contention.Policy) Option {
 
 // New returns a Memory of size words, all zero, configured by opts.
 func New(size int, opts ...Option) (*Memory, error) {
-	eng, err := core.NewMemory(size)
-	if err != nil {
-		return nil, err
-	}
 	var cfg config
 	for _, opt := range opts {
 		opt(&cfg)
+	}
+	eng, err := core.NewMemoryEngine(size, cfg.engine)
+	if err != nil {
+		return nil, err
 	}
 	if cfg.policy == nil {
 		cfg.policy = contention.Default()
@@ -139,14 +140,18 @@ func (m *Memory) Stats() core.StatsSnapshot { return m.eng.Stats() }
 // read rates per window instead of monotonic totals.
 func (m *Memory) ResetStats() { m.eng.ResetStats() }
 
-// ConflictCount returns the number of failed attempts whose ownership
-// acquisition died at loc since construction or the last ResetStats — the
+// ConflictCount returns the number of failed attempts that died at loc (an
+// ownership or commit-lock conflict, or a failed read validation, depending
+// on the engine) since construction or the last ResetStats — the
 // per-word conflict telemetry feeding contention policies. A hot word is
 // one whose count grows fastest.
 func (m *Memory) ConflictCount(loc int) uint64 { return m.eng.ConflictCount(loc) }
 
 // Policy returns the Memory's contention-management policy.
 func (m *Memory) Policy() contention.Policy { return m.pol }
+
+// Engine returns the commit protocol this Memory was built with.
+func (m *Memory) Engine() Engine { return m.eng.EngineKind() }
 
 // AtomicUpdate applies f to the words at addrs as one static transaction,
 // retrying under the contention policy until it commits. It returns the old

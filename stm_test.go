@@ -18,6 +18,24 @@ func mustNew(t *testing.T, size int) *stm.Memory {
 	return m
 }
 
+func mustNewEngine(t *testing.T, size int, eng stm.Engine) *stm.Memory {
+	t.Helper()
+	m, err := stm.New(size, stm.WithEngine(eng))
+	if err != nil {
+		t.Fatalf("New(%d, WithEngine(%v)): %v", size, eng, err)
+	}
+	return m
+}
+
+// forEachEngine runs f as a subtest per commit engine, so the concurrent
+// harnesses (conservation, linearizability — the ones meant for -race)
+// exercise every protocol, not just the default.
+func forEachEngine(t *testing.T, f func(t *testing.T, eng stm.Engine)) {
+	for _, e := range stm.Engines() {
+		t.Run("engine="+e.String(), func(t *testing.T) { f(t, e) })
+	}
+}
+
 func TestNewErrors(t *testing.T) {
 	if _, err := stm.New(0); err == nil {
 		t.Error("New(0): want error")

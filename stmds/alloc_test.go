@@ -134,6 +134,50 @@ func TestAllocsTxForms(t *testing.T) {
 	})
 }
 
+// TestAllocsTL2Map pins the structure hot path on the TL2 engine: map
+// put/get on a settled table must be allocation-free there too, so engine
+// choice never costs a structure its zero-allocation contract. Get rides
+// TL2's read-only commit (no clock step, no lock), Put its short locking
+// commit; both must stay off the heap with telemetry on.
+func TestAllocsTL2Map(t *testing.T) {
+	m, err := stm.New(1<<14, stm.WithEngine(stm.TL2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := mustMap(t, m, 256)
+	for i := int64(0); i < 128; i++ {
+		if _, _, err := mp.Put(i, i*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertAllocs(t, "TL2/Map.Get hit", 0, func() {
+		if v, ok := mp.Get(64); !ok || v != 192 {
+			t.Fatal("wrong value")
+		}
+	})
+	assertAllocs(t, "TL2/Map.Get miss", 0, func() {
+		if _, ok := mp.Get(9999); ok {
+			t.Fatal("phantom hit")
+		}
+	})
+	assertAllocs(t, "TL2/Map.Put overwrite", 0, func() {
+		if _, _, err := mp.Put(64, 192); err != nil {
+			t.Fatal(err)
+		}
+	})
+	assertAllocs(t, "TL2/Map.Put+Delete", 0, func() {
+		if _, _, err := mp.Put(500, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := mp.Delete(500); !ok {
+			t.Fatal("delete missed")
+		}
+	})
+	if m.Stats().Commits == 0 {
+		t.Error("telemetry disabled? no commits counted")
+	}
+}
+
 // Compile-time check that Set rides Map's no-value-words mode without its
 // own allocation surface worth pinning separately.
 var _ = stmds.SetWords[int64]

@@ -17,7 +17,30 @@ import (
 	"github.com/stm-go/stm/stmds"
 )
 
+// mustMemEngine and forEachEngine run each linearizability harness once per
+// commit engine: the histories (meant for -race) are the strongest evidence
+// the repo has that a protocol's commits really are atomic, so every engine
+// gets checked, not just the default.
+func mustMemEngine(t *testing.T, words int, eng stm.Engine) *stm.Memory {
+	t.Helper()
+	m, err := stm.New(words, stm.WithEngine(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func forEachEngine(t *testing.T, f func(t *testing.T, eng stm.Engine)) {
+	for _, e := range stm.Engines() {
+		t.Run("engine="+e.String(), func(t *testing.T) { f(t, e) })
+	}
+}
+
 func TestMapLinearizable(t *testing.T) {
+	forEachEngine(t, testMapLinearizable)
+}
+
+func testMapLinearizable(t *testing.T, eng stm.Engine) {
 	// Concurrent put/get/delete on one key, checked as a presence/value
 	// register. The map is seeded tiny and a churn key keeps a resize in
 	// flight during some rounds, so migration is covered too.
@@ -27,7 +50,7 @@ func TestMapLinearizable(t *testing.T) {
 		opsPer  = 4
 	)
 	for round := 0; round < rounds; round++ {
-		m := mustMem(t, 1<<12)
+		m := mustMemEngine(t, 1<<12, eng)
 		mp, err := stmds.NewMap[int64, int64](m, stm.Int64(), stm.Int64(), 0)
 		if err != nil {
 			t.Fatal(err)
@@ -91,6 +114,10 @@ func TestMapLinearizable(t *testing.T) {
 }
 
 func TestQueueLinearizable(t *testing.T) {
+	forEachEngine(t, testQueueLinearizable)
+}
+
+func testQueueLinearizable(t *testing.T, eng stm.Engine) {
 	// Concurrent TryPut/TryTake histories checked against the bounded
 	// FIFO specification.
 	const (
@@ -100,7 +127,7 @@ func TestQueueLinearizable(t *testing.T) {
 		qcap    = 4
 	)
 	for round := 0; round < rounds; round++ {
-		m := mustMem(t, 64)
+		m := mustMemEngine(t, 64, eng)
 		q, err := stmds.NewQueue[int64](m, stm.Int64(), qcap)
 		if err != nil {
 			t.Fatal(err)
@@ -142,11 +169,15 @@ func TestQueueLinearizable(t *testing.T) {
 }
 
 func TestPQLinearizableDrain(t *testing.T) {
+	forEachEngine(t, testPQLinearizableDrain)
+}
+
+func testPQLinearizableDrain(t *testing.T, eng stm.Engine) {
 	// The heap's global ordering claim, checked without the exponential
 	// search: after any concurrent prefix, a single-threaded drain must
 	// come out sorted by priority.
 	const workers = 3
-	m := mustMem(t, 1<<10)
+	m := mustMemEngine(t, 1<<10, eng)
 	pq, err := stmds.NewPQ[int64](m, stm.Int64(), 64)
 	if err != nil {
 		t.Fatal(err)

@@ -551,13 +551,17 @@ func TestAtomicN(t *testing.T) {
 // concurrent auditor snapshots all vars through its own TxSet and checks
 // the invariant at every linearization point it observes.
 func TestTypedTransfersConserveTotal(t *testing.T) {
+	forEachEngine(t, testTypedTransfersConserveTotal)
+}
+
+func testTypedTransfersConserveTotal(t *testing.T, eng stm.Engine) {
 	const (
 		accounts  = 6
 		initial   = 1_000
 		transfers = 1_500
 		workers   = 4
 	)
-	m := mustNew(t, 64)
+	m := mustNewEngine(t, 64, eng)
 	accs := make([]*stm.Var[int64], accounts)
 	for i := range accs {
 		v, err := stm.Alloc(m, stm.Int64())
