@@ -144,12 +144,17 @@ func (e *tl2Engine) Attempt(rec *Rec, oldOut []uint64, info *ConflictInfo) bool 
 				}
 				continue
 			}
-			v := w.version.Load()
+			// Owner check strictly before the version load: a conflicting
+			// commit that locks after observing owner==nil here carries a
+			// clock stamp that postdates our rv sample, so the version load
+			// below sees wv > rv and rejects it. Loading version first would
+			// let a full lock→stamp→install→release cycle slip between the
+			// two loads and pass with a stale stamp ≤ rv.
 			if owner := w.owner.Load(); owner != nil && owner != rec {
 				e.release(rec, wr, k)
 				return e.fail(rec, info, i, owner)
 			}
-			if v > rv {
+			if w.version.Load() > rv {
 				e.release(rec, wr, k)
 				return e.fail(rec, info, i, nil)
 			}

@@ -218,3 +218,67 @@ func TestTL2ConcurrentAddsConserve(t *testing.T) {
 		t.Errorf("attempts=%d != commits=%d + failures=%d", st.Attempts, st.Commits, st.Failures)
 	}
 }
+
+func TestTL2ReadOnlyValidationSnapshot(t *testing.T) {
+	// Regression stress for the post-lock validation of read-only words.
+	// Writers keep words 0 and 1 equal (incrementing both in one
+	// transaction); mixers read both words without writing them and bump a
+	// sink word by 1+(x-y). Every consistent snapshot has x==y, so the sink
+	// must end at exactly the number of mixer commits. Validation that
+	// loads a read-only word's version before its owner can admit a stale
+	// snapshot from a full writer commit landing between the two loads,
+	// and the sink drifts by the torn x-y difference.
+	const (
+		writers = 4
+		mixers  = 4
+		ops     = 5_000
+	)
+	m, _ := newTL2(t, 3)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			delta := uint64(w + 1)
+			for i := 0; i < ops; i++ {
+				for {
+					rec := m.Begin(2)
+					copy(rec.Addrs(), []int{0, 1})
+					if m.RunAttempt(rec, func(_ any, old, new []uint64, _ bool) {
+						new[0], new[1] = old[0]+delta, old[1]+delta
+					}, nil) {
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	commits := make([]uint64, mixers)
+	for w := 0; w < mixers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				for {
+					rec := m.Begin(3)
+					copy(rec.Addrs(), []int{0, 1, 2})
+					if m.RunAttempt(rec, func(_ any, old, new []uint64, _ bool) {
+						new[0], new[1] = old[0], old[1]
+						new[2] = old[2] + 1 + (old[0] - old[1])
+					}, nil) {
+						commits[w]++
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var want uint64
+	for _, c := range commits {
+		want += c
+	}
+	if got := m.Peek(2); got != want {
+		t.Errorf("sink = %d, want %d: a mixed snapshot passed read-only validation", got, want)
+	}
+}
