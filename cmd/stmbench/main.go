@@ -13,6 +13,7 @@
 //	stmbench -suite dyn -json BENCH_dynamic.json      # dynamic Atomically suite
 //	stmbench -suite ds -json BENCH_ds.json            # data-structures Synchrobench sweep
 //	stmbench -suite engines -json BENCH_engines.json  # ST vs TL2 head-to-head sweep
+//	stmbench -suite obs -json BENCH_obs.json          # observability-seam overhead suite
 //	stmbench -engine tl2 -suite hot                   # any host suite on the TL2 engine
 //	stmbench -suite hot -baseline BENCH_hotpath.json  # regression gate vs committed numbers
 //
@@ -60,7 +61,7 @@ func run(args []string, out *os.File) error {
 		seed     = fs.Uint64("seed", 0, "override random seed")
 		csvDir   = fs.String("csv", "", "directory to write per-experiment CSV files")
 		jsonOut  = fs.String("json", "", "write the host suite's JSON report (HOT by default; CONT/VARS/DYN with -suite) to this path")
-		suite    = fs.String("suite", "", `host suite to run ("hot", "cont", "vars", "dyn", "ds", or "engines"); overrides -exp`)
+		suite    = fs.String("suite", "", `host suite to run ("hot", "cont", "vars", "dyn", "ds", "engines", or "obs"); overrides -exp`)
 		engine   = fs.String("engine", "st", `commit engine for the host suites ("st", "tl2"); the simulator experiments always model the paper's protocol`)
 		baseline = fs.String("baseline", "", "committed BENCH_*.json to gate the host suite against (allocs strict; see -maxslow)")
 		maxSlow  = fs.Float64("maxslow", 0, "with -baseline, also fail benchmarks slower than this ratio of the baseline ns/op (0 = report only)")
@@ -106,8 +107,10 @@ func run(args []string, out *os.File) error {
 			ids = []string{"DS"}
 		case "engines", "eng":
 			ids = []string{"ENG"}
+		case "obs":
+			ids = []string{"OBS"}
 		default:
-			return fmt.Errorf("unknown suite %q (want hot, cont, vars, dyn, ds, or engines)", *suite)
+			return fmt.Errorf("unknown suite %q (want hot, cont, vars, dyn, ds, engines, or obs)", *suite)
 		}
 	case *exp != "all":
 		ids = []string{strings.ToUpper(*exp)}
@@ -116,14 +119,14 @@ func run(args []string, out *os.File) error {
 		// simulator sweep along unless an experiment was asked for.
 		ids = nil
 	}
-	if *jsonOut != "" && !slices.Contains(ids, "HOT") && !slices.Contains(ids, "CONT") && !slices.Contains(ids, "VARS") && !slices.Contains(ids, "DYN") && !slices.Contains(ids, "DS") && !slices.Contains(ids, "ENG") {
+	if *jsonOut != "" && !slices.Contains(ids, "HOT") && !slices.Contains(ids, "CONT") && !slices.Contains(ids, "VARS") && !slices.Contains(ids, "DYN") && !slices.Contains(ids, "DS") && !slices.Contains(ids, "ENG") && !slices.Contains(ids, "OBS") {
 		// -json always delivers its file, whatever experiments run with it.
 		ids = append(ids, "HOT")
 	}
-	if *baseline != "" && !slices.Contains(ids, "HOT") && !slices.Contains(ids, "VARS") && !slices.Contains(ids, "DYN") && !slices.Contains(ids, "DS") && !slices.Contains(ids, "ENG") {
+	if *baseline != "" && !slices.Contains(ids, "HOT") && !slices.Contains(ids, "VARS") && !slices.Contains(ids, "DYN") && !slices.Contains(ids, "DS") && !slices.Contains(ids, "ENG") && !slices.Contains(ids, "OBS") {
 		// Never let a regression gate silently not run: the flag only
 		// means something for the host suites with per-benchmark results.
-		return fmt.Errorf("-baseline requires a host suite with per-benchmark results (-suite hot, vars, dyn, ds, or engines)")
+		return fmt.Errorf("-baseline requires a host suite with per-benchmark results (-suite hot, vars, dyn, ds, engines, or obs)")
 	}
 
 	// deliver writes a host suite's JSON report (when -json asked for it)
@@ -207,6 +210,18 @@ func run(args []string, out *os.File) error {
 			report, table := runEngines(*quick)
 			fmt.Fprintln(out, table)
 			data, err := enginesJSON(report)
+			if err != nil {
+				return err
+			}
+			if err := deliver(data); err != nil {
+				return err
+			}
+			continue
+		}
+		if id == "OBS" {
+			report, table := runObs(*quick)
+			fmt.Fprintln(out, table)
+			data, err := obsJSON(report)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,228 @@
+package main
+
+// The OBS suite: what the observability seam costs, emitted as
+// BENCH_obs.json. The same single-threaded micros as the engine gate run at
+// every observability level — off (the default; the hooks must be one
+// predicted branch), counters (taxonomy + event delivery to a registered
+// observer), hist (latency and set-size histograms on the coarse ticks
+// source), and trace (1-in-N sampled per-transaction traces into a ring) —
+// on both commit engines.
+//
+// `results` is the gate surface, compatible with the -baseline comparator:
+// allocs/op is deterministic and must stay 0 for the off, counters, and
+// hist rows (trace amortizes its per-sample allocations over SampleEvery
+// transactions, so its integer allocs/op must stay 0 too). `headlines`
+// condenses wall-clock into per-engine geometric-mean overhead ratios vs
+// the off rows — <engine>_<mode>_overhead is what DESIGN.md §12 quotes, and
+// counters must stay within a few percent of off.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	stm "github.com/stm-go/stm"
+	"github.com/stm-go/stm/stmds"
+	"github.com/stm-go/stm/stmobs"
+)
+
+// obsReport is the BENCH_obs.json document.
+type obsReport struct {
+	Note      string             `json:"note"`
+	Env       benchEnv           `json:"env"`
+	Results   []varsResult       `json:"results"`
+	Headlines map[string]float64 `json:"headlines"`
+}
+
+// obsModes are the observability levels under measurement, in gate order.
+// observe returns the config to install, or ok=false for the off row (no
+// Observe call at all — the constructor default the hooks are gated on).
+var obsModes = []struct {
+	name    string
+	observe func() (stm.ObsConfig, bool)
+}{
+	{"off", func() (stm.ObsConfig, bool) { return stm.ObsConfig{}, false }},
+	{"counters", func() (stm.ObsConfig, bool) {
+		return stm.ObsConfig{Level: stm.ObsCounters, Observer: &stmobs.EventCounter{}}, true
+	}},
+	{"hist", func() (stm.ObsConfig, bool) {
+		return stm.ObsConfig{Level: stm.ObsHistograms, Observer: &stmobs.EventCounter{}}, true
+	}},
+	{"trace", func() (stm.ObsConfig, bool) {
+		return stm.ObsConfig{
+			Level:       stm.ObsTrace,
+			Observer:    stmobs.NewRingTracer(64),
+			SampleEvery: stm.DefaultSampleEvery,
+		}, true
+	}},
+}
+
+// obsNew builds the benchmark Memory: the requested engine with the mode's
+// observability configuration installed before first use.
+func obsNew(b *testing.B, size int, eng stm.Engine, mode int) *stm.Memory {
+	m, err := stm.New(size, stm.WithEngine(eng))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if cfg, ok := obsModes[mode].observe(); ok {
+		m.Observe(cfg)
+	}
+	return m
+}
+
+// The micros mirror the engine-gate surface (engines.go) so the overhead
+// ratios compose with the head-to-head numbers: a 1-word RMW commit, an
+// 8-word read-only transaction, and a dynamic-transaction map hit.
+func obsMicros(eng stm.Engine, mode int) []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"Add", func(b *testing.B) {
+			m := obsNew(b, 4, eng, mode)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.Add(0, 1)
+			}
+		}},
+		{"ReadAllInto8", func(b *testing.B) {
+			m := obsNew(b, 8, eng, mode)
+			addrs := make([]int, 8)
+			for i := range addrs {
+				addrs[i] = i
+			}
+			dst := make([]uint64, 8)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := m.ReadAllInto(addrs, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"MapGetHit", func(b *testing.B) {
+			m := obsNew(b, 1<<14, eng, mode)
+			mp, err := stmds.NewMap[int64, int64](m, stm.Int64(), stm.Int64(), 256)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := int64(0); i < 128; i++ {
+				if _, _, err := mp.Put(i, i*3); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if v, ok := mp.Get(64); !ok || v != 192 {
+					b.Fatal("wrong value")
+				}
+			}
+		}},
+	}
+}
+
+// runObs measures the observer-overhead suite. quick drops the 8-word read
+// micro and the repetitions, keeping every mode and engine — the overhead
+// ratios are the acceptance surface, so no level is skipped.
+func runObs(quick bool) (obsReport, string) {
+	var results []varsResult
+	// ns[engine/mode/micro] feeds the overhead headlines.
+	ns := make(map[string]float64)
+
+	// The overhead ratios divide two measurements of nearly identical code,
+	// so scheduler noise dominates a single testing.Benchmark run. Take the
+	// fastest of a few repetitions: the minimum is the run with the least
+	// interference, and the allocation counts are identical across runs.
+	reps := 3
+	if quick {
+		reps = 1
+	}
+	for _, eng := range stm.Engines() {
+		for mode := range obsModes {
+			for _, mc := range obsMicros(eng, mode) {
+				if quick && mc.name == "ReadAllInto8" {
+					continue
+				}
+				name := eng.String() + "/" + obsModes[mode].name + "/" + mc.name
+				r := testing.Benchmark(mc.fn)
+				nsOp := float64(r.T.Nanoseconds()) / float64(r.N)
+				for i := 1; i < reps; i++ {
+					rr := testing.Benchmark(mc.fn)
+					if v := float64(rr.T.Nanoseconds()) / float64(rr.N); v < nsOp {
+						nsOp = v
+					}
+				}
+				ns[name] = nsOp
+				results = append(results, varsResult{
+					Name:        name,
+					NsPerOp:     nsOp,
+					BytesPerOp:  r.AllocedBytesPerOp(),
+					AllocsPerOp: r.AllocsPerOp(),
+					Iterations:  r.N,
+				})
+			}
+		}
+	}
+
+	// Headlines: per engine and mode, the geometric mean over the micros of
+	// ns(mode)/ns(off). 1.00 = free; the off rows themselves are gated only
+	// through -baseline (they must not drift vs the hooks-free seed).
+	headlines := make(map[string]float64)
+	for _, eng := range stm.Engines() {
+		for mode := 1; mode < len(obsModes); mode++ {
+			logSum, n := 0.0, 0
+			for _, mc := range obsMicros(eng, mode) {
+				off, okOff := ns[eng.String()+"/off/"+mc.name]
+				on, okOn := ns[eng.String()+"/"+obsModes[mode].name+"/"+mc.name]
+				if !okOff || !okOn || off <= 0 {
+					continue
+				}
+				logSum += math.Log(on / off)
+				n++
+			}
+			if n > 0 {
+				headlines[eng.String()+"_"+obsModes[mode].name+"_overhead"] = math.Exp(logSum / float64(n))
+			}
+		}
+	}
+
+	report := obsReport{
+		Note: "observability-seam overhead (cmd/stmbench -suite obs); results are the gated " +
+			"per-engine-per-level micros (allocs/op must stay 0 at every level), headlines the " +
+			"geomean ns ratio of each level vs off per engine (counters must stay within a few " +
+			"percent of 1.0)",
+		Env:       currentBenchEnv(),
+		Results:   results,
+		Headlines: headlines,
+	}
+
+	var sb strings.Builder
+	sb.WriteString("OBS: observability-seam overhead (single-threaded micros)\n")
+	fmt.Fprintf(&sb, "%-26s %12s %10s %12s\n", "micro", "ns/op", "B/op", "allocs/op")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%-26s %12.1f %10d %12d\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	sb.WriteString("\noverhead vs off (geomean over micros)\n")
+	for _, eng := range stm.Engines() {
+		for mode := 1; mode < len(obsModes); mode++ {
+			key := eng.String() + "_" + obsModes[mode].name + "_overhead"
+			if v, ok := headlines[key]; ok {
+				fmt.Fprintf(&sb, "%-26s %11.3fx\n", key, v)
+			}
+		}
+	}
+	return report, sb.String()
+}
+
+// obsJSON marshals the report for -json output.
+func obsJSON(rep obsReport) ([]byte, error) {
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -149,6 +149,28 @@
 // `stmbench -engine`; Memory.Engine reports the choice. See DESIGN.md §11
 // for both protocols and the opacity argument.
 //
+// # Observing a Memory
+//
+// Every Memory carries an observability seam (Observe, Stats,
+// DebugString) that costs one predicted branch per hook site while off —
+// the default — and zero allocations at every level when on. ObsCounters
+// adds a per-engine abort taxonomy to Stats (ST: ownership conflicts vs
+// helping-induced aborts; TL2: read vs lock vs validate failures, plus
+// read-only commits and clock-race telemetry) and delivers attempt
+// events to a registered Observer. ObsHistograms adds commit/abort
+// latency and set-size histograms on a coarse-ticks source (no time.Now
+// on the attempt path; see TickInterval for the precision contract).
+// ObsTrace samples 1-in-SampleEvery per-transaction traces:
+//
+//	tracer := stmobs.NewRingTracer(256)
+//	m.Observe(stm.ObsConfig{Level: stm.ObsTrace, Observer: tracer, SampleEvery: 1024})
+//	stmobs.Publish("stm", m) // live snapshot at /debug/vars
+//
+// The stmobs subpackage holds the export surfaces — expvar publisher,
+// ring tracer, event counters, pprof label tagging — and `stmbench
+// -suite obs` tracks what each level costs (BENCH_obs.json). See
+// DESIGN.md §12.
+//
 // # Choosing a contention policy
 //
 // How a transaction defers its retries is pluggable per Memory

@@ -112,6 +112,7 @@ func (e *stEngine) Kind() EngineKind { return EngineST }
 // help. Failed attempts have helped their blocker before returning.
 func (e *stEngine) Attempt(rec *Rec, oldOut []uint64, info *ConflictInfo) bool {
 	m := e.m
+	lvl := m.obsLevel()
 
 	// Unseal only now: between Begin and here the caller was writing addrs
 	// and env, and the seal kept any stale helper (still holding this
@@ -123,10 +124,28 @@ func (e *stEngine) Attempt(rec *Rec, oldOut []uint64, info *ConflictInfo) bool {
 	rec.stable.Store(false)
 
 	if rec.Succeeded() {
+		if lvl != ObsOff {
+			// ST installs its whole data set, so the write set is the data
+			// set; the ownership acquisition is the protocol's lock phase.
+			rec.obsWrites = len(rec.addrs)
+			m.obsEmit(rec, EvLock, -1, len(rec.addrs))
+		}
 		if oldOut != nil {
 			rec.snapshotInto(oldOut)
 		}
 		return true
+	}
+	// Taxonomy: every ST failure is an ownership conflict; the two
+	// sub-reasons split on whether this attempt's failure path executed
+	// the blocker's protocol (rec.obsHelped, set by m.transaction).
+	addr := -1
+	if idx, failed := rec.FailedIndex(); failed {
+		addr = rec.addrs[idx]
+	}
+	if rec.obsHelped {
+		rec.obsFail(ReasonSTHelped, addr)
+	} else {
+		rec.obsFail(ReasonSTConflict, addr)
 	}
 	if info != nil {
 		m.fillConflict(rec, info)

@@ -66,6 +66,7 @@ func (e *tl2Engine) Attempt(rec *Rec, oldOut []uint64, info *ConflictInfo) bool 
 	old := rec.oldBuf[:k]
 	nv := rec.newBuf[:k]
 	rv := e.clock.Load()
+	lvl := m.obsLevel()
 
 	// Invisible read phase: no ownership, no stores. A word is admitted
 	// only if its stamp is ≤ rv, it is unlocked, and the stamp did not move
@@ -75,13 +76,16 @@ func (e *tl2Engine) Attempt(rec *Rec, oldOut []uint64, info *ConflictInfo) bool 
 		w := &m.words[loc]
 		v1 := w.version.Load()
 		if owner := w.owner.Load(); owner != nil {
-			return e.fail(rec, info, i, owner)
+			return e.fail(rec, info, i, owner, ReasonTL2Read)
 		}
 		val := *w.cell.Load()
 		if w.version.Load() != v1 || v1 > rv {
-			return e.fail(rec, info, i, nil)
+			return e.fail(rec, info, i, nil, ReasonTL2Read)
 		}
 		old[i] = val
+	}
+	if lvl != ObsOff {
+		m.obsEmit(rec, EvReadSet, -1, -1)
 	}
 
 	rec.calc(rec.env, old, nv, true)
@@ -99,6 +103,10 @@ func (e *tl2Engine) Attempt(rec *Rec, oldOut []uint64, info *ConflictInfo) bool 
 		// Pure read: every word held a version ≤ rv while unlocked, so the
 		// snapshot is the committed state at the rv sample — serialize
 		// there and commit without touching the clock or any lock.
+		if lvl != ObsOff {
+			rec.obsWrites = 0
+			m.stats.shards[rec.shard].tl2ReadOnly.Add(1)
+		}
 		if oldOut != nil {
 			copy(oldOut, old)
 		}
@@ -113,8 +121,12 @@ func (e *tl2Engine) Attempt(rec *Rec, oldOut []uint64, info *ConflictInfo) bool 
 		w := &m.words[loc]
 		if !w.owner.CompareAndSwap(nil, rec) {
 			e.release(rec, wr, i)
-			return e.fail(rec, info, i, w.owner.Load())
+			return e.fail(rec, info, i, w.owner.Load(), ReasonTL2Lock)
 		}
+	}
+	if lvl != ObsOff {
+		rec.obsWrites = writes
+		m.obsEmit(rec, EvLock, -1, writes)
 	}
 
 	// Clock step (GV4): one CAS; a loser adopts the winner's value rather
@@ -125,10 +137,19 @@ func (e *tl2Engine) Attempt(rec *Rec, oldOut []uint64, info *ConflictInfo) bool 
 	skipValidate := e.clock.CompareAndSwap(rv, wv)
 	if !skipValidate {
 		cur := e.clock.Load()
+		adopted := false
 		if e.clock.CompareAndSwap(cur, cur+1) {
 			wv = cur + 1
 		} else {
 			wv = e.clock.Load()
+			adopted = true
+		}
+		if lvl != ObsOff {
+			sh := &m.stats.shards[rec.shard]
+			sh.tl2ClockRace.Add(1)
+			if adopted {
+				sh.tl2ClockAdopt.Add(1)
+			}
 		}
 
 		// Validate the snapshot against rv: read-only words must still be
@@ -140,7 +161,7 @@ func (e *tl2Engine) Attempt(rec *Rec, oldOut []uint64, info *ConflictInfo) bool 
 			if wr[i] {
 				if w.version.Load() > rv {
 					e.release(rec, wr, k)
-					return e.fail(rec, info, i, nil)
+					return e.fail(rec, info, i, nil, ReasonTL2Validate)
 				}
 				continue
 			}
@@ -152,11 +173,11 @@ func (e *tl2Engine) Attempt(rec *Rec, oldOut []uint64, info *ConflictInfo) bool 
 			// two loads and pass with a stale stamp ≤ rv.
 			if owner := w.owner.Load(); owner != nil && owner != rec {
 				e.release(rec, wr, k)
-				return e.fail(rec, info, i, owner)
+				return e.fail(rec, info, i, owner, ReasonTL2Validate)
 			}
 			if w.version.Load() > rv {
 				e.release(rec, wr, k)
-				return e.fail(rec, info, i, nil)
+				return e.fail(rec, info, i, nil, ReasonTL2Validate)
 			}
 		}
 	}
@@ -192,13 +213,22 @@ func (e *tl2Engine) release(rec *Rec, wr []bool, upto int) {
 	}
 }
 
-// fail charges the failed attempt to the word it died at and fills the
-// caller's conflict report. owner, when present, is read through atomics
-// only: it may already be recycled onto a later attempt, which yields
-// stale-but-safe advisory values, same as the ST engine's inspection.
-func (e *tl2Engine) fail(rec *Rec, info *ConflictInfo, idx int, owner *Rec) bool {
+// fail charges the failed attempt to the word it died at, records the abort
+// taxonomy entry, and fills the caller's conflict report — the policy's
+// ConflictInfo and the obs seam's reason come from the same failure site,
+// so the two surfaces can never disagree. owner, when present, is read
+// through atomics only: it may already be recycled onto a later attempt,
+// which yields stale-but-safe advisory values, same as the ST engine's
+// inspection.
+func (e *tl2Engine) fail(rec *Rec, info *ConflictInfo, idx int, owner *Rec, reason AbortReason) bool {
 	loc := rec.addrs[idx]
 	e.m.words[loc].conflicts.Add(1)
+	rec.obsFail(reason, loc)
+	if e.m.obsLevel() != ObsOff && reason != ReasonTL2Lock {
+		// Read-admission and revalidation failures are validation events;
+		// a lost lock CAS is reported by EvAbort alone.
+		e.m.obsEmit(rec, EvValidationFail, loc, -1)
+	}
 	if info != nil {
 		*info = ConflictInfo{Index: idx, Addr: loc}
 		if owner != nil && owner != rec {

@@ -72,11 +72,20 @@ type word struct {
 // CompareAndSwap provides LL/SC semantics (see package documentation).
 type Memory struct {
 	words  []word
-	engine Engine // commit protocol; see engine.go
+	engine Engine     // commit protocol; see engine.go
+	kind   EngineKind // engine.Kind(), cached for the obs hot path
 
 	versions atomic.Uint64 // attempt identity source (legacy path)
 	stats    Stats
 	pool     sync.Pool // of *Rec; see pool.go
+
+	// Observability seam (see obs.go). obsLvl is the hot-path gate — one
+	// plain load per hook site; ObsOff means every hook is a predicted
+	// not-taken branch. obsPtr holds the registered configuration, swapped
+	// whole so readers always see a consistent observer/tracer/sampling
+	// triple.
+	obsLvl atomic.Uint32
+	obsPtr atomic.Pointer[obsState]
 }
 
 // NewMemory returns a Memory of size words, all initialized to zero,
@@ -99,6 +108,7 @@ func NewMemoryEngine(size int, kind EngineKind) (*Memory, error) {
 		return nil, err
 	}
 	m.engine = eng
+	m.kind = eng.Kind()
 	zero := new(uint64)
 	for i := range m.words {
 		// All cells may share one zero box: boxes are immutable.
@@ -177,7 +187,10 @@ func (m *Memory) stStableLoadBox(loc int) *uint64 {
 	}
 }
 
-// Stats returns a snapshot of the memory's protocol counters.
+// Stats returns a snapshot of the memory's protocol counters, abort
+// taxonomy, and (when histogram-level observability is enabled) attempt
+// histograms. See StatsSnapshot for the torn-window contract and the
+// per-engine counter semantics.
 func (m *Memory) Stats() StatsSnapshot { return m.stats.snapshot() }
 
 // ConflictCount returns the number of failed attempts whose ownership
@@ -186,11 +199,14 @@ func (m *Memory) Stats() StatsSnapshot { return m.stats.snapshot() }
 // grows fastest.
 func (m *Memory) ConflictCount(loc int) uint64 { return m.words[loc].conflicts.Load() }
 
-// ResetStats zeroes the protocol counters and every per-word conflict
-// counter, opening a fresh observation window. Concurrent transactions keep
-// running — counters are advisory, and a bump racing the reset lands in
-// either the old or the new window — so callers can window abort rates
-// without quiescing the memory.
+// ResetStats opens a fresh observation window in one sweep: it zeroes the
+// protocol counters, the abort-taxonomy and TL2 telemetry counters, every
+// histogram bin, and every per-word conflict counter. Concurrent
+// transactions keep running — the sweep is not atomic across fields, so a
+// bump racing the reset lands in either the old or the new window and a
+// concurrent Stats call may observe a half-zeroed snapshot (the torn-window
+// contract on StatsSnapshot) — which is exactly what lets callers window
+// abort rates without quiescing the memory.
 func (m *Memory) ResetStats() {
 	m.stats.reset()
 	for i := range m.words {
@@ -249,13 +265,24 @@ func (m *Memory) TryOnce(addrs []int, f UpdateFunc) (old []uint64, ok bool, err 
 func (m *Memory) TryOnceValidated(addrs []int, f UpdateFunc) (old []uint64, ok bool) {
 	rec := newRec(addrs, f, m.versions.Add(1))
 	m.stats.attempt(rec.shard)
+	lvl := m.obsLevel()
+	if lvl != ObsOff {
+		m.obsBegin(rec, lvl)
+	}
 
 	out := make([]uint64, len(addrs))
-	if m.attempt(rec, out, nil) {
+	committed := m.attempt(rec, out, nil)
+	if committed {
 		m.stats.commit(rec.shard)
+	} else {
+		m.stats.failure(rec.shard)
+	}
+	if lvl != ObsOff {
+		m.obsEnd(rec, lvl, committed)
+	}
+	if committed {
 		return out, true
 	}
-	m.stats.failure(rec.shard)
 	return nil, false
 }
 
@@ -288,15 +315,21 @@ func (m *Memory) transaction(rec *Rec, initiator bool) {
 	if !initiator {
 		return
 	}
+	helped := false
 	idx := failureIndex(st)
 	owner := m.words[rec.addrs[idx]].owner.Load()
 	if owner != nil && owner != rec && owner.pin() {
 		if owner.stable.Load() {
 			m.stats.help(rec.shard)
 			m.transaction(owner, false)
+			helped = true
 		}
 		owner.unpin()
 	}
+	// Taxonomy input for the ST engine's failure path: whether this failed
+	// attempt paid the cooperative-helping cost. Plain store — only the
+	// initiating goroutine runs this branch or reads the field.
+	rec.obsHelped = helped
 }
 
 // acquireOwnerships claims the record's data set in ascending address

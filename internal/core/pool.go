@@ -114,12 +114,22 @@ type ConflictInfo struct {
 func (m *Memory) RunAttemptConflict(rec *Rec, calc CalcFunc, oldOut []uint64, info *ConflictInfo) bool {
 	rec.calc = calc
 	m.stats.attempt(rec.shard)
+	// The observability seam (obs.go): one plain load decides the whole
+	// attempt's level, so hooks cost a predicted branch when off and the
+	// begin/end pair bracket exactly what the engine executed.
+	lvl := m.obsLevel()
+	if lvl != ObsOff {
+		m.obsBegin(rec, lvl)
+	}
 
 	ok := m.attempt(rec, oldOut, info)
 	if ok {
 		m.stats.commit(rec.shard)
 	} else {
 		m.stats.failure(rec.shard)
+	}
+	if lvl != ObsOff {
+		m.obsEnd(rec, lvl, ok)
 	}
 	m.recycle(rec)
 	return ok

@@ -130,6 +130,20 @@ type Rec struct {
 	// because the ST engine never needs it.
 	wrBuf []bool
 
+	// Observability scratch (see obs.go). All fields are written only by
+	// the attempt's initiating goroutine — helpers never touch them — and
+	// only while an observability level is enabled, except the failure-site
+	// fields (obsReason, obsAddr, obsHelped), which the cold failure paths
+	// write unconditionally. evt is the record-owned Event delivered to a
+	// registered Observer: reusing it is what keeps event delivery at zero
+	// allocations per attempt.
+	obsT0     uint64      // attempt start, coarse ticks (ObsHistograms+)
+	obsReason AbortReason // taxonomy entry for a failed attempt
+	obsAddr   int         // word the failed attempt died at
+	obsWrites int         // engine-computed write-set size; -1 if unknown
+	obsHelped bool        // ST: the failure path helped its blocker
+	evt       Event
+
 	pooled bool // carved from Memory.pool; sized for reuse
 	shard  int  // stats shard, fixed at record creation
 }

@@ -1,6 +1,11 @@
 package core
 
-import "sync/atomic"
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+)
 
 // statShards spreads the protocol counters across independent cache lines.
 // Every attempt bumps attempts and then commits or failures; with a single
@@ -9,39 +14,185 @@ import "sync/atomic"
 // binding, so a record that stays on one P keeps hitting the same line).
 const statShards = 8
 
-// statLine is one shard of counters, padded to a full cache line so shards
-// never false-share.
+// statLine is one shard of counters, padded to whole cache lines so shards
+// never false-share. The first four counters are the always-on protocol
+// counters; the taxonomy block below them is bumped only at engine failure
+// sites and the TL2 read-only/clock paths, and only while the observability
+// level is ObsCounters or above.
 type statLine struct {
 	attempts atomic.Uint64
 	commits  atomic.Uint64
 	failures atomic.Uint64
 	helps    atomic.Uint64
-	_        [cacheLineSize - 32]byte
+
+	// Abort taxonomy, indexed by AbortReason (reasons[ReasonNone] is
+	// unused). Striped like the protocol counters: a failed attempt bumps
+	// exactly one entry, on its record's shard.
+	reasons [6]atomic.Uint64
+
+	// TL2 protocol telemetry (obs-gated, commit path).
+	tl2ReadOnly   atomic.Uint64 // commits with an empty write set (zero RMW)
+	tl2ClockRace  atomic.Uint64 // commits whose first clock CAS lost (GV4 slow path)
+	tl2ClockAdopt atomic.Uint64 // commits that adopted another commit's clock value
+
+	// traceSeq drives ObsTrace sampling (1-in-SampleEvery per shard); it is
+	// bookkeeping, not a published counter.
+	traceSeq atomic.Uint64
+
+	_ [(cacheLineSize - 14*8%cacheLineSize) % cacheLineSize]byte
 }
 
-// Stats accumulates protocol counters, sharded and cache-line padded. All
-// updates are atomic; the zero value is ready to use.
+// reason charges one failed attempt to its taxonomy entry.
+func (l *statLine) reason(r AbortReason) {
+	if r != ReasonNone {
+		l.reasons[r].Add(1)
+	}
+}
+
+// HistBins is the number of log-scaled histogram bins. Bin 0 holds the
+// value 0; bin i (1 ≤ i < HistBins-1) holds values in [2^(i-1), 2^i); the
+// last bin holds everything from 2^(HistBins-2) up.
+const HistBins = 16
+
+// histBucket maps a value to its log-scaled bin.
+func histBucket(v uint64) int {
+	if v == 0 {
+		return 0
+	}
+	b := bits.Len64(v)
+	if b > HistBins-1 {
+		b = HistBins - 1
+	}
+	return b
+}
+
+// histLine is one shard of the four attempt histograms. Histogram bumps are
+// striped by the record's stats shard like the counters; within a shard the
+// bins share cache lines, which is fine — one shard is written from (at
+// steady state) one P.
+type histLine struct {
+	commitTicks [HistBins]atomic.Uint64
+	abortTicks  [HistBins]atomic.Uint64
+	readSet     [HistBins]atomic.Uint64
+	writeSet    [HistBins]atomic.Uint64
+}
+
+// Stats accumulates protocol counters and histograms, sharded and
+// cache-line padded. All updates are atomic; the zero value is ready to
+// use.
 type Stats struct {
 	shards [statShards]statLine
+	hists  [statShards]histLine
 }
 
 func (s *Stats) attempt(shard int) { s.shards[shard].attempts.Add(1) }
 
-// reset zeroes every shard. Racing updates land in either the old or the
-// new window; the counters are advisory.
+// reset zeroes every shard — protocol counters, abort taxonomy, TL2
+// telemetry, and all histogram bins — in one sweep. The sweep is not
+// atomic across fields or shards: see StatsSnapshot's torn-window
+// contract.
 func (s *Stats) reset() {
 	for i := range s.shards {
-		s.shards[i].attempts.Store(0)
-		s.shards[i].commits.Store(0)
-		s.shards[i].failures.Store(0)
-		s.shards[i].helps.Store(0)
+		l := &s.shards[i]
+		l.attempts.Store(0)
+		l.commits.Store(0)
+		l.failures.Store(0)
+		l.helps.Store(0)
+		for r := range l.reasons {
+			l.reasons[r].Store(0)
+		}
+		l.tl2ReadOnly.Store(0)
+		l.tl2ClockRace.Store(0)
+		l.tl2ClockAdopt.Store(0)
+		h := &s.hists[i]
+		for b := 0; b < HistBins; b++ {
+			h.commitTicks[b].Store(0)
+			h.abortTicks[b].Store(0)
+			h.readSet[b].Store(0)
+			h.writeSet[b].Store(0)
+		}
 	}
 }
 func (s *Stats) commit(shard int)  { s.shards[shard].commits.Add(1) }
 func (s *Stats) failure(shard int) { s.shards[shard].failures.Add(1) }
 func (s *Stats) help(shard int)    { s.shards[shard].helps.Add(1) }
 
-// StatsSnapshot is a point-in-time copy of a Memory's protocol counters.
+// HistogramSnapshot is a point-in-time copy of one log-binned histogram,
+// merged across shards. Counts[0] holds the value 0 (for tick histograms:
+// "completed in under one tick"); Counts[i] holds [2^(i-1), 2^i); the last
+// bin is open-ended.
+type HistogramSnapshot struct {
+	Counts [HistBins]uint64
+}
+
+// Total returns the number of recorded observations.
+func (h HistogramSnapshot) Total() uint64 {
+	var n uint64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// BucketBounds returns bin i's half-open value range [lo, hi). The last
+// bin's hi is ^uint64(0).
+func (h HistogramSnapshot) BucketBounds(i int) (lo, hi uint64) {
+	switch {
+	case i == 0:
+		return 0, 1
+	case i < HistBins-1:
+		return 1 << (i - 1), 1 << i
+	default:
+		return 1 << (HistBins - 2), ^uint64(0)
+	}
+}
+
+// String renders the non-empty bins compactly, e.g. "[0]:412 [1,2):7".
+func (h HistogramSnapshot) String() string {
+	var sb strings.Builder
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := h.BucketBounds(i)
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		switch {
+		case i == 0:
+			fmt.Fprintf(&sb, "[0]:%d", c)
+		case i == HistBins-1:
+			fmt.Fprintf(&sb, "[%d,+):%d", lo, c)
+		default:
+			fmt.Fprintf(&sb, "[%d,%d):%d", lo, hi, c)
+		}
+	}
+	if sb.Len() == 0 {
+		return "(empty)"
+	}
+	return sb.String()
+}
+
+// StatsSnapshot is a point-in-time copy of a Memory's protocol counters,
+// abort taxonomy, and histograms.
+//
+// Torn-window contract: the snapshot (like ResetStats's sweep) reads each
+// shard and field independently while transactions keep running, so the
+// numbers are advisory and need not be mutually consistent — Commits +
+// Failures may briefly disagree with Attempts by the number of attempts in
+// flight, a reset racing a snapshot may zero some fields of the window and
+// not others, and taxonomy entries may lead or trail the Failures total.
+// Within one quiescent window every counter is exact, and counters are
+// monotone non-decreasing between resets.
+//
+// Per-engine semantics: the four protocol counters are maintained by both
+// engines, but Helps is ST-only — helping is the ST protocol's liveness
+// mechanism, and the TL2 engine (whose committers briefly lock instead of
+// being helped) never bumps it, so on a TL2 Memory it is always 0. The
+// taxonomy blocks are engine-specific by construction: ST attempts only
+// charge ST reasons, TL2 attempts only TL2 ones. Taxonomy and TL2 telemetry
+// counters are populated only while the observability level is ObsCounters
+// or above (Memory.Observe); histograms only at ObsHistograms or above.
 type StatsSnapshot struct {
 	// Attempts counts protocol attempts (TryOnce, TryOnceValidated, and
 	// RunAttempt calls).
@@ -52,17 +203,68 @@ type StatsSnapshot struct {
 	// attempt triggered at most one help.
 	Failures uint64
 	// Helps counts times an initiator executed another transaction's
-	// protocol on its behalf (non-redundant helping).
+	// protocol on its behalf (non-redundant helping). ST-only: always 0 on
+	// a TL2 Memory.
 	Helps uint64
+
+	// ST abort taxonomy (ObsCounters+): STConflictAborts are ownership
+	// conflicts whose blocker needed no help; STHelpedAborts additionally
+	// executed the blocker's protocol. The two partition ST failures.
+	STConflictAborts uint64
+	STHelpedAborts   uint64
+
+	// TL2 abort taxonomy (ObsCounters+): read-phase admission failures,
+	// write-lock acquisition failures, and post-lock validation failures.
+	// The three partition TL2 failures.
+	TL2ReadAborts     uint64
+	TL2LockAborts     uint64
+	TL2ValidateAborts uint64
+
+	// TL2 protocol telemetry (ObsCounters+). TL2ReadOnlyCommits counts
+	// commits with an empty write set — the zero-RMW fast path.
+	// TL2ClockRaces counts writing commits whose first global-clock CAS
+	// lost to a concurrent commit (the GV4 slow path); TL2ClockAdoptions
+	// counts the subset that then adopted another commit's clock value
+	// instead of installing their own.
+	TL2ReadOnlyCommits uint64
+	TL2ClockRaces      uint64
+	TL2ClockAdoptions  uint64
+
+	// Attempt histograms (ObsHistograms+), merged across shards.
+	// CommitTicks/AbortTicks are attempt durations in coarse ticks (see
+	// the ticks precision contract: one tick is nominally TickInterval,
+	// and sub-tick attempts land in bin 0). ReadSetSize/WriteSetSize are
+	// data-set and write-set sizes in words, recorded per finished
+	// attempt.
+	CommitTicks  HistogramSnapshot
+	AbortTicks   HistogramSnapshot
+	ReadSetSize  HistogramSnapshot
+	WriteSetSize HistogramSnapshot
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
 	var out StatsSnapshot
 	for i := range s.shards {
-		out.Attempts += s.shards[i].attempts.Load()
-		out.Commits += s.shards[i].commits.Load()
-		out.Failures += s.shards[i].failures.Load()
-		out.Helps += s.shards[i].helps.Load()
+		l := &s.shards[i]
+		out.Attempts += l.attempts.Load()
+		out.Commits += l.commits.Load()
+		out.Failures += l.failures.Load()
+		out.Helps += l.helps.Load()
+		out.STConflictAborts += l.reasons[ReasonSTConflict].Load()
+		out.STHelpedAborts += l.reasons[ReasonSTHelped].Load()
+		out.TL2ReadAborts += l.reasons[ReasonTL2Read].Load()
+		out.TL2LockAborts += l.reasons[ReasonTL2Lock].Load()
+		out.TL2ValidateAborts += l.reasons[ReasonTL2Validate].Load()
+		out.TL2ReadOnlyCommits += l.tl2ReadOnly.Load()
+		out.TL2ClockRaces += l.tl2ClockRace.Load()
+		out.TL2ClockAdoptions += l.tl2ClockAdopt.Load()
+		h := &s.hists[i]
+		for b := 0; b < HistBins; b++ {
+			out.CommitTicks.Counts[b] += h.commitTicks[b].Load()
+			out.AbortTicks.Counts[b] += h.abortTicks[b].Load()
+			out.ReadSetSize.Counts[b] += h.readSet[b].Load()
+			out.WriteSetSize.Counts[b] += h.writeSet[b].Load()
+		}
 	}
 	return out
 }

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The coarse ticks source feeding the latency histograms.
+//
+// The attempt hot path must never call time.Now: on most hosts that is a
+// vDSO call per read — two per attempt for a begin/end pair — which alone
+// would dwarf the rest of the observability layer's cost. Instead a single
+// process-wide goroutine advances an atomic counter, and the hot path reads
+// it with one plain load (atomic loads compile to ordinary loads on
+// x86-64/arm64).
+//
+// Precision contract:
+//
+//   - One tick is nominally TickInterval (100µs). The advancing goroutine
+//     sleeps TickInterval between increments, so under scheduler pressure a
+//     tick may stretch arbitrarily; ticks are monotone non-decreasing but
+//     NOT a uniform clock.
+//   - A duration measured in ticks is a lower bound at tick granularity:
+//     an attempt shorter than one tick measures 0 and lands in the
+//     histograms' first bin, which therefore reads "completed in under one
+//     tick" (the common case for uncontended attempts). The histograms
+//     exist to expose the tail — attempts delayed by conflicts, helping
+//     storms, or preempted lock holders — not to time the fast path.
+//   - The goroutine starts lazily, the first time any Memory enables
+//     histogram-level observability, and then runs for the life of the
+//     process (cost: one sleeping goroutine, ~one cache-line store per
+//     tick).
+var ticks struct {
+	once sync.Once
+	now  atomic.Uint64
+}
+
+// TickInterval is the nominal duration of one tick. Histogram tick bins
+// convert to wall time by multiplying by this; the result is nominal, per
+// the precision contract above.
+const TickInterval = 100 * time.Microsecond
+
+// startTicks launches the tick-advancing goroutine on first use.
+func startTicks() {
+	ticks.once.Do(func() {
+		go func() {
+			for {
+				time.Sleep(TickInterval)
+				ticks.now.Add(1)
+			}
+		}()
+	})
+}
+
+// nowTicks reads the current tick count: one plain load, hot-path safe.
+func nowTicks() uint64 { return ticks.now.Load() }

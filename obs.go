@@ -1,0 +1,123 @@
+package stm
+
+import (
+	"github.com/stm-go/stm/internal/core"
+)
+
+// Observability: the stmobs seam, re-exported from the engine.
+//
+// A Memory can be observed at four cumulative levels (ObsLevel): off (the
+// default — every hook on the attempt path is one predicted branch, zero
+// allocations, zero counters beyond the four protocol counters), counters
+// (abort-reason taxonomy on Stats plus events to a registered Observer),
+// histograms (commit/abort latency and read/write-set-size histograms on a
+// coarse ticks source), and trace (sampled per-transaction TraceEvents).
+// The stmobs package builds export surfaces — an expvar publisher, a ring
+// tracer, pprof label tagging — on top of this seam. See DESIGN.md §12.
+
+// ObsLevel selects how much the observability seam records; levels are
+// cumulative. The zero value is ObsOff.
+type ObsLevel = core.ObsLevel
+
+// The observability levels, least to most detailed.
+const (
+	// ObsOff disables the seam entirely (the default).
+	ObsOff = core.ObsOff
+	// ObsCounters enables the abort-reason taxonomy counters on Stats and
+	// event delivery to a registered Observer.
+	ObsCounters = core.ObsCounters
+	// ObsHistograms additionally records commit/abort latency and
+	// read/write-set-size histograms.
+	ObsHistograms = core.ObsHistograms
+	// ObsTrace additionally samples per-transaction traces, 1 in
+	// ObsConfig.SampleEvery, to a registered TraceObserver.
+	ObsTrace = core.ObsTrace
+)
+
+// Observer receives events from the engine attempt path; see the
+// core definition for the concurrency and no-retention contract.
+type Observer = core.Observer
+
+// Event is one observation from the attempt path. The *Event an Observer
+// receives is record-owned scratch — copy, don't retain.
+type Event = core.Event
+
+// EventKind identifies one hook site on the engine attempt path.
+type EventKind = core.EventKind
+
+// The hook sites, in attempt order. Which sites an engine emits is
+// protocol-specific; see DESIGN.md §12's event matrix.
+const (
+	EvBegin          = core.EvBegin
+	EvReadSet        = core.EvReadSet
+	EvLock           = core.EvLock
+	EvValidationFail = core.EvValidationFail
+	EvCommit         = core.EvCommit
+	EvAbort          = core.EvAbort
+)
+
+// AbortReason classifies why an attempt failed, per engine; every failed
+// attempt is charged to exactly one reason.
+type AbortReason = core.AbortReason
+
+// The abort taxonomy. ST failures are ReasonSTConflict or ReasonSTHelped;
+// TL2 failures are ReasonTL2Read, ReasonTL2Lock, or ReasonTL2Validate.
+const (
+	ReasonNone        = core.ReasonNone
+	ReasonSTConflict  = core.ReasonSTConflict
+	ReasonSTHelped    = core.ReasonSTHelped
+	ReasonTL2Read     = core.ReasonTL2Read
+	ReasonTL2Lock     = core.ReasonTL2Lock
+	ReasonTL2Validate = core.ReasonTL2Validate
+)
+
+// TraceEvent is one sampled per-transaction trace; unlike Event it is
+// freshly allocated and may be retained by the receiver.
+type TraceEvent = core.TraceEvent
+
+// TraceObserver receives sampled traces at ObsTrace; an Observer that also
+// implements it is detected once, at Observe time.
+type TraceObserver = core.TraceObserver
+
+// ObsConfig configures a Memory's observability seam.
+type ObsConfig = core.ObsConfig
+
+// DefaultSampleEvery is the ObsTrace sampling period used when ObsConfig
+// leaves SampleEvery zero.
+const DefaultSampleEvery = core.DefaultSampleEvery
+
+// TickInterval is the nominal duration of one latency-histogram tick. The
+// tick source is coarse by design (no time.Now on the attempt path): ticks
+// are monotone but not uniform, and attempts shorter than one tick land in
+// histogram bin 0. See the precision contract in DESIGN.md §12.
+const TickInterval = core.TickInterval
+
+// HistogramSnapshot is a point-in-time copy of one log-binned histogram;
+// see StatsSnapshot's histogram fields.
+type HistogramSnapshot = core.HistogramSnapshot
+
+// StatsSnapshot is the Stats return type: protocol counters, abort
+// taxonomy, and histograms, with the torn-window contract documented on
+// the type.
+type StatsSnapshot = core.StatsSnapshot
+
+// Observe installs cfg as the Memory's observability configuration,
+// replacing any previous one. It is safe to call while transactions run;
+// an attempt racing the swap may deliver events under either configuration.
+// Accumulated taxonomy and histogram state is kept — ResetStats clears it.
+func (m *Memory) Observe(cfg ObsConfig) { m.eng.Observe(cfg) }
+
+// ObsLevel returns the currently enabled observability level.
+func (m *Memory) ObsLevel() ObsLevel { return m.eng.ObsLevel() }
+
+// DebugString returns a human-readable dump of the Memory's observability
+// state: engine, counters, abort taxonomy, histogram summaries, and the
+// hottest conflict words. Diagnostic only, with Stats's torn-window
+// caveats.
+func (m *Memory) DebugString() string { return m.eng.DebugString() }
+
+// WithObs configures the observability seam at construction — equivalent
+// to calling Observe(cfg) on the new Memory before first use.
+func WithObs(cfg ObsConfig) Option {
+	return func(c *config) { c.obs = &cfg }
+}

@@ -61,6 +61,7 @@ type Option func(*config)
 type config struct {
 	policy contention.Policy
 	engine Engine
+	obs    *core.ObsConfig
 }
 
 // WithPolicy selects the contention-management policy for the Memory. The
@@ -98,6 +99,9 @@ func New(size int, opts ...Option) (*Memory, error) {
 	if cfg.policy == nil {
 		cfg.policy = contention.Default()
 	}
+	if cfg.obs != nil {
+		eng.Observe(*cfg.obs)
+	}
 	return &Memory{
 		eng:        eng,
 		alloc:      core.NewAllocator(size),
@@ -128,16 +132,21 @@ func (m *Memory) Size() int { return m.eng.Size() }
 // consistent multi-word snapshot.
 func (m *Memory) Peek(loc int) uint64 { return m.eng.Peek(loc) }
 
-// Stats returns a snapshot of protocol counters (attempts, commits,
-// failures, helps) accumulated by this Memory since construction or the
-// last ResetStats.
+// Stats returns a snapshot of the Memory's counters: the protocol counters
+// (attempts, commits, failures, and — on the ST engine only — helps),
+// plus, when observability is enabled (see Observe), the per-engine abort
+// taxonomy, TL2 telemetry, and latency/set-size histograms. Counter
+// semantics are per engine and documented on StatsSnapshot, as is the
+// torn-window contract: the snapshot is not an atomic cut across shards.
 func (m *Memory) Stats() core.StatsSnapshot { return m.eng.Stats() }
 
-// ResetStats zeroes the protocol counters and the per-word conflict
-// counters, opening a fresh observation window. It is safe to call while
-// transactions run: the counters are advisory, and a bump racing the reset
-// lands in either window. Benchmark sweeps and adaptive consumers use it to
-// read rates per window instead of monotonic totals.
+// ResetStats zeroes every counter Stats reports — protocol counters,
+// abort-taxonomy and TL2 telemetry counters, histogram bins, and the
+// per-word conflict counters — opening a fresh observation window. It is
+// safe to call while transactions run: the counters are advisory, and a
+// bump racing the reset lands in either window. Benchmark sweeps and
+// adaptive consumers use it to read rates per window instead of monotonic
+// totals.
 func (m *Memory) ResetStats() { m.eng.ResetStats() }
 
 // ConflictCount returns the number of failed attempts that died at loc (an

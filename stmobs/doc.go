@@ -1,0 +1,41 @@
+// Package stmobs builds export surfaces on the stm package's observability
+// seam: an expvar-compatible publisher, a ring buffer for sampled
+// per-transaction traces, event counters, and runtime/pprof label tagging
+// for goroutines that run transactions.
+//
+// # Observing a Memory
+//
+// The seam itself lives on stm.Memory (Observe, Stats, DebugString) and
+// costs nothing until enabled: every hook on the attempt path is one
+// predicted branch while the level is stm.ObsOff. A typical production
+// setup enables counters and histograms, publishes them over expvar, and
+// keeps a small trace ring for incident debugging:
+//
+//	tracer := stmobs.NewRingTracer(256)
+//	m.Observe(stm.ObsConfig{
+//		Level:       stm.ObsTrace,
+//		Observer:    tracer,
+//		SampleEvery: 1024,
+//	})
+//	stmobs.Publish("stm", m) // GET /debug/vars → {"stm": {...}, ...}
+//
+// Counters-only observation (stm.ObsCounters, typically with an
+// EventCounter or no observer at all) adds the abort-reason taxonomy to
+// m.Stats() at a measured overhead of a few percent on the hottest paths;
+// the histogram and trace levels buy latency distributions and sampled
+// footprints for a little more. BENCH_obs.json tracks the exact overhead of
+// every level on every engine, and the stmbench obs suite regression-gates
+// it.
+//
+// To attribute CPU profiles to transaction sites, wrap workers with Do,
+// which tags the goroutine with pprof labels for the Memory's engine and
+// the site name:
+//
+//	go stmobs.Do(ctx, m, "transfer-worker", func(ctx context.Context) {
+//		for { ... m.Atomically(...) ... }
+//	})
+//
+// See DESIGN.md §12 for the seam's architecture: the per-engine event
+// matrix, the abort taxonomy, histogram binning, and the coarse-ticks
+// precision contract behind the latency numbers.
+package stmobs

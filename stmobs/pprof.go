@@ -1,0 +1,25 @@
+package stmobs
+
+import (
+	"context"
+	"runtime/pprof"
+
+	stm "github.com/stm-go/stm"
+)
+
+// Labels returns pprof labels identifying transaction work on m at the
+// named site: "stm_engine" (the Memory's commit protocol) and "stm_site"
+// (the caller-chosen transaction-site name). Attach them with pprof.Do, or
+// use the Do convenience wrapper below.
+func Labels(m *stm.Memory, site string) pprof.LabelSet {
+	return pprof.Labels("stm_engine", m.Engine().String(), "stm_site", site)
+}
+
+// Do runs fn on the current goroutine with Labels(m, site) attached, so
+// CPU and goroutine profiles attribute the samples to the transaction site
+// — which engine the time went to, and which logical workload. Wrap worker
+// loops, not individual transactions: the labels cost a context allocation
+// per call, amortized over everything fn runs.
+func Do(ctx context.Context, m *stm.Memory, site string, fn func(ctx context.Context)) {
+	pprof.Do(ctx, Labels(m, site), fn)
+}

@@ -1,0 +1,88 @@
+package stmobs
+
+import (
+	"sync"
+	"sync/atomic"
+
+	stm "github.com/stm-go/stm"
+)
+
+// EventCounter is the cheapest useful Observer: per-kind event tallies with
+// no locking and no allocation, suitable for leaving attached in
+// production at stm.ObsCounters. It also serves as a no-op trace-free
+// observer for benchmarks measuring the seam's delivery cost.
+type EventCounter struct {
+	counts [6]atomic.Uint64 // indexed by stm.EventKind
+}
+
+// ObsEvent implements stm.Observer.
+func (c *EventCounter) ObsEvent(e *stm.Event) {
+	if int(e.Kind) < len(c.counts) {
+		c.counts[e.Kind].Add(1)
+	}
+}
+
+// Count returns how many events of kind k have been delivered.
+func (c *EventCounter) Count(k stm.EventKind) uint64 {
+	if int(k) >= len(c.counts) {
+		return 0
+	}
+	return c.counts[k].Load()
+}
+
+// RingTracer keeps the last capacity sampled traces in a ring, for the
+// stmserve/chaos-harness style of consumer: cheap enough to leave on, and
+// when something goes wrong the recent transaction footprints, abort
+// reasons, and timings are already in memory. It implements both
+// stm.Observer (events are ignored) and stm.TraceObserver, so it can be
+// registered directly as the ObsConfig.Observer at stm.ObsTrace.
+type RingTracer struct {
+	mu    sync.Mutex
+	buf   []stm.TraceEvent
+	next  int
+	total uint64
+}
+
+// NewRingTracer returns a tracer retaining the last capacity traces
+// (capacity < 1 is treated as 1).
+func NewRingTracer(capacity int) *RingTracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RingTracer{buf: make([]stm.TraceEvent, 0, capacity)}
+}
+
+// ObsEvent implements stm.Observer; the ring keeps traces, not events.
+func (t *RingTracer) ObsEvent(e *stm.Event) {}
+
+// ObsTrace implements stm.TraceObserver: record one sampled trace,
+// evicting the oldest when full.
+func (t *RingTracer) ObsTrace(tr *stm.TraceEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total++
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, *tr)
+		return
+	}
+	t.buf[t.next] = *tr
+	t.next = (t.next + 1) % cap(t.buf)
+}
+
+// Traces returns a copy of the retained traces, oldest first.
+func (t *RingTracer) Traces() []stm.TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]stm.TraceEvent, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Total returns how many traces have been delivered since construction
+// (including evicted ones).
+func (t *RingTracer) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
