@@ -14,6 +14,7 @@
 //	stmbench -suite ds -json BENCH_ds.json            # data-structures Synchrobench sweep
 //	stmbench -suite engines -json BENCH_engines.json  # ST vs TL2 head-to-head sweep
 //	stmbench -suite obs -json BENCH_obs.json          # observability-seam overhead suite
+//	stmbench -suite serve -json BENCH_serve.json      # stmserve network-server suite
 //	stmbench -engine tl2 -suite hot                   # any host suite on the TL2 engine
 //	stmbench -suite hot -baseline BENCH_hotpath.json  # regression gate vs committed numbers
 //
@@ -61,7 +62,7 @@ func run(args []string, out *os.File) error {
 		seed     = fs.Uint64("seed", 0, "override random seed")
 		csvDir   = fs.String("csv", "", "directory to write per-experiment CSV files")
 		jsonOut  = fs.String("json", "", "write the host suite's JSON report (HOT by default; CONT/VARS/DYN with -suite) to this path")
-		suite    = fs.String("suite", "", `host suite to run ("hot", "cont", "vars", "dyn", "ds", "engines", or "obs"); overrides -exp`)
+		suite    = fs.String("suite", "", `host suite to run ("hot", "cont", "vars", "dyn", "ds", "engines", "obs", or "serve"); overrides -exp`)
 		engine   = fs.String("engine", "st", `commit engine for the host suites ("st", "tl2"); the simulator experiments always model the paper's protocol`)
 		baseline = fs.String("baseline", "", "committed BENCH_*.json to gate the host suite against (allocs strict; see -maxslow)")
 		maxSlow  = fs.Float64("maxslow", 0, "with -baseline, also fail benchmarks slower than this ratio of the baseline ns/op (0 = report only)")
@@ -109,8 +110,10 @@ func run(args []string, out *os.File) error {
 			ids = []string{"ENG"}
 		case "obs":
 			ids = []string{"OBS"}
+		case "serve":
+			ids = []string{"SERVE"}
 		default:
-			return fmt.Errorf("unknown suite %q (want hot, cont, vars, dyn, ds, engines, or obs)", *suite)
+			return fmt.Errorf("unknown suite %q (want hot, cont, vars, dyn, ds, engines, obs, or serve)", *suite)
 		}
 	case *exp != "all":
 		ids = []string{strings.ToUpper(*exp)}
@@ -119,14 +122,14 @@ func run(args []string, out *os.File) error {
 		// simulator sweep along unless an experiment was asked for.
 		ids = nil
 	}
-	if *jsonOut != "" && !slices.Contains(ids, "HOT") && !slices.Contains(ids, "CONT") && !slices.Contains(ids, "VARS") && !slices.Contains(ids, "DYN") && !slices.Contains(ids, "DS") && !slices.Contains(ids, "ENG") && !slices.Contains(ids, "OBS") {
+	if *jsonOut != "" && !slices.Contains(ids, "HOT") && !slices.Contains(ids, "CONT") && !slices.Contains(ids, "VARS") && !slices.Contains(ids, "DYN") && !slices.Contains(ids, "DS") && !slices.Contains(ids, "ENG") && !slices.Contains(ids, "OBS") && !slices.Contains(ids, "SERVE") {
 		// -json always delivers its file, whatever experiments run with it.
 		ids = append(ids, "HOT")
 	}
-	if *baseline != "" && !slices.Contains(ids, "HOT") && !slices.Contains(ids, "VARS") && !slices.Contains(ids, "DYN") && !slices.Contains(ids, "DS") && !slices.Contains(ids, "ENG") && !slices.Contains(ids, "OBS") {
+	if *baseline != "" && !slices.Contains(ids, "HOT") && !slices.Contains(ids, "VARS") && !slices.Contains(ids, "DYN") && !slices.Contains(ids, "DS") && !slices.Contains(ids, "ENG") && !slices.Contains(ids, "OBS") && !slices.Contains(ids, "SERVE") {
 		// Never let a regression gate silently not run: the flag only
 		// means something for the host suites with per-benchmark results.
-		return fmt.Errorf("-baseline requires a host suite with per-benchmark results (-suite hot, vars, dyn, ds, engines, or obs)")
+		return fmt.Errorf("-baseline requires a host suite with per-benchmark results (-suite hot, vars, dyn, ds, engines, obs, or serve)")
 	}
 
 	// deliver writes a host suite's JSON report (when -json asked for it)
@@ -210,6 +213,21 @@ func run(args []string, out *os.File) error {
 			report, table := runEngines(*quick)
 			fmt.Fprintln(out, table)
 			data, err := enginesJSON(report)
+			if err != nil {
+				return err
+			}
+			if err := deliver(data); err != nil {
+				return err
+			}
+			continue
+		}
+		if id == "SERVE" {
+			report, table, err := runServe(*quick)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, table)
+			data, err := serveJSON(report)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,320 @@
+package main
+
+// The SERVE suite: end-to-end benchmarks of the stmserve network server,
+// emitted as BENCH_serve.json. Two kinds of numbers:
+//
+//   - The grid: real TCP loopback clients sweeping connections × pipeline
+//     depth on BOTH engines (the engine axis is swept internally, like the
+//     ENG suite — the -engine flag does not narrow it). Each cell reports
+//     command throughput and p50/p99 batch round-trip latency. Wall-clock
+//     and kernel scheduling dominate these cells, so their allocs_per_op
+//     is pinned at 0 by construction rather than measured — the gate's
+//     strict allocation check is carried by the micros below.
+//   - The micros: the per-command steady-state server path (Session.Feed
+//     end to end, no socket) on the -engine-selected engine, measured with
+//     testing.Benchmark so allocs/op is exact. These are the entries the
+//     -baseline gate holds at zero allocations.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	stm "github.com/stm-go/stm"
+	"github.com/stm-go/stm/stmserve"
+)
+
+// serveCell is one grid measurement.
+type serveCell struct {
+	Engine     string  `json:"engine"`
+	Conns      int     `json:"conns"`
+	Depth      int     `json:"depth"`
+	Commands   int     `json:"commands"`
+	CmdsPerSec float64 `json:"cmds_per_sec"`
+	P50BatchUS float64 `json:"p50_batch_us"`
+	P99BatchUS float64 `json:"p99_batch_us"`
+}
+
+// serveReport is the BENCH_serve.json document. Results reuses the shared
+// shape the -baseline gate reads; grid cells appear there too (ns_per_op =
+// wall-clock per command) so -maxslow can watch throughput, with allocs
+// fixed at 0 as documented above.
+type serveReport struct {
+	Note    string      `json:"note"`
+	Env     benchEnv    `json:"env"`
+	Grid    []serveCell `json:"grid"`
+	Results []dynResult `json:"results"`
+}
+
+// runServe measures the suite. quick narrows the grid and shortens every
+// cell.
+func runServe(quick bool) (serveReport, string, error) {
+	connsSweep := []int{1, 4, 16}
+	depthSweep := []int{1, 8, 64}
+	budget := 1 << 16 // commands per cell
+	if quick {
+		connsSweep = []int{4}
+		depthSweep = []int{1, 8}
+		budget = 1 << 12
+	}
+
+	var grid []serveCell
+	var results []dynResult
+	for _, eng := range stm.Engines() {
+		for _, conns := range connsSweep {
+			for _, depth := range depthSweep {
+				cell, err := runServeCell(eng, conns, depth, budget)
+				if err != nil {
+					return serveReport{}, "", err
+				}
+				grid = append(grid, cell)
+				results = append(results, dynResult{
+					Name:    fmt.Sprintf("Serve/%s/c%d/d%d", eng, conns, depth),
+					NsPerOp: 1e9 / cell.CmdsPerSec,
+				})
+			}
+		}
+	}
+
+	micros := runServeMicros()
+	results = append(results, micros...)
+
+	report := serveReport{
+		Env: currentBenchEnv(),
+		Note: "stmserve network-server suite (cmd/stmbench -suite serve); grid cells sweep " +
+			"conns x pipeline depth on both engines over TCP loopback (allocs_per_op pinned 0, " +
+			"not measured); ServeSteady* micros measure Session.Feed end to end on the -engine " +
+			"engine and must stay 0 allocs/op",
+		Grid:    grid,
+		Results: results,
+	}
+
+	var sb strings.Builder
+	sb.WriteString("SERVE: stmserve throughput and latency over TCP loopback\n")
+	fmt.Fprintf(&sb, "%-8s %6s %6s %14s %12s %12s\n", "engine", "conns", "depth", "cmds/sec", "p50 batch", "p99 batch")
+	for _, c := range grid {
+		fmt.Fprintf(&sb, "%-8s %6d %6d %14.0f %10.1fus %10.1fus\n",
+			c.Engine, c.Conns, c.Depth, c.CmdsPerSec, c.P50BatchUS, c.P99BatchUS)
+	}
+	sb.WriteString("\nsteady-state command path (Session.Feed, no socket):\n")
+	fmt.Fprintf(&sb, "%-24s %12s %10s %12s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	for _, r := range micros {
+		fmt.Fprintf(&sb, "%-24s %12.1f %10d %12d\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	return report, sb.String(), nil
+}
+
+// runServeCell drives one grid cell: conns clients over a real loopback
+// listener, each sending fixed batches of depth commands and reading the
+// full reply batch back before the next send. The workload is the
+// read-mostly mix the engine comparison cares about — every batch bumps a
+// client-private counter once and probes one shared hot key for the rest,
+// so cross-client read sharing is real but write contention is not the
+// bottleneck.
+func runServeCell(eng stm.Engine, conns, depth, budget int) (serveCell, error) {
+	srv, err := stmserve.New(stmserve.Config{Engine: eng})
+	if err != nil {
+		return serveCell{}, err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return serveCell{}, err
+	}
+	go srv.Serve(ln)
+	addr := ln.Addr().String()
+
+	batches := budget / (conns * depth)
+	if batches < 50 {
+		batches = 50
+	}
+
+	var mu sync.Mutex
+	var samples []float64 // per-batch round trips, µs
+	var firstErr error
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				setErr(err)
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+
+			// One INCR on a private counter, depth-1 EXISTS probes of the
+			// shared hot key; every reply is a single line, so a batch's
+			// replies are exactly depth lines.
+			var req bytes.Buffer
+			fmt.Fprintf(&req, "INCR c%d\r\n", id)
+			for i := 1; i < depth; i++ {
+				fmt.Fprintf(&req, "EXISTS hot\r\n")
+			}
+			batch := req.Bytes()
+
+			local := make([]float64, 0, batches)
+			for i := 0; i < batches; i++ {
+				t0 := time.Now()
+				if _, err := conn.Write(batch); err != nil {
+					setErr(err)
+					return
+				}
+				for k := 0; k < depth; k++ {
+					if _, err := r.ReadString('\n'); err != nil {
+						setErr(err)
+						return
+					}
+				}
+				local = append(local, float64(time.Since(t0).Nanoseconds())/1e3)
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if firstErr != nil {
+		return serveCell{}, firstErr
+	}
+
+	sort.Float64s(samples)
+	total := conns * batches * depth
+	return serveCell{
+		Engine:     eng.String(),
+		Conns:      conns,
+		Depth:      depth,
+		Commands:   total,
+		CmdsPerSec: float64(total) / wall.Seconds(),
+		P50BatchUS: percentile(samples, 0.50),
+		P99BatchUS: percentile(samples, 0.99),
+	}, nil
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// runServeMicros measures the socketless steady-state command path on the
+// -engine-selected engine: bytes in through Session.Feed, one commit,
+// reply bytes out to a discarding writer. These are the gate's strict
+// zero-allocation entries.
+func runServeMicros() []dynResult {
+	var results []dynResult
+	measure := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		results = append(results, dynResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		})
+	}
+
+	newSession := func(b *testing.B) *stmserve.Session {
+		srv, err := stmserve.New(stmserve.Config{Engine: benchEngine})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { srv.Close() })
+		return srv.NewSession(io.Discard)
+	}
+	warm := func(b *testing.B, s *stmserve.Session, p []byte) {
+		b.Helper()
+		for i := 0; i < 64; i++ {
+			if err := s.Feed(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	measure("ServeSteadyGET", func(b *testing.B) {
+		s := newSession(b)
+		warm(b, s, []byte("SET bench:key bench-value\r\n"))
+		req := []byte("GET bench:key\r\n")
+		warm(b, s, req)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.Feed(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	measure("ServeSteadySET", func(b *testing.B) {
+		s := newSession(b)
+		req := []byte("SET bench:key bench-value\r\n")
+		warm(b, s, req)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.Feed(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	measure("ServeSteadyINCR", func(b *testing.B) {
+		s := newSession(b)
+		req := []byte("INCR bench:ctr\r\n")
+		warm(b, s, req)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.Feed(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	measure("ServePipelineGETx8", func(b *testing.B) {
+		s := newSession(b)
+		warm(b, s, []byte("SET bench:key bench-value\r\n"))
+		var req []byte
+		for i := 0; i < 8; i++ {
+			req = append(req, "GET bench:key\r\n"...)
+		}
+		warm(b, s, req)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// One Feed = eight commands through one commit.
+			if err := s.Feed(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return results
+}
+
+// serveJSON marshals the report for -json output.
+func serveJSON(rep serveReport) ([]byte, error) {
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

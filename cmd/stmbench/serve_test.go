@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	stm "github.com/stm-go/stm"
+)
+
+func TestRunServeCell(t *testing.T) {
+	cell, err := runServeCell(stm.ST, 2, 4, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Conns != 2 || cell.Depth != 4 {
+		t.Fatalf("cell parameters mangled: %+v", cell)
+	}
+	if cell.CmdsPerSec <= 0 || cell.Commands <= 0 {
+		t.Fatalf("cell measured no throughput: %+v", cell)
+	}
+	if cell.P50BatchUS <= 0 || cell.P99BatchUS < cell.P50BatchUS {
+		t.Fatalf("latency percentiles inconsistent: %+v", cell)
+	}
+}
+
+func TestRunServeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures real benchmarks")
+	}
+	rep, table, err := runServe(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Grid) == 0 {
+		t.Fatal("quick serve run produced no grid cells")
+	}
+	// Both engines must appear even in quick mode — the engine axis is
+	// swept internally, not narrowed by -engine.
+	engines := map[string]bool{}
+	for _, c := range rep.Grid {
+		engines[c.Engine] = true
+	}
+	for _, e := range stm.Engines() {
+		if !engines[e.String()] {
+			t.Fatalf("engine %s missing from the grid", e)
+		}
+	}
+	// The steady-state micros are the gate's strict entries: allocs must
+	// be zero right now, not just in the committed baseline.
+	found := false
+	for _, r := range rep.Results {
+		if strings.HasPrefix(r.Name, "ServeSteady") || strings.HasPrefix(r.Name, "ServePipeline") {
+			found = true
+			if r.AllocsPerOp != 0 && !raceEnabled {
+				t.Errorf("%s: %d allocs/op, want 0", r.Name, r.AllocsPerOp)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no ServeSteady* micros in the report")
+	}
+	if !strings.Contains(table, "SERVE") {
+		t.Fatalf("table missing header: %q", table)
+	}
+	data, err := serveJSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc baselineDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("report JSON does not parse as a baseline doc: %v", err)
+	}
+	if len(doc.Results) != len(rep.Results) {
+		t.Fatalf("baseline gate sees %d results, report has %d", len(doc.Results), len(rep.Results))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(s, 0.5); p != 5 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := percentile(s, 0.99); p != 9 {
+		t.Fatalf("p99 = %v", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Fatalf("empty percentile = %v", p)
+	}
+}

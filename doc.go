@@ -171,6 +171,19 @@
 // -suite obs` tracks what each level costs (BENCH_obs.json). See
 // DESIGN.md §12.
 //
+// # Deferred actions and serving over the network
+//
+// A transaction body must stay free of external effects (it may
+// re-execute), so DTx.OnCommit and DTx.OnAbort register deferred actions
+// that run exactly once after the outcome is decided — the minimal
+// open-nesting escape hatch for "send the reply after the commit
+// installs". The stmserve subpackage builds a full pipelined network
+// server on it: a RESP-like TCP protocol whose every command (and every
+// MULTI/EXEC group) is one atomic transaction over stmds structures,
+// with blocking pops on Retry and zero-allocation steady-state command
+// handling. See cmd/stmserve for the binary, `stmbench -suite serve` /
+// BENCH_serve.json for the tracked numbers, and DESIGN.md §13.
+//
 // # Choosing a contention policy
 //
 // How a transaction defers its retries is pluggable per Memory

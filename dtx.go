@@ -68,6 +68,13 @@ type DTx struct {
 	engOld []uint64 // committed old values, engine order (commit scratch)
 	wbuf   []uint64 // codec staging for ReadVar/WriteVar
 
+	// Deferred actions (OnCommit/OnAbort): run exactly once, outside the
+	// speculative body, after the transaction's outcome is decided. Only
+	// the registrations of the final execution survive — resetLog drops
+	// the lists at the start of every re-execution.
+	onCommit []func()
+	onAbort  []func()
+
 	// Read set of an OrElse first branch that retried, saved so the
 	// combined wait covers both branches.
 	altAddrs []int
@@ -215,6 +222,46 @@ func (d *DTx) Retry() {
 	panic(sigRetry)
 }
 
+// OnCommit registers f as a deferred action: it runs exactly once, after
+// the transaction has committed, outside the transaction — never inside
+// the speculative body, which may execute many times. Actions run in
+// registration order, after the commit's writes are installed and visible;
+// a re-executed speculation's registrations are discarded, so only the
+// actions registered by the execution that actually committed run. This is
+// the open-nesting escape hatch for driving external effects (flushing a
+// network reply, signalling a channel) from transactional code; see
+// DESIGN.md §13 for what it does not promise — in particular, by the time
+// f runs, later transactions may already have committed over the words
+// this one wrote, and f itself runs under no atomicity at all.
+//
+// f must not use the DTx (the transaction is over) and must not be nil.
+// A call site that registers a pre-bound function value stays
+// allocation-free; an inline closure capturing variables allocates as any
+// closure does.
+func (d *DTx) OnCommit(f func()) {
+	d.check()
+	if f == nil {
+		d.abort(ErrNilUpdate)
+	}
+	d.onCommit = append(d.onCommit, f)
+}
+
+// OnAbort registers f to run exactly once if the whole operation fails —
+// Atomically (or OrElse) returning a non-nil error, whether from the
+// transaction function, a cancelled context, or ErrRetryNoReads. Like
+// OnCommit actions, abort actions run outside the transaction, in
+// registration order, and only the final execution's registrations
+// survive; a transaction that goes on to commit never runs them. An
+// internal re-execution (validation failure, contention) is not an abort —
+// it runs no actions.
+func (d *DTx) OnAbort(f func()) {
+	d.check()
+	if f == nil {
+		d.abort(ErrNilUpdate)
+	}
+	d.onAbort = append(d.onAbort, f)
+}
+
 // Memory returns the Memory the transaction runs against.
 func (d *DTx) Memory() *Memory { return d.m }
 
@@ -288,12 +335,49 @@ func (d *DTx) varBuf(k int) []uint64 {
 }
 
 // resetLog rewinds the DTx for a fresh speculation; the footprint cache
-// and the buffers survive.
+// and the buffers survive. Deferred actions registered by the abandoned
+// execution are dropped — only the committing (or finally-failing)
+// execution's actions ever run.
 func (d *DTx) resetLog() {
 	d.log = d.log[:0]
 	if d.idx != nil {
 		clear(d.idx)
 	}
+	d.clearHooks()
+}
+
+// clearHooks drops every registered deferred action, keeping the slices'
+// capacity (the amortization a stable call site relies on).
+func (d *DTx) clearHooks() {
+	clear(d.onCommit)
+	d.onCommit = d.onCommit[:0]
+	clear(d.onAbort)
+	d.onAbort = d.onAbort[:0]
+}
+
+// runCommitHooks runs the committed execution's OnCommit actions, in
+// registration order, exactly once; the abort actions die unrun. Entries
+// are dropped as they run, so even an action that panics cannot run twice.
+func (d *DTx) runCommitHooks() {
+	clear(d.onAbort)
+	d.onAbort = d.onAbort[:0]
+	for i, f := range d.onCommit {
+		d.onCommit[i] = nil
+		f()
+	}
+	d.onCommit = d.onCommit[:0]
+}
+
+// runAbortHooks is runCommitHooks for a failed operation: the OnAbort
+// actions run, the commit actions die unrun.
+func (d *DTx) runAbortHooks() {
+	clear(d.onCommit)
+	d.onCommit = d.onCommit[:0]
+	for i, f := range d.onAbort {
+		d.onAbort[i] = nil
+		f()
+	}
+	d.onAbort = d.onAbort[:0]
 }
 
 // speculate runs the user function once against the current state of
@@ -537,6 +621,13 @@ func (m *Memory) putDTx(d *DTx) {
 	if d.idx != nil {
 		clear(d.idx)
 	}
+	// Deferred actions are normally consumed by the run/clear helpers; a
+	// user panic unwinding through atomically can leave them registered,
+	// and a pooled DTx must retain no caller state.
+	clear(d.onCommit[:cap(d.onCommit)])
+	d.onCommit = d.onCommit[:0]
+	clear(d.onAbort[:cap(d.onAbort)])
+	d.onAbort = d.onAbort[:0]
 	d.err = nil
 	m.dtxPool.Put(d)
 }
@@ -559,6 +650,7 @@ func (m *Memory) atomically(ctx context.Context, first, second func(tx *DTx) err
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
 				m.abortConflict(c)
+				d.runAbortHooks()
 				return err
 			}
 		}
@@ -574,6 +666,7 @@ func (m *Memory) atomically(ctx context.Context, first, second func(tx *DTx) err
 			err := d.err
 			d.err = nil
 			m.abortConflict(c)
+			d.runAbortHooks()
 			return err
 		case sigStale:
 			info = core.ConflictInfo{Addr: d.staleAddr}
@@ -582,6 +675,7 @@ func (m *Memory) atomically(ctx context.Context, first, second func(tx *DTx) err
 		case sigRetry:
 			if d.readCount() == 0 {
 				m.abortConflict(c)
+				d.runAbortHooks()
 				return ErrRetryNoReads
 			}
 			// Close the round's policy resources before parking: a
@@ -595,6 +689,7 @@ func (m *Memory) atomically(ctx context.Context, first, second func(tx *DTx) err
 				c = nil
 			}
 			if err := d.waitReadSet(ctx); err != nil {
+				d.runAbortHooks()
 				return err
 			}
 			continue
@@ -611,10 +706,13 @@ func (m *Memory) atomically(ctx context.Context, first, second func(tx *DTx) err
 		if len(d.log) == 0 {
 			// Nothing read, nothing written: a vacuous commit. No engine
 			// transaction runs; any policy resources from earlier rounds
-			// are released as a commit.
+			// are released as a commit. Deferred commit actions still run
+			// — an all-side-effect transaction (say, a server batch that
+			// only staged replies) committed, trivially.
 			if c != nil {
 				m.commitConflict(c, 0, 0)
 			}
+			d.runCommitHooks()
 			return nil
 		}
 		d.compileFootprint()
@@ -630,6 +728,7 @@ func (m *Memory) atomically(ctx context.Context, first, second func(tx *DTx) err
 					c.Attempts++ // the final, undeferred failure
 					m.abortConflict(c)
 				}
+				d.runAbortHooks()
 				return ctx.Err()
 			}
 			c = m.noteConflict(c, first0, k, &info)
@@ -643,6 +742,7 @@ func (m *Memory) atomically(ctx context.Context, first, second func(tx *DTx) err
 			continue
 		}
 		m.commitConflict(c, first0, k)
+		d.runCommitHooks()
 		return nil
 	}
 }

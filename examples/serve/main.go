@@ -1,0 +1,135 @@
+// Example: the stmserve network server end to end, in one process — a
+// server on a loopback listener and a handful of raw-protocol clients
+// exercising the three things that make it an STM demo rather than a toy
+// cache: pipelining (N commands, one commit), MULTI/EXEC (a multi-key
+// transfer that is atomic across connections), and BQPOP (a consumer
+// parked on DTx.Retry until a producer's commit wakes it).
+//
+// Run it:
+//
+//	go run ./examples/serve
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+
+	stm "github.com/stm-go/stm"
+	"github.com/stm-go/stm/stmserve"
+)
+
+func main() {
+	srv, err := stmserve.New(stmserve.Config{Engine: stm.ST})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(ln)
+	addr := ln.Addr().String()
+	fmt.Printf("serving on %s\n\n", addr)
+
+	// --- Pipelining: six commands written back to back arrive as one
+	// batch and commit as ONE transaction; six replies come back in order.
+	c := dialOrDie(addr)
+	send(c, "SET alice 100\r\nSET bob 100\r\nGET alice\r\nGET bob\r\nINCR visits\r\nINCR visits\r\n")
+	fmt.Println("pipelined batch (one commit):")
+	printReplies(c, 6)
+
+	// --- MULTI/EXEC: a transfer whose intermediate state no other
+	// connection can observe. A second client reads both balances
+	// atomically before and after.
+	observer := dialOrDie(addr)
+	fmt.Println("\ntransfer 30 alice->bob inside MULTI/EXEC:")
+	send(c, "MULTI\r\nINCRBY alice -30\r\nINCRBY bob 30\r\nEXEC\r\n")
+	printReplies(c, 4)
+	send(observer, "MULTI\r\nGET alice\r\nGET bob\r\nEXEC\r\n")
+	fmt.Println("observer's atomic snapshot:")
+	printReplies(observer, 4)
+
+	// --- Blocking pop: the consumer's BQPOP parks server-side on
+	// DTx.Retry; the producer's QPUSH commit wakes it.
+	consumer := dialOrDie(addr)
+	popped := make(chan string, 1)
+	go func() {
+		send(consumer, "BQPOP jobs\r\n")
+		line, err := consumer.r.ReadString('\n') // "$15\r\n"
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, err := consumer.r.ReadString('\n')
+		if err != nil {
+			log.Fatal(err)
+		}
+		popped <- strings.TrimRight(line, "\r\n") + " " + strings.TrimRight(body, "\r\n")
+	}()
+	fmt.Println("\nproducer pushes while a consumer blocks in BQPOP:")
+	send(c, "QPUSH jobs build-artifacts\r\n")
+	printReplies(c, 1)
+	fmt.Printf("consumer woke with:\n  %s\n", <-popped)
+}
+
+func dialOrDie(addr string) *client {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return &client{conn: conn, r: bufio.NewReader(conn)}
+}
+
+type client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func send(c *client, req string) {
+	if _, err := c.conn.Write([]byte(req)); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// printReplies reads n top-level replies, following array nesting, and
+// prints them indented.
+func printReplies(c *client, n int) {
+	for i := 0; i < n; i++ {
+		printOne(c, "  ")
+	}
+}
+
+func printOne(c *client, indent string) {
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s%s\n", indent, strings.TrimRight(line, "\r\n"))
+	switch line[0] {
+	case '$':
+		var size int
+		fmt.Sscanf(line[1:], "%d", &size)
+		if size < 0 {
+			return
+		}
+		body := make([]byte, size+2)
+		for read := 0; read < len(body); {
+			m, err := c.r.Read(body[read:])
+			if err != nil {
+				log.Fatal(err)
+			}
+			read += m
+		}
+		fmt.Printf("%s%s\n", indent, strings.TrimRight(string(body), "\r\n"))
+	case '*':
+		var count int
+		fmt.Sscanf(line[1:], "%d", &count)
+		for i := 0; i < count; i++ {
+			printOne(c, indent+"  ")
+		}
+	}
+}

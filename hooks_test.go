@@ -1,0 +1,263 @@
+package stm_test
+
+// Tests for the deferred-action hooks (DTx.OnCommit / DTx.OnAbort): the
+// exactly-once contract, outcome routing, the dropped-speculation rule
+// (a hook registered by an execution that is thrown away must never run),
+// visibility ordering (a commit hook observes the installed values), and
+// the zero-allocation discipline at a stable call site.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	stm "github.com/stm-go/stm"
+)
+
+func TestOnCommitRunsAfterInstall(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, eng stm.Engine) {
+		m := mustNewEngine(t, 8, eng)
+		var ran int
+		var seen uint64
+		if err := m.Atomically(func(tx *stm.DTx) error {
+			tx.Write(2, 77)
+			tx.OnCommit(func() {
+				ran++
+				seen = m.Peek(2) // the write must already be installed
+			})
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if ran != 1 {
+			t.Fatalf("OnCommit ran %d times, want 1", ran)
+		}
+		if seen != 77 {
+			t.Fatalf("OnCommit observed %d, want the installed 77", seen)
+		}
+	})
+}
+
+func TestOnCommitOrdering(t *testing.T) {
+	m := mustNew(t, 8)
+	var order []int
+	if err := m.Atomically(func(tx *stm.DTx) error {
+		tx.OnCommit(func() { order = append(order, 1) })
+		tx.OnCommit(func() { order = append(order, 2) })
+		tx.OnCommit(func() { order = append(order, 3) })
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[1 2 3]" {
+		t.Fatalf("commit hooks ran in order %v, want [1 2 3]", order)
+	}
+}
+
+func TestOnCommitVacuous(t *testing.T) {
+	// A transaction that reads and writes nothing still commits, and its
+	// commit hooks still run — the stmserve reply-flush pattern relies on
+	// this for batches whose only effect is the staged replies.
+	m := mustNew(t, 8)
+	ran := 0
+	if err := m.Atomically(func(tx *stm.DTx) error {
+		tx.OnCommit(func() { ran++ })
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("vacuous commit ran hooks %d times, want 1", ran)
+	}
+}
+
+func TestOnAbortOnUserError(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, eng stm.Engine) {
+		m := mustNewEngine(t, 8, eng)
+		sentinel := errors.New("no")
+		committed, aborted := 0, 0
+		err := m.Atomically(func(tx *stm.DTx) error {
+			tx.Write(1, 9)
+			tx.OnCommit(func() { committed++ })
+			tx.OnAbort(func() { aborted++ })
+			return sentinel
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("err = %v, want sentinel", err)
+		}
+		if committed != 0 || aborted != 1 {
+			t.Fatalf("committed=%d aborted=%d, want 0/1", committed, aborted)
+		}
+		if m.Peek(1) != 0 {
+			t.Fatal("aborted write leaked")
+		}
+	})
+}
+
+func TestOnAbortOnCancelledRetry(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, eng stm.Engine) {
+		m := mustNewEngine(t, 8, eng)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		defer cancel()
+		var committed, aborted atomic.Int64
+		err := m.AtomicallyContext(ctx, func(tx *stm.DTx) error {
+			_ = tx.Read(0)
+			tx.OnCommit(func() { committed.Add(1) })
+			tx.OnAbort(func() { aborted.Add(1) })
+			tx.Retry() // nobody writes word 0; the context lapses
+			return nil
+		})
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want DeadlineExceeded", err)
+		}
+		if committed.Load() != 0 {
+			t.Fatalf("commit hooks ran %d times on a cancelled retry", committed.Load())
+		}
+		if aborted.Load() != 1 {
+			t.Fatalf("abort hooks ran %d times, want exactly 1 (the final speculation's)", aborted.Load())
+		}
+	})
+}
+
+func TestHooksOfAbandonedSpeculationDropped(t *testing.T) {
+	// OrElse: the first branch registers hooks and then retries; the
+	// second branch commits. The first branch's speculation is abandoned,
+	// so neither of its hooks may ever run, in either direction.
+	forEachEngine(t, func(t *testing.T, eng stm.Engine) {
+		m := mustNewEngine(t, 8, eng)
+		var firstCommit, firstAbort, secondCommit int
+		if err := m.OrElse(
+			func(tx *stm.DTx) error {
+				_ = tx.Read(0)
+				tx.OnCommit(func() { firstCommit++ })
+				tx.OnAbort(func() { firstAbort++ })
+				tx.Retry()
+				return nil
+			},
+			func(tx *stm.DTx) error {
+				tx.Write(1, 5)
+				tx.OnCommit(func() { secondCommit++ })
+				return nil
+			},
+		); err != nil {
+			t.Fatal(err)
+		}
+		if firstCommit != 0 || firstAbort != 0 {
+			t.Fatalf("abandoned branch hooks ran (commit=%d abort=%d), want neither", firstCommit, firstAbort)
+		}
+		if secondCommit != 1 {
+			t.Fatalf("second branch commit hooks ran %d times, want 1", secondCommit)
+		}
+	})
+}
+
+func TestOnCommitExactlyOnceUnderContention(t *testing.T) {
+	// Many goroutines increment one word; every speculation registers a
+	// commit hook. Re-executions are certain under this contention, yet
+	// hook runs must equal successful commits exactly — one hook firing
+	// from a thrown-away speculation breaks the count.
+	forEachEngine(t, func(t *testing.T, eng stm.Engine) {
+		m := mustNewEngine(t, 8, eng)
+		const (
+			goroutines = 8
+			increments = 300
+		)
+		var hookRuns atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < increments; i++ {
+					_ = m.Atomically(func(tx *stm.DTx) error {
+						tx.Write(0, tx.Read(0)+1)
+						tx.OnCommit(func() { hookRuns.Add(1) })
+						return nil
+					})
+				}
+			}()
+		}
+		wg.Wait()
+		if got := m.Peek(0); got != goroutines*increments {
+			t.Fatalf("counter = %d, want %d", got, goroutines*increments)
+		}
+		if got := hookRuns.Load(); got != goroutines*increments {
+			t.Fatalf("commit hooks ran %d times, want exactly %d", got, goroutines*increments)
+		}
+	})
+}
+
+func TestOnCommitNilAborts(t *testing.T) {
+	m := mustNew(t, 8)
+	err := m.Atomically(func(tx *stm.DTx) error {
+		tx.OnCommit(nil)
+		return nil
+	})
+	if !errors.Is(err, stm.ErrNilUpdate) {
+		t.Fatalf("OnCommit(nil) err = %v, want ErrNilUpdate", err)
+	}
+	err = m.Atomically(func(tx *stm.DTx) error {
+		tx.OnAbort(nil)
+		return nil
+	})
+	if !errors.Is(err, stm.ErrNilUpdate) {
+		t.Fatalf("OnAbort(nil) err = %v, want ErrNilUpdate", err)
+	}
+}
+
+func TestOnCommitPooledReuseIsolation(t *testing.T) {
+	// Sequential transactions reuse pooled DTx values; a hook registered
+	// by transaction i must not resurface in transaction i+1 (neither
+	// direction, including after an abort that skipped the commit list).
+	m := mustNew(t, 8)
+	var runs [3]int
+	_ = m.Atomically(func(tx *stm.DTx) error {
+		tx.OnCommit(func() { runs[0]++ })
+		return errors.New("abort #0")
+	})
+	if err := m.Atomically(func(tx *stm.DTx) error {
+		tx.OnCommit(func() { runs[1]++ })
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Atomically(func(tx *stm.DTx) error {
+		tx.OnAbort(func() { runs[2]++ })
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if runs != [3]int{0, 1, 0} {
+		t.Fatalf("hook runs = %v, want [0 1 0]", runs)
+	}
+}
+
+func TestAllocsOnCommit(t *testing.T) {
+	// The hook slices survive pooled reuse, and a pre-bound hook function
+	// at a stable call site adds zero allocations to the commit path —
+	// the stmserve flush pattern.
+	forEachEngine(t, func(t *testing.T, eng stm.Engine) {
+		m := mustNewEngine(t, 16, eng)
+		var n int
+		hook := func() { n++ }
+		body := func(tx *stm.DTx) error {
+			tx.Write(0, tx.Read(0)+1)
+			tx.OnCommit(hook)
+			return nil
+		}
+		for i := 0; i < 16; i++ {
+			if err := m.Atomically(body); err != nil {
+				t.Fatal(err)
+			}
+		}
+		assertAllocs(t, "Atomically+OnCommit", 0, func() {
+			if err := m.Atomically(body); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+}

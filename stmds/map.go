@@ -246,6 +246,27 @@ func (mp *Map[K, V]) DeleteTx(tx *stm.DTx, k K) (V, bool) {
 	return op.prev, op.found
 }
 
+// Maintain performs one increment of the map's background upkeep, outside
+// any caller transaction: it advances an in-flight incremental resize by
+// one chunk and starts a resize when occupancy has crossed the growth
+// threshold. Standalone Put/Delete calls do this automatically; a workload
+// that mutates only through the Tx forms (PutTx/DeleteTx — which can
+// neither allocate nor migrate) must call Maintain periodically from
+// non-transactional code, or the table eventually wedges at ErrMapFull
+// with the allocator full of free words. One call after every batch of Tx
+// mutations is plenty; when there is nothing to do, Maintain costs a few
+// atomic loads and no allocation. The only errors are allocation failures
+// (stm.ErrOutOfWords), and they are advisory here — a later call retries.
+func (mp *Map[K, V]) Maintain() error {
+	op := mp.getOp()
+	defer mp.putOp(op)
+	mp.helpMigrate(op)
+	if mp.shouldGrow() {
+		return mp.grow(false)
+	}
+	return nil
+}
+
 // Len returns the number of live entries: one consistent read of the
 // count stripes.
 func (mp *Map[K, V]) Len() int {

@@ -1,0 +1,246 @@
+package stmserve
+
+import (
+	"errors"
+	"strconv"
+)
+
+// The wire protocol is RESP-like and pipelined: a client may write any
+// number of frames back to back, and the server replies to each in order.
+// Two request framings are accepted, freely mixed on one connection:
+//
+//	inline:  VERB arg arg\r\n            (tokens split on spaces; \n alone ok)
+//	array:   *<n>\r\n followed by n of:  $<len>\r\n<len bytes>\r\n
+//
+// The array form is binary-safe (arguments may contain spaces and
+// newlines); the inline form is for humans and netcat. Replies use the
+// RESP reply vocabulary: +simple, -ERR message, :integer, $bulk ($-1 for
+// nil), *array (*-1 for nil).
+//
+// The parser is a pure function over a byte prefix: it never retains the
+// buffer, never allocates (argument slices point into the caller's
+// buffer), and distinguishes a torn frame (errIncomplete — read more and
+// retry) from a malformed one (protocol error — the connection is
+// poisoned and must close after an error reply). Hard limits bound every
+// dimension a hostile client controls: arguments per frame, bytes per
+// argument, bytes per frame.
+
+const (
+	// maxArgs is the most arguments one command may carry, verb included
+	// (ZADD name prio value is the widest at 4).
+	maxArgs = 4
+	// maxArgBytes bounds one argument. Keys and values are further bounded
+	// by MaxKeyBytes/MaxValBytes at execution; this parser-level cap stops
+	// a hostile $<huge> header from reserving memory.
+	maxArgBytes = 1024
+	// maxFrameBytes bounds the bytes one frame may span before the parser
+	// declares the connection poisoned instead of buffering forever.
+	maxFrameBytes = 16 << 10
+)
+
+// errIncomplete reports a torn frame: the buffer holds a valid proper
+// prefix of a frame, and the caller should read more bytes and re-parse.
+var errIncomplete = errors.New("stmserve: incomplete frame")
+
+// Protocol errors. Static instances so the parse path never allocates;
+// the message text goes to the client after "-ERR ".
+var (
+	errProtoArgCount = errors.New("protocol error: too many arguments")
+	errProtoArgLen   = errors.New("protocol error: argument too long")
+	errProtoFrameLen = errors.New("protocol error: frame too long")
+	errProtoBadArray = errors.New("protocol error: malformed array header")
+	errProtoBadBulk  = errors.New("protocol error: malformed bulk argument")
+)
+
+// parseFrame parses one frame from the front of buf. On success it
+// returns the number of arguments (verb included) staged in args and the
+// bytes consumed; nargs 0 with a positive n is an empty inline line
+// (consumed and ignored). On a torn frame it returns errIncomplete; any
+// other error is a protocol error and the connection must close. The
+// staged argument slices alias buf and are valid only while buf's
+// contents are.
+func parseFrame(buf []byte, args *[maxArgs][]byte) (nargs, n int, err error) {
+	if len(buf) == 0 {
+		return 0, 0, errIncomplete
+	}
+	if buf[0] == '*' {
+		return parseArrayFrame(buf, args)
+	}
+	return parseInlineFrame(buf, args)
+}
+
+// parseInlineFrame parses "VERB arg arg\r\n" (or "...\n").
+func parseInlineFrame(buf []byte, args *[maxArgs][]byte) (nargs, n int, err error) {
+	eol := -1
+	limit := len(buf)
+	if limit > maxFrameBytes {
+		limit = maxFrameBytes
+	}
+	for i := 0; i < limit; i++ {
+		if buf[i] == '\n' {
+			eol = i
+			break
+		}
+	}
+	if eol < 0 {
+		if len(buf) >= maxFrameBytes {
+			return 0, 0, errProtoFrameLen
+		}
+		return 0, 0, errIncomplete
+	}
+	line := buf[:eol]
+	if len(line) > 0 && line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
+	}
+	i := 0
+	for i < len(line) {
+		for i < len(line) && line[i] == ' ' {
+			i++
+		}
+		if i == len(line) {
+			break
+		}
+		j := i
+		for j < len(line) && line[j] != ' ' {
+			j++
+		}
+		if nargs == maxArgs {
+			return 0, 0, errProtoArgCount
+		}
+		if j-i > maxArgBytes {
+			return 0, 0, errProtoArgLen
+		}
+		args[nargs] = line[i:j]
+		nargs++
+		i = j
+	}
+	return nargs, eol + 1, nil
+}
+
+// parseArrayFrame parses "*<n>\r\n" then n bulk arguments.
+func parseArrayFrame(buf []byte, args *[maxArgs][]byte) (nargs, n int, err error) {
+	count, pos, err := parseCRLFInt(buf, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	if count > maxArgs {
+		return 0, 0, errProtoArgCount
+	}
+	if count == 0 {
+		return 0, pos, nil // "*0\r\n": an empty command, consumed and ignored
+	}
+	for a := uint64(0); a < count; a++ {
+		if pos >= len(buf) {
+			return 0, 0, tornOrTooLong(buf)
+		}
+		if buf[pos] != '$' {
+			return 0, 0, errProtoBadBulk
+		}
+		alen, next, err := parseCRLFInt(buf, pos+1)
+		if err != nil {
+			return 0, 0, err
+		}
+		if alen > maxArgBytes {
+			return 0, 0, errProtoArgLen
+		}
+		end := next + int(alen)
+		if end+2 > len(buf) {
+			return 0, 0, tornOrTooLong(buf)
+		}
+		if buf[end] != '\r' || buf[end+1] != '\n' {
+			return 0, 0, errProtoBadBulk
+		}
+		args[a] = buf[next:end]
+		pos = end + 2
+	}
+	return int(count), pos, nil
+}
+
+// parseCRLFInt parses an unsigned decimal starting at buf[from],
+// terminated by CRLF, returning the value and the index past the
+// terminator. At most 7 digits — frame-internal integers are small.
+func parseCRLFInt(buf []byte, from int) (v uint64, next int, err error) {
+	i := from
+	for ; i < len(buf) && i-from <= 7; i++ {
+		c := buf[i]
+		if c >= '0' && c <= '9' {
+			v = v*10 + uint64(c-'0')
+			continue
+		}
+		if c != '\r' {
+			return 0, 0, errProtoBadArray
+		}
+		break
+	}
+	if i == from {
+		if i < len(buf) {
+			return 0, 0, errProtoBadArray // no digits at all
+		}
+		return 0, 0, tornOrTooLong(buf)
+	}
+	if i-from > 7 {
+		return 0, 0, errProtoBadArray
+	}
+	if i+1 >= len(buf) {
+		return 0, 0, tornOrTooLong(buf)
+	}
+	if buf[i] != '\r' || buf[i+1] != '\n' {
+		return 0, 0, errProtoBadArray
+	}
+	return v, i + 2, nil
+}
+
+// tornOrTooLong classifies a frame that ran past the end of the buffer:
+// torn (read more) while under the frame cap, poisoned beyond it.
+func tornOrTooLong(buf []byte) error {
+	if len(buf) >= maxFrameBytes {
+		return errProtoFrameLen
+	}
+	return errIncomplete
+}
+
+// Reply encoders: append-only, allocation-free once the destination has
+// capacity. The session stages every reply through these into its
+// connection-owned scratch and flushes once per commit.
+
+var crlf = [2]byte{'\r', '\n'}
+
+func appendSimple(dst []byte, s string) []byte {
+	dst = append(dst, '+')
+	dst = append(dst, s...)
+	return append(dst, crlf[:]...)
+}
+
+func appendError(dst []byte, msg string) []byte {
+	dst = append(dst, '-')
+	dst = append(dst, msg...)
+	return append(dst, crlf[:]...)
+}
+
+func appendInteger(dst []byte, v int64) []byte {
+	dst = append(dst, ':')
+	dst = strconv.AppendInt(dst, v, 10)
+	return append(dst, crlf[:]...)
+}
+
+func appendBulk(dst []byte, p []byte) []byte {
+	dst = append(dst, '$')
+	dst = strconv.AppendInt(dst, int64(len(p)), 10)
+	dst = append(dst, crlf[:]...)
+	dst = append(dst, p...)
+	return append(dst, crlf[:]...)
+}
+
+func appendNilBulk(dst []byte) []byte {
+	return append(dst, '$', '-', '1', '\r', '\n')
+}
+
+func appendArrayHeader(dst []byte, n int) []byte {
+	dst = append(dst, '*')
+	dst = strconv.AppendInt(dst, int64(n), 10)
+	return append(dst, crlf[:]...)
+}
+
+func appendNilArray(dst []byte) []byte {
+	return append(dst, '*', '-', '1', '\r', '\n')
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package stmserve
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; allocation pins skip under it (instrumentation allocates).
+const raceEnabled = false
