@@ -1,10 +1,20 @@
-// Command stmsim runs a single simulated benchmark scenario and reports
-// its outcome in detail — the exploration/debugging companion to stmbench.
+// Command stmsim runs simulations at two very different scales.
 //
-// Example:
+// Without -suite it is the paper's cycle-level simulator — one simulated
+// benchmark scenario, reported in detail, the exploration/debugging
+// companion to stmbench:
 //
 //	stmsim -kind counting -method stm -arch bus -procs 16 -duration 500000
 //	stmsim -kind queue -method herlihy -arch net -procs 8 -stall 2
+//
+// With -suite it drives the whole-system scenario and chaos harness in
+// the simulation package: real goroutines, real structures, a real TCP
+// server, seeded fault injection, continuous invariant checks:
+//
+//	stmsim -suite smoke                  # CI tier, ~30s
+//	stmsim -suite canary -duration 10m   # long matrix run
+//	stmsim -suite sanity                 # only the planted bug; must be caught
+//	stmsim -suite smoke -seed 12345      # replay a failing run
 package main
 
 import (
@@ -12,9 +22,13 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"time"
 
+	stm "github.com/stm-go/stm"
 	"github.com/stm-go/stm/internal/sim"
 	"github.com/stm-go/stm/internal/workload"
+	"github.com/stm-go/stm/simulation"
 )
 
 func main() {
@@ -27,12 +41,16 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("stmsim", flag.ContinueOnError)
 	var (
+		suite    = fs.String("suite", "", "whole-system harness tier: smoke, canary, sanity (empty: cycle-level simulator)")
+		engine   = fs.String("engine", "", "suite mode: restrict to one commit engine (st, tl2)")
+		workers  = fs.Int("workers", 4, "suite mode: worker goroutines per scenario")
+		nofaults = fs.Bool("nofaults", false, "suite mode: disarm fault injection")
 		kind     = fs.String("kind", "counting", "workload: counting, queue, resalloc")
 		method   = fs.String("method", "stm", "method: stm, stm-nohelp, stm-unsorted, herlihy, ttas, mcs")
 		arch     = fs.String("arch", "bus", "architecture: bus, net")
 		procs    = fs.Int("procs", 8, "simulated processors")
-		duration = fs.Int64("duration", 500_000, "virtual cycles")
-		seed     = fs.Uint64("seed", 1995, "random seed")
+		duration = fs.String("duration", "", "virtual cycles (simulator, default 500000) or wall time like 10m (suite)")
+		seed     = fs.Uint64("seed", 1995, "random seed (suite: 0 or unset picks fresh / honors STM_SIM_SEED)")
 		queueCap = fs.Int("queuecap", 32, "queue capacity (queue workload)")
 		pools    = fs.Int("pools", 16, "resource pools (resalloc workload)")
 		k        = fs.Int("k", 3, "resources per acquisition (resalloc workload)")
@@ -41,20 +59,38 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	seedSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
 
+	if *suite != "" {
+		return runSuite(*suite, *engine, *duration, *workers, *seed, seedSet, *nofaults)
+	}
+
+	cycles := int64(500_000)
+	if *duration != "" {
+		n, err := strconv.ParseInt(*duration, 10, 64)
+		if err != nil {
+			return fmt.Errorf("-duration %q: simulator mode wants virtual cycles (use -suite for wall time)", *duration)
+		}
+		cycles = n
+	}
 	spec := workload.Spec{
 		Kind:     workload.Kind(*kind),
 		Method:   workload.Method(*method),
 		Arch:     workload.Arch(*arch),
 		Procs:    *procs,
-		Duration: *duration,
+		Duration: cycles,
 		Seed:     *seed,
 		QueueCap: *queueCap,
 		Pools:    *pools,
 		K:        *k,
 	}
 	if *stall > 0 {
-		spec.Stall = &sim.StallPlan{Procs: *stall, Period: 10, Duration: *duration / 20}
+		spec.Stall = &sim.StallPlan{Procs: *stall, Period: 10, Duration: cycles / 20}
 	}
 
 	out, err := workload.Run(spec)
@@ -82,6 +118,61 @@ func run(args []string) error {
 	sort.Strings(keys)
 	for _, k := range keys {
 		fmt.Printf("%-11s %.0f\n", k, out.Extra[k])
+	}
+	return nil
+}
+
+// runSuite dispatches -suite mode to the simulation harness.
+func runSuite(tier, engine, duration string, workers int, seed uint64, seedSet bool, nofaults bool) error {
+	var cfg simulation.SuiteConfig
+	switch tier {
+	case "smoke":
+		cfg = simulation.Smoke()
+	case "canary":
+		total := time.Duration(0)
+		if duration != "" {
+			d, err := time.ParseDuration(duration)
+			if err != nil {
+				return fmt.Errorf("-duration %q: suite mode wants wall time like 10m", duration)
+			}
+			total = d
+		}
+		cfg = simulation.Canary(total)
+	case "sanity":
+		cfg = simulation.Smoke()
+		cfg.Scenarios = []simulation.Scenario{} // only the planted bug
+		cfg.Duration = 2 * time.Second
+	default:
+		return fmt.Errorf("-suite %q: want smoke, canary, or sanity", tier)
+	}
+	if tier != "canary" && duration != "" {
+		d, err := time.ParseDuration(duration)
+		if err != nil {
+			return fmt.Errorf("-duration %q: suite mode wants wall time like 10m", duration)
+		}
+		cfg.Duration = d
+	}
+	if engine != "" {
+		e, err := stm.ParseEngine(engine)
+		if err != nil {
+			return err
+		}
+		cfg.Engines = []stm.Engine{e}
+	}
+	if workers > 0 {
+		cfg.Workers = workers
+	}
+	if seedSet {
+		cfg.Seed = seed
+	}
+	if nofaults {
+		cfg.Faults = false
+		cfg.MinInject = 0
+	}
+	cfg.Out = os.Stdout
+	_, ok := simulation.RunSuite(cfg)
+	if !ok {
+		return fmt.Errorf("suite %s failed", tier)
 	}
 	return nil
 }

@@ -31,3 +31,31 @@ func TestRunRejectsBadSpec(t *testing.T) {
 		t.Error("zero procs: want error")
 	}
 }
+
+// TestRunSuiteSanity drives the harness dispatch end to end through the
+// binary's flag surface: the sanity tier must pass (because the planted
+// bug is caught) on a filtered engine with a pinned seed.
+func TestRunSuiteSanity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-system suite: seconds of wall clock")
+	}
+	args := []string{"-suite", "sanity", "-engine", "st", "-seed", "31"}
+	if err := run(args); err != nil {
+		t.Errorf("run(%v): %v", args, err)
+	}
+}
+
+func TestRunSuiteRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-suite", "bogus"}); err == nil {
+		t.Error("bogus suite tier: want error")
+	}
+	if err := run([]string{"-suite", "smoke", "-engine", "bogus"}); err == nil {
+		t.Error("bogus engine: want error")
+	}
+	if err := run([]string{"-suite", "smoke", "-duration", "potato"}); err == nil {
+		t.Error("unparsable suite duration: want error")
+	}
+	if err := run([]string{"-duration", "10m"}); err == nil {
+		t.Error("wall-time duration in simulator mode: want error")
+	}
+}

@@ -16,6 +16,8 @@ import (
 	"time"
 
 	stm "github.com/stm-go/stm"
+	"github.com/stm-go/stm/internal/simrand"
+	"github.com/stm-go/stm/internal/xrand"
 )
 
 func TestAtomicallyBasics(t *testing.T) {
@@ -657,18 +659,16 @@ func testDynamicLinkedListConservation(t *testing.T, eng stm.Engine) {
 		t.Fatal(err)
 	}
 
+	// Worker schedules derive from one simrand base seed, logged with
+	// replay instructions (STM_SIM_SEED) if the harness fails.
+	seed := simrand.SeedForTest(t)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rng := uint64(w)*0x9e3779b97f4a7c15 + 1
-			next := func(n int) int {
-				rng ^= rng << 13
-				rng ^= rng >> 7
-				rng ^= rng << 17
-				return int(rng % uint64(n))
-			}
+			rng := xrand.New(seed ^ (uint64(w)*0x9e3779b97f4a7c15 + 1))
+			next := func(n int) int { return rng.Intn(n) }
 			for i := 0; i < transfers; i++ {
 				from, to := next(nodes), next(nodes)
 				if err := m.Atomically(func(tx *stm.DTx) error {

@@ -128,6 +128,12 @@ func (e *tl2Engine) Attempt(rec *Rec, oldOut []uint64, info *ConflictInfo) bool 
 		rec.obsWrites = writes
 		m.obsEmit(rec, EvLock, -1, writes)
 	}
+	// Chaos injection: stall with the commit locks held, clock untouched.
+	// Conflicting writers fail at their lock CAS and defer to the policy;
+	// invisible readers of the locked words fail admission.
+	if m.chaosOn.Load() != 0 {
+		m.chaosFire(ChaosTL2PostLock, rec.addrs, writes)
+	}
 
 	// Clock step (GV4): one CAS; a loser adopts the winner's value rather
 	// than retrying, which is safe because every participant holds its
@@ -180,6 +186,14 @@ func (e *tl2Engine) Attempt(rec *Rec, oldOut []uint64, info *ConflictInfo) bool 
 				return e.fail(rec, info, i, nil, ReasonTL2Validate)
 			}
 		}
+	}
+
+	// Chaos injection: stall between the GV4 clock step (and validation)
+	// and the first write-back — the clock already carries wv but no word
+	// is stamped or installed, so every concurrent reader serializes
+	// before this commit while its locks obstruct the write set.
+	if m.chaosOn.Load() != 0 {
+		m.chaosFire(ChaosTL2PostClock, rec.addrs, writes)
 	}
 
 	// Write back: stamp wv, then install a fresh box — in that order, per

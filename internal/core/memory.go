@@ -86,6 +86,12 @@ type Memory struct {
 	// triple.
 	obsLvl atomic.Uint32
 	obsPtr atomic.Pointer[obsState]
+
+	// Chaos seam (see chaos.go). Same gate discipline as the obs seam:
+	// chaosOn is one plain load per injection site, predicted not-taken
+	// while no hook is registered; chaosPtr holds the registered hook.
+	chaosOn  atomic.Uint32
+	chaosPtr atomic.Pointer[chaosState]
 }
 
 // NewMemory returns a Memory of size words, all initialized to zero,
@@ -302,6 +308,13 @@ func (m *Memory) transaction(rec *Rec, initiator bool) {
 	}
 
 	if st == statusSuccess {
+		// Chaos injection: the initiator stalls here with the whole data
+		// set owned and nothing installed — the exact stall cooperative
+		// helping exists to absorb. Helpers never fire (a parked helper
+		// would multiply one injected stall across every rescuer).
+		if initiator && m.chaosOn.Load() != 0 {
+			m.chaosFire(ChaosSTPostLock, rec.addrs, len(rec.addrs))
+		}
 		m.agreeOldValues(rec)
 		newv := m.newValuesFor(rec, initiator)
 		m.updateMemory(rec, newv, initiator)
@@ -320,6 +333,13 @@ func (m *Memory) transaction(rec *Rec, initiator bool) {
 	owner := m.words[rec.addrs[idx]].owner.Load()
 	if owner != nil && owner != rec && owner.pin() {
 		if owner.stable.Load() {
+			// Chaos injection: stall the failed initiator mid-helping,
+			// after pinning its blocker but before executing the blocker's
+			// protocol. The pin keeps the blocker's record from recycling
+			// under the stall; the blocker itself is never delayed.
+			if m.chaosOn.Load() != 0 {
+				m.chaosFire(ChaosSTHelping, rec.addrs, -1)
+			}
 			m.stats.help(rec.shard)
 			m.transaction(owner, false)
 			helped = true

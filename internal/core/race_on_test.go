@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; allocation-count assertions are skipped under it, because the
+// detector's shadow bookkeeping allocates.
+const raceEnabled = true

@@ -1,0 +1,71 @@
+// Package simrand is the seed-plumbing convention shared by every
+// randomized harness in the repository: the simulation suite, the
+// race-mode linearizability and conservation tests, and the stmserve
+// pipeline stress tests.
+//
+// The contract is simple and uniform: each harness draws one base seed per
+// run — from the STM_SIM_SEED environment variable when set, otherwise
+// time-derived — derives all of its per-worker/per-round streams from that
+// base with xrand.Split or explicit mixing, and prints the base seed with
+// replay instructions when (and only when) it fails. A failure report is
+// therefore always one `STM_SIM_SEED=<n> go test -run <name>` away from a
+// deterministic rerun.
+package simrand
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/stm-go/stm/internal/xrand"
+)
+
+// EnvSeed is the environment variable consulted for a replay seed, as an
+// unsigned decimal. When set, every harness in the process uses it as the
+// base seed; when unset, each harness draws a distinct time-derived seed.
+const EnvSeed = "STM_SIM_SEED"
+
+// seq decorrelates multiple Pick calls in one process when no replay seed
+// is set, so two harnesses starting in the same nanosecond still diverge.
+var seq atomic.Uint64
+
+// Pick returns the run's base seed and whether it came from EnvSeed
+// (replay) rather than being freshly drawn.
+func Pick() (seed uint64, replay bool) {
+	if s := os.Getenv(EnvSeed); s != "" {
+		if v, err := strconv.ParseUint(s, 10, 64); err == nil {
+			return v, true
+		}
+		fmt.Fprintf(os.Stderr, "simrand: ignoring unparseable %s=%q\n", EnvSeed, s)
+	}
+	// Mix the counter through splitmix so consecutive picks are far apart.
+	return xrand.New(uint64(time.Now().UnixNano()) + seq.Add(1)*0x9e3779b97f4a7c15).Uint64(), false
+}
+
+// SeedForTest picks a base seed for tb and registers a cleanup that, if tb
+// failed, logs the seed and how to replay with it. Derive every stream the
+// test uses from the returned seed (xrand.New(seed).Split(), or mix in
+// worker/round indices) so the replay is exact.
+func SeedForTest(tb testing.TB) uint64 {
+	tb.Helper()
+	seed, replay := Pick()
+	tb.Cleanup(func() {
+		if tb.Failed() {
+			tb.Logf("simrand: base seed %d — replay with %s=%d go test -run '^%s$'",
+				seed, EnvSeed, seed, tb.Name())
+		} else if replay {
+			tb.Logf("simrand: replayed with base seed %d (from %s)", seed, EnvSeed)
+		}
+	})
+	return seed
+}
+
+// ForTest is SeedForTest returning a generator seeded with the picked base
+// seed, for tests that want a single stream.
+func ForTest(tb testing.TB) *xrand.RNG {
+	tb.Helper()
+	return xrand.New(SeedForTest(tb))
+}

@@ -1,0 +1,49 @@
+package simrand
+
+import (
+	"os"
+	"testing"
+)
+
+func TestPickReplaysFromEnv(t *testing.T) {
+	t.Setenv(EnvSeed, "123456789")
+	seed, replay := Pick()
+	if !replay || seed != 123456789 {
+		t.Fatalf("Pick() = (%d, %v), want (123456789, true)", seed, replay)
+	}
+}
+
+func TestPickFreshSeedsDiverge(t *testing.T) {
+	if os.Getenv(EnvSeed) != "" {
+		t.Skipf("%s set; fresh-seed path not exercised", EnvSeed)
+	}
+	a, ra := Pick()
+	b, rb := Pick()
+	if ra || rb {
+		t.Fatalf("fresh picks reported replay=true")
+	}
+	if a == b {
+		t.Fatalf("consecutive fresh picks collided: %d", a)
+	}
+}
+
+func TestPickIgnoresGarbageEnv(t *testing.T) {
+	t.Setenv(EnvSeed, "not-a-number")
+	_, replay := Pick()
+	if replay {
+		t.Fatalf("garbage %s treated as a replay seed", EnvSeed)
+	}
+}
+
+func TestSeedForTestDeterministic(t *testing.T) {
+	t.Setenv(EnvSeed, "42")
+	if got := SeedForTest(t); got != 42 {
+		t.Fatalf("SeedForTest = %d, want 42", got)
+	}
+	if got := ForTest(t).Uint64(); got != func() uint64 {
+		r := ForTest(t)
+		return r.Uint64()
+	}() {
+		t.Fatalf("ForTest streams with the same seed diverged: %d", got)
+	}
+}

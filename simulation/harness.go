@@ -1,0 +1,294 @@
+// The harness core: scenario configuration, the per-run environment
+// handed to scenarios (memory construction, seeded streams, stop signal,
+// op/check/violation accounting), and the single-run driver.
+
+package simulation
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	stm "github.com/stm-go/stm"
+	"github.com/stm-go/stm/contention"
+	"github.com/stm-go/stm/internal/xrand"
+)
+
+// Scenario is one whole-system workload. Run starts the scenario's
+// goroutines against env, loops them until env.Stopped(), joins them, and
+// performs any teardown checks. It returns an error only for
+// infrastructure failures (listen failed, allocation failed); invariant
+// violations are reported through env.Violatef, which also ends the run.
+type Scenario interface {
+	Name() string
+	Run(env *Env) error
+}
+
+// Config parameterizes one scenario run.
+type Config struct {
+	Engine   stm.Engine    // commit engine for every Memory the run builds
+	Policy   string        // contention policy selector; see Policies
+	Seed     uint64        // base seed; every random decision derives from it
+	Duration time.Duration // wall-clock run time (violations end runs early)
+	Workers  int           // worker-goroutine budget; scenarios split it
+	Faults   bool          // arm the Parker, storms, churn, and conn kills
+}
+
+// Policies lists the contention-policy selectors Config.Policy accepts.
+// "default" is capped exponential backoff (contention.Default).
+func Policies() []string {
+	return []string{"default", "aggressive", "expbackoff", "karma", "adaptive"}
+}
+
+// policyFactory maps a selector to a fresh-instance factory, suitable for
+// stm.WithPolicyFactory so every Memory in a run gets its own policy
+// state (windowed counters, serialization tokens).
+func policyFactory(name string) (func() contention.Policy, error) {
+	switch name {
+	case "", "default":
+		return func() contention.Policy { return contention.Default() }, nil
+	case "aggressive":
+		return func() contention.Policy { return contention.NewAggressive() }, nil
+	case "expbackoff":
+		return func() contention.Policy {
+			return contention.NewExpBackoff(500*time.Nanosecond, 100*time.Microsecond)
+		}, nil
+	case "karma":
+		return func() contention.Policy { return contention.NewKarma(0, 0) }, nil
+	case "adaptive":
+		return func() contention.Policy { return contention.NewAdaptive(contention.AdaptiveConfig{}) }, nil
+	default:
+		return nil, fmt.Errorf("simulation: unknown policy %q (have %v)", name, Policies())
+	}
+}
+
+// maxViolations bounds the recorded messages: the first violation already
+// fails the run, later ones are corroboration, and an unbounded slice
+// under a hot auditor loop is a memory leak.
+const maxViolations = 16
+
+// Env is the per-run environment a Scenario runs inside: it builds the
+// run's Memories (engine, policy, observability, and chaos hook applied
+// uniformly), hands out seeded random streams, carries the stop signal,
+// and accounts operations, invariant checks, and violations.
+type Env struct {
+	cfg     Config
+	factory func() contention.Policy
+	ctx     context.Context
+	cancel  context.CancelFunc
+	parker  *Parker
+
+	memMu sync.Mutex
+	mems  []*stm.Memory
+
+	ops    atomic.Uint64
+	checks atomic.Uint64
+
+	vioMu      sync.Mutex
+	violations []string
+	vioDropped uint64
+}
+
+func newEnv(cfg Config) (*Env, error) {
+	factory, err := policyFactory(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	env := &Env{cfg: cfg, factory: factory, ctx: ctx, cancel: cancel}
+	if cfg.Faults {
+		env.parker = newParker(cfg.Seed)
+	}
+	return env, nil
+}
+
+// Config returns the run's configuration.
+func (e *Env) Config() Config { return e.cfg }
+
+// Workers returns the worker-goroutine budget (always >= 1).
+func (e *Env) Workers() int { return e.cfg.Workers }
+
+// FaultsOn reports whether fault injection is armed for this run.
+func (e *Env) FaultsOn() bool { return e.parker != nil }
+
+// Ctx is the run's context: cancelled when the duration elapses or a
+// violation is recorded. Blocking transactional waits (OrElseContext,
+// AtomicallyContext, BQPOP-style parks) must use it so shutdown unparks
+// them.
+func (e *Env) Ctx() context.Context { return e.ctx }
+
+// Stopped reports whether the run is over. Worker loops poll it.
+func (e *Env) Stopped() bool {
+	select {
+	case <-e.ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// Stream returns a random stream derived deterministically from the run
+// seed and tag. Distinct tags give decorrelated streams; the same
+// (seed, tag) pair replays the same stream.
+func (e *Env) Stream(tag uint64) *xrand.RNG {
+	return xrand.New(e.cfg.Seed ^ (tag+1)*0x9e3779b97f4a7c15)
+}
+
+// NewMemory builds a Memory of the given word size with the run's engine,
+// a fresh policy instance, taxonomy counters, and — when faults are armed
+// — the Parker's chaos hook attached.
+func (e *Env) NewMemory(words int) (*stm.Memory, error) {
+	m, err := stm.New(words,
+		stm.WithEngine(e.cfg.Engine),
+		stm.WithPolicyFactory(e.factory),
+		stm.WithObs(stm.ObsConfig{Level: stm.ObsCounters}),
+	)
+	if err != nil {
+		return nil, err
+	}
+	e.Attach(m)
+	return m, nil
+}
+
+// Attach wires a Memory the scenario built elsewhere (e.g. inside an
+// stmserve.Server) into the run: taxonomy counters on, the chaos hook
+// registered when faults are armed, and its stats folded into the Result.
+func (e *Env) Attach(m *stm.Memory) {
+	m.Observe(stm.ObsConfig{Level: stm.ObsCounters})
+	if e.parker != nil {
+		m.SetChaos(e.parker.hook)
+	}
+	e.memMu.Lock()
+	e.mems = append(e.mems, m)
+	e.memMu.Unlock()
+}
+
+// Op records one completed scenario operation (a transfer, a match, a
+// token moved, one network round trip).
+func (e *Env) Op() { e.ops.Add(1) }
+
+// Checked records one completed invariant check.
+func (e *Env) Checked() { e.checks.Add(1) }
+
+// Violatef records an invariant violation and ends the run. Never call it
+// from inside a transaction body: bodies run speculatively and may
+// observe states that will not commit. Compute the evidence inside the
+// transaction, let it commit, then judge it.
+func (e *Env) Violatef(format string, args ...any) {
+	e.vioMu.Lock()
+	if len(e.violations) < maxViolations {
+		e.violations = append(e.violations, fmt.Sprintf(format, args...))
+	} else {
+		e.vioDropped++
+	}
+	e.vioMu.Unlock()
+	e.cancel()
+}
+
+// CountConnKill / CountMapChurn record non-seam fault injections so the
+// report can prove each injector actually fired.
+func (e *Env) CountConnKill() {
+	if e.parker != nil {
+		e.parker.connKills.Add(1)
+	}
+}
+
+func (e *Env) CountMapChurn() {
+	if e.parker != nil {
+		e.parker.mapChurn.Add(1)
+	}
+}
+
+// takeViolations snapshots the recorded messages.
+func (e *Env) takeViolations() []string {
+	e.vioMu.Lock()
+	defer e.vioMu.Unlock()
+	out := append([]string(nil), e.violations...)
+	if e.vioDropped > 0 {
+		out = append(out, fmt.Sprintf("... and %d more violations dropped", e.vioDropped))
+	}
+	return out
+}
+
+// sumStats folds the stats of every attached Memory (scenarios typically
+// build one; serve attaches the server's) into a single snapshot of the
+// scalar counters. Histograms are taken from the first Memory — merging
+// them buys nothing the counters don't already say.
+func (e *Env) sumStats() stm.StatsSnapshot {
+	e.memMu.Lock()
+	defer e.memMu.Unlock()
+	var out stm.StatsSnapshot
+	for i, m := range e.mems {
+		s := m.Stats()
+		if i == 0 {
+			out = s
+			continue
+		}
+		out.Attempts += s.Attempts
+		out.Commits += s.Commits
+		out.Failures += s.Failures
+		out.Helps += s.Helps
+		out.STConflictAborts += s.STConflictAborts
+		out.STHelpedAborts += s.STHelpedAborts
+		out.TL2ReadAborts += s.TL2ReadAborts
+		out.TL2LockAborts += s.TL2LockAborts
+		out.TL2ValidateAborts += s.TL2ValidateAborts
+		out.TL2ReadOnlyCommits += s.TL2ReadOnlyCommits
+		out.TL2ClockRaces += s.TL2ClockRaces
+		out.TL2ClockAdoptions += s.TL2ClockAdoptions
+	}
+	return out
+}
+
+// RunScenario executes one scenario under cfg and reports the outcome.
+// It always returns a Result; Result.Err carries infrastructure failures.
+func RunScenario(cfg Config, scn Scenario) Result {
+	start := time.Now()
+	res := Result{
+		Scenario: scn.Name(),
+		Engine:   cfg.Engine,
+		Policy:   cfg.Policy,
+		Seed:     cfg.Seed,
+	}
+	if res.Policy == "" {
+		res.Policy = "default"
+	}
+	env, err := newEnv(cfg)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	defer env.cancel()
+	timer := time.AfterFunc(env.cfg.Duration, env.cancel)
+	defer timer.Stop()
+	if env.parker != nil {
+		var stormWG sync.WaitGroup
+		stormWG.Add(1)
+		go func() {
+			defer stormWG.Done()
+			env.parker.storm(env.ctx)
+		}()
+		defer stormWG.Wait()
+	}
+
+	res.Err = scn.Run(env)
+	env.cancel()
+
+	res.Duration = time.Since(start)
+	res.Ops = env.ops.Load()
+	res.Checks = env.checks.Load()
+	res.Violations = env.takeViolations()
+	res.Stats = env.sumStats()
+	if env.parker != nil {
+		res.Faults = env.parker.counts()
+	}
+	return res
+}

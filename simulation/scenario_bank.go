@@ -1,0 +1,134 @@
+// The bank scenario: concurrent transfers over an stmds.Map of accounts,
+// audited by whole-map RangeTx snapshots asserting the conserved total —
+// the canonical atomicity demonstration, run at system scale with resizes
+// in flight under the auditors.
+
+package simulation
+
+import (
+	"sync"
+
+	stm "github.com/stm-go/stm"
+	"github.com/stm-go/stm/stmds"
+)
+
+const (
+	bankAccounts = 48
+	bankInitial  = int64(1_000)
+	bankChurnMax = 96 // ephemeral keys above the account range
+)
+
+type bankScenario struct{}
+
+// Bank returns the transfer/audit scenario.
+func Bank() Scenario { return bankScenario{} }
+
+func (bankScenario) Name() string { return "bank" }
+
+func (bankScenario) Run(env *Env) error {
+	m, err := env.NewMemory(1 << 16)
+	if err != nil {
+		return err
+	}
+	// Seed the map small so growth happens during the run, not before it.
+	mp, err := stmds.NewMap[int64, int64](m, stm.Int64(), stm.Int64(), 0)
+	if err != nil {
+		return err
+	}
+	for k := int64(0); k < bankAccounts; k++ {
+		if _, _, err := mp.Put(k, bankInitial); err != nil {
+			return err
+		}
+	}
+	const total = bankAccounts * bankInitial
+
+	var wg sync.WaitGroup
+	for w := 0; w < env.Workers(); w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := env.Stream(uint64(w))
+			for !env.Stopped() {
+				from := int64(rng.Intn(bankAccounts))
+				to := int64(rng.Intn(bankAccounts))
+				want := int64(rng.Intn(200) + 1)
+				if from == to {
+					continue
+				}
+				err := m.Atomically(func(tx *stm.DTx) error {
+					va, _ := mp.GetTx(tx, from)
+					vb, _ := mp.GetTx(tx, to)
+					amt := want
+					if amt > va {
+						amt = va // never overdraw; audits also check non-negative
+					}
+					if amt == 0 {
+						return nil
+					}
+					if _, _, err := mp.PutTx(tx, from, va-amt); err != nil {
+						return err
+					}
+					_, _, err := mp.PutTx(tx, to, vb+amt)
+					return err
+				})
+				if err != nil {
+					env.Violatef("bank: transfer failed: %v", err)
+					return
+				}
+				env.Op()
+				// Fault injector: churn an ephemeral key so incremental
+				// resizes keep running under the snapshot auditors. The key
+				// is outside the audited range and worth 0 either way.
+				if env.FaultsOn() && rng.Intn(4) == 0 {
+					ck := bankAccounts + int64(rng.Intn(bankChurnMax))
+					if _, _, err := mp.Put(ck, 0); err != nil {
+						env.Violatef("bank: churn put failed: %v", err)
+						return
+					}
+					mp.Delete(ck)
+					env.CountMapChurn()
+				}
+			}
+		}(w)
+	}
+
+	for a := 0; a < 2; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for !env.Stopped() {
+				var sum, negKey, negVal int64
+				neg := false
+				err := m.Atomically(func(tx *stm.DTx) error {
+					sum, neg = 0, false
+					mp.RangeTx(tx, func(k, v int64) bool {
+						if k < bankAccounts {
+							sum += v
+						}
+						if v < 0 {
+							neg, negKey, negVal = true, k, v
+						}
+						return true
+					})
+					return nil
+				})
+				if err != nil {
+					env.Violatef("bank: audit failed: %v", err)
+					return
+				}
+				if sum != total {
+					env.Violatef("bank: conservation broken: RangeTx sum = %d, want %d", sum, total)
+					return
+				}
+				if neg {
+					env.Violatef("bank: account %d went negative (%d)", negKey, negVal)
+					return
+				}
+				env.Checked()
+			}
+		}(a)
+	}
+
+	wg.Wait()
+	return nil
+}

@@ -1,0 +1,179 @@
+// The mesh scenario: a three-stage producer/consumer pipeline over
+// stmds.Queues whose middle stages are OrElse monitors — each mover
+// prefers draining its downstream queue and falls back to the upstream
+// one, parking transactionally when both are blocked. Producers and
+// consumers maintain in/out counter and sum Vars in the same transactions
+// that move tokens, so the auditors can assert flow balance
+// (in == out + queued) in one snapshot, and teardown can drain the pipe
+// and balance the value sums exactly.
+
+package simulation
+
+import (
+	"runtime"
+	"sync"
+
+	stm "github.com/stm-go/stm"
+	"github.com/stm-go/stm/stmds"
+)
+
+const meshQueueCap = 32
+
+type meshScenario struct{}
+
+// Mesh returns the pipeline scenario.
+func Mesh() Scenario { return meshScenario{} }
+
+func (meshScenario) Name() string { return "mesh" }
+
+func (meshScenario) Run(env *Env) error {
+	m, err := env.NewMemory(1 << 12)
+	if err != nil {
+		return err
+	}
+	var qs [3]*stmds.Queue[int64]
+	for i := range qs {
+		if qs[i], err = stmds.NewQueue[int64](m, stm.Int64(), meshQueueCap); err != nil {
+			return err
+		}
+	}
+	var inCnt, outCnt, inSum, outSum *stm.Var[int64]
+	for _, v := range []**stm.Var[int64]{&inCnt, &outCnt, &inSum, &outSum} {
+		if *v, err = stm.Alloc[int64](m, stm.Int64()); err != nil {
+			return err
+		}
+	}
+
+	producers := env.Workers() / 2
+	if producers == 0 {
+		producers = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := env.Stream(uint64(w))
+			for !env.Stopped() {
+				v := int64(rng.Intn(100) + 1)
+				ok := false
+				err := m.Atomically(func(tx *stm.DTx) error {
+					ok = qs[0].TryPutTx(tx, v)
+					if !ok {
+						return nil
+					}
+					stm.WriteVar(tx, inCnt, stm.ReadVar(tx, inCnt)+1)
+					stm.WriteVar(tx, inSum, stm.ReadVar(tx, inSum)+v)
+					return nil
+				})
+				if err != nil {
+					env.Violatef("mesh: produce failed: %v", err)
+					return
+				}
+				if ok {
+					env.Op()
+				} else {
+					runtime.Gosched() // pipe full; let movers catch up
+				}
+			}
+		}(w)
+	}
+
+	// Movers: OrElse monitors. The downstream hop is the preferred branch
+	// so the pipe drains ahead of filling; when both hops are blocked
+	// (empty upstreams, full downstreams) the mover parks transactionally
+	// until any watched word changes, or the run's context ends it.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !env.Stopped() {
+				err := m.OrElseContext(env.Ctx(),
+					func(tx *stm.DTx) error {
+						qs[2].PutTx(tx, qs[1].TakeTx(tx))
+						return nil
+					},
+					func(tx *stm.DTx) error {
+						qs[1].PutTx(tx, qs[0].TakeTx(tx))
+						return nil
+					},
+				)
+				if err != nil {
+					return // context cancelled: run is over
+				}
+				env.Op()
+			}
+		}(w)
+	}
+
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !env.Stopped() {
+				err := m.AtomicallyContext(env.Ctx(), func(tx *stm.DTx) error {
+					v := qs[2].TakeTx(tx)
+					stm.WriteVar(tx, outCnt, stm.ReadVar(tx, outCnt)+1)
+					stm.WriteVar(tx, outSum, stm.ReadVar(tx, outSum)+v)
+					return nil
+				})
+				if err != nil {
+					return
+				}
+				env.Op()
+			}
+		}(w)
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !env.Stopped() {
+			var ic, oc int64
+			var queued int
+			err := m.Atomically(func(tx *stm.DTx) error {
+				ic = stm.ReadVar(tx, inCnt)
+				oc = stm.ReadVar(tx, outCnt)
+				queued = qs[0].LenTx(tx) + qs[1].LenTx(tx) + qs[2].LenTx(tx)
+				return nil
+			})
+			if err != nil {
+				env.Violatef("mesh: audit failed: %v", err)
+				return
+			}
+			if ic != oc+int64(queued) {
+				env.Violatef("mesh: flow imbalance: in %d != out %d + queued %d", ic, oc, queued)
+				return
+			}
+			env.Checked()
+		}
+	}()
+
+	wg.Wait()
+
+	// Teardown: every worker has stopped, so the state is quiescent. Drain
+	// whatever is still in the pipe and balance the value sums exactly —
+	// a torn token (count moved, value lost) survives the flow audit but
+	// not this.
+	var drainCnt, drainSum int64
+	for i := range qs {
+		for {
+			v, ok := qs[i].TryTake()
+			if !ok {
+				break
+			}
+			drainCnt++
+			drainSum += v
+		}
+	}
+	ic, oc := inCnt.Load(), outCnt.Load()
+	is, os := inSum.Load(), outSum.Load()
+	if ic != oc+drainCnt {
+		env.Violatef("mesh: teardown count imbalance: in %d != out %d + drained %d", ic, oc, drainCnt)
+	}
+	if is != os+drainSum {
+		env.Violatef("mesh: teardown value imbalance: in %d != out %d + drained %d", is, os, drainSum)
+	}
+	env.Checked()
+	return nil
+}

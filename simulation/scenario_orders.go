@@ -1,0 +1,187 @@
+// The orders scenario: an order-matching book built from two structures
+// that must move in lockstep — an stmds.PQ of order IDs keyed by price and
+// an stmds.Map of open quantities — plus placed/matched total Vars.
+// Placement pushes the ID and inserts the quantity in one transaction;
+// matching pops the best ID and deletes its quantity in one transaction.
+// The auditors assert the cross-structure invariants that only atomicity
+// can hold: placed == matched + open, and book length == open orders.
+
+package simulation
+
+import (
+	"runtime"
+	"sync"
+
+	stm "github.com/stm-go/stm"
+	"github.com/stm-go/stm/stmds"
+)
+
+const (
+	ordersBookCap   = 48
+	ordersChurnBase = int64(1) << 62 // churn IDs live above real orders
+)
+
+type ordersScenario struct{}
+
+// Orders returns the order-book scenario.
+func Orders() Scenario { return ordersScenario{} }
+
+func (ordersScenario) Name() string { return "orders" }
+
+func (ordersScenario) Run(env *Env) error {
+	m, err := env.NewMemory(1 << 15)
+	if err != nil {
+		return err
+	}
+	open, err := stmds.NewMap[int64, int64](m, stm.Int64(), stm.Int64(), ordersBookCap)
+	if err != nil {
+		return err
+	}
+	book, err := stmds.NewPQ[int64](m, stm.Int64(), ordersBookCap)
+	if err != nil {
+		return err
+	}
+	placed, err := stm.Alloc[int64](m, stm.Int64())
+	if err != nil {
+		return err
+	}
+	matched, err := stm.Alloc[int64](m, stm.Int64())
+	if err != nil {
+		return err
+	}
+
+	placers := env.Workers() / 2
+	if placers == 0 {
+		placers = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < placers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := env.Stream(uint64(w))
+			id := int64(w+1) << 32 // per-placer ID space, never reused
+			for !env.Stopped() {
+				qty := int64(rng.Intn(90) + 10)
+				price := rng.Uint64() % 1000
+				ok := false
+				err := m.Atomically(func(tx *stm.DTx) error {
+					ok = book.TryPushTx(tx, id, price)
+					if !ok {
+						return nil // book full: place nothing anywhere
+					}
+					if _, _, err := open.PutTx(tx, id, qty); err != nil {
+						return err
+					}
+					stm.WriteVar(tx, placed, stm.ReadVar(tx, placed)+qty)
+					return nil
+				})
+				if err != nil {
+					env.Violatef("orders: place failed: %v", err)
+					return
+				}
+				if ok {
+					id++
+					env.Op()
+				} else {
+					runtime.Gosched() // book full; let matchers drain
+				}
+				// Fault injector: churn zero-quantity orders (IDs above the
+				// real range, worth nothing to the audits) so the map keeps
+				// resizing and tombstoning under the RangeTx auditors.
+				if env.FaultsOn() && rng.Intn(4) == 0 {
+					ck := ordersChurnBase + int64(rng.Intn(64))
+					if _, _, err := open.Put(ck, 0); err != nil {
+						env.Violatef("orders: churn put failed: %v", err)
+						return
+					}
+					open.Delete(ck)
+					env.CountMapChurn()
+				}
+			}
+		}(w)
+	}
+
+	matchers := env.Workers() - placers
+	if matchers == 0 {
+		matchers = 1
+	}
+	for w := 0; w < matchers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !env.Stopped() {
+				var missing int64 = -1
+				matchedOne := false
+				err := m.Atomically(func(tx *stm.DTx) error {
+					missing, matchedOne = -1, false
+					id, _, ok := book.TryTakeMinTx(tx)
+					if !ok {
+						return nil // book empty
+					}
+					qty, found := open.GetTx(tx, id)
+					if !found {
+						missing = id // judged after commit, outside the body
+						return nil
+					}
+					open.DeleteTx(tx, id)
+					stm.WriteVar(tx, matched, stm.ReadVar(tx, matched)+qty)
+					matchedOne = true
+					return nil
+				})
+				if err != nil {
+					env.Violatef("orders: match failed: %v", err)
+					return
+				}
+				if missing >= 0 {
+					env.Violatef("orders: atomicity broken: id %d in book but not in map", missing)
+					return
+				}
+				if matchedOne {
+					env.Op()
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}(w)
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !env.Stopped() {
+			var p, mt, openSum int64
+			var openCnt, bookLen int
+			err := m.Atomically(func(tx *stm.DTx) error {
+				p = stm.ReadVar(tx, placed)
+				mt = stm.ReadVar(tx, matched)
+				openSum, openCnt = 0, 0
+				open.RangeTx(tx, func(id, qty int64) bool {
+					if id < ordersChurnBase {
+						openSum += qty
+						openCnt++
+					}
+					return true
+				})
+				bookLen = book.LenTx(tx)
+				return nil
+			})
+			if err != nil {
+				env.Violatef("orders: audit failed: %v", err)
+				return
+			}
+			if p != mt+openSum {
+				env.Violatef("orders: quantity leak: placed %d != matched %d + open %d", p, mt, openSum)
+				return
+			}
+			if openCnt != bookLen {
+				env.Violatef("orders: book/map divergence: %d open orders, book length %d", openCnt, bookLen)
+				return
+			}
+			env.Checked()
+		}
+	}()
+
+	wg.Wait()
+	return nil
+}

@@ -2,11 +2,13 @@ package stm_test
 
 import (
 	"errors"
+	"math/rand"
 	"sync"
 	"testing"
 	"testing/quick"
 
 	stm "github.com/stm-go/stm"
+	"github.com/stm-go/stm/internal/simrand"
 )
 
 func mustNew(t *testing.T, size int) *stm.Memory {
@@ -262,7 +264,13 @@ func TestCASNMatchesSequentialSpec(t *testing.T) {
 		return true
 	}
 
-	if err := quick.Check(step, &quick.Config{MaxCount: 300}); err != nil {
+	// Seeded via simrand: the failing input sequence replays exactly from
+	// the seed logged on failure (STM_SIM_SEED).
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Rand:     rand.New(rand.NewSource(int64(simrand.SeedForTest(t)))),
+	}
+	if err := quick.Check(step, cfg); err != nil {
 		t.Error(err)
 	}
 }

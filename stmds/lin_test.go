@@ -13,6 +13,7 @@ import (
 
 	stm "github.com/stm-go/stm"
 	"github.com/stm-go/stm/internal/lin"
+	"github.com/stm-go/stm/internal/simrand"
 	"github.com/stm-go/stm/internal/xrand"
 	"github.com/stm-go/stm/stmds"
 )
@@ -49,6 +50,9 @@ func testMapLinearizable(t *testing.T, eng stm.Engine) {
 		workers = 3
 		opsPer  = 4
 	)
+	// Every worker stream in every round derives from one simrand base
+	// seed, printed with replay instructions (STM_SIM_SEED) on failure.
+	seed := simrand.SeedForTest(t)
 	for round := 0; round < rounds; round++ {
 		m := mustMemEngine(t, 1<<12, eng)
 		mp, err := stmds.NewMap[int64, int64](m, stm.Int64(), stm.Int64(), 0)
@@ -69,7 +73,7 @@ func testMapLinearizable(t *testing.T, eng stm.Engine) {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				rng := xrand.New(uint64(round*41+w) + 3)
+				rng := xrand.New(seed ^ (uint64(round*41+w) + 3))
 				for i := 0; i < opsPer; i++ {
 					switch rng.Uint64() % 3 {
 					case 0:
@@ -126,6 +130,7 @@ func testQueueLinearizable(t *testing.T, eng stm.Engine) {
 		opsPer  = 4
 		qcap    = 4
 	)
+	seed := simrand.SeedForTest(t)
 	for round := 0; round < rounds; round++ {
 		m := mustMemEngine(t, 64, eng)
 		q, err := stmds.NewQueue[int64](m, stm.Int64(), qcap)
@@ -138,7 +143,7 @@ func testQueueLinearizable(t *testing.T, eng stm.Engine) {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				rng := xrand.New(uint64(round*31+w) + 1)
+				rng := xrand.New(seed ^ (uint64(round*31+w) + 1))
 				for i := 0; i < opsPer; i++ {
 					if rng.Bool() {
 						v := rng.Uint64()%100 + 1
@@ -177,6 +182,7 @@ func testPQLinearizableDrain(t *testing.T, eng stm.Engine) {
 	// search: after any concurrent prefix, a single-threaded drain must
 	// come out sorted by priority.
 	const workers = 3
+	seed := simrand.SeedForTest(t)
 	m := mustMemEngine(t, 1<<10, eng)
 	pq, err := stmds.NewPQ[int64](m, stm.Int64(), 64)
 	if err != nil {
@@ -187,7 +193,7 @@ func testPQLinearizableDrain(t *testing.T, eng stm.Engine) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rng := xrand.New(uint64(w) + 11)
+			rng := xrand.New(seed ^ (uint64(w) + 11))
 			for i := 0; i < 20; i++ {
 				pq.Push(int64(w*100+i), rng.Uint64()%50)
 				if i%3 == 0 {
@@ -208,4 +214,103 @@ func testPQLinearizableDrain(t *testing.T, eng stm.Engine) {
 		}
 		last = p
 	}
+}
+
+func TestMapRangeTxSnapshotConsistent(t *testing.T) {
+	forEachEngine(t, testMapRangeTxSnapshotConsistent)
+}
+
+func testMapRangeTxSnapshotConsistent(t *testing.T, eng stm.Engine) {
+	// The RangeTx atomicity claim, checked the conservation way: workers
+	// move value between keys (and churn extra keys to keep resizes in
+	// flight) while snapshotters sum the whole map through RangeTx inside
+	// one transaction. Any torn snapshot breaks the constant sum.
+	const (
+		keys    = 16
+		initial = 1_000
+		workers = 3
+		moves   = 120
+	)
+	seed := simrand.SeedForTest(t)
+	m := mustMemEngine(t, 1<<14, eng)
+	mp, err := stmds.NewMap[int64, int64](m, stm.Int64(), stm.Int64(), keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(0); k < keys; k++ {
+		if _, _, err := mp.Put(k, initial); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var movers, snappers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		movers.Add(1)
+		go func(w int) {
+			defer movers.Done()
+			rng := xrand.New(seed ^ (uint64(w)*0x9e3779b97f4a7c15 + 7))
+			for i := 0; i < moves; i++ {
+				from, to := int64(rng.Intn(keys)), int64(rng.Intn(keys))
+				if err := m.Atomically(func(tx *stm.DTx) error {
+					va, _ := mp.GetTx(tx, from)
+					vb, _ := mp.GetTx(tx, to)
+					amt := va / 2
+					if from == to || amt == 0 {
+						return nil
+					}
+					if _, _, err := mp.PutTx(tx, from, va-amt); err != nil {
+						return err
+					}
+					_, _, err := mp.PutTx(tx, to, vb+amt)
+					return err
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				// Churn an ephemeral key (insert then delete) so incremental
+				// resizes run under the snapshotters.
+				ck := int64(keys + rng.Intn(64))
+				if _, _, err := mp.Put(ck, 0); err != nil {
+					t.Error(err)
+					return
+				}
+				mp.Delete(ck)
+			}
+		}(w)
+	}
+
+	snappers.Add(1)
+	go func() {
+		defer snappers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var sum int64
+			if err := m.Atomically(func(tx *stm.DTx) error {
+				sum = 0
+				mp.RangeTx(tx, func(k, v int64) bool {
+					if k < keys {
+						sum += v
+					}
+					return true
+				})
+				return nil
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+			if sum != keys*initial {
+				t.Errorf("RangeTx snapshot sum = %d, want %d", sum, keys*initial)
+				return
+			}
+		}
+	}()
+
+	movers.Wait()
+	close(stop)
+	snappers.Wait()
 }

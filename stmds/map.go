@@ -291,6 +291,58 @@ func (mp *Map[K, V]) LenTx(tx *stm.DTx) int {
 	return int(n)
 }
 
+// RangeTx iterates every live entry inside the caller's transaction,
+// calling yield for each until it returns false. The snapshot is atomic:
+// the whole table joins tx's read set, so the entries yielded are exactly
+// the map's content at the transaction's serialization point — this is
+// what the invariant checkers in the simulation package sum over.
+//
+// Atomicity here is bought with footprint: RangeTx reads the state word of
+// every slot (active and, mid-migration, old table), so it conflicts with
+// every concurrent mutation, and the dynamic layer revalidates its whole
+// snapshot on each footprint growth — an O(slots²) worst case per
+// execution. Keep ranged maps small (hundreds of entries), or take the
+// iteration out of hot paths; for a cheap conflict-free cardinality check
+// use LenTx. Entries are yielded in table order, which is not insertion
+// or key order. yield must follow the same rules as any code inside
+// Atomically (no side effects — it may run on snapshots that never
+// commit); mutating the map inside yield is allowed through the Tx forms
+// but the iteration does not re-visit slots it has already passed.
+func (mp *Map[K, V]) RangeTx(tx *stm.DTx, yield func(k K, v V) bool) {
+	op := mp.getOp()
+	defer mp.putOp(op)
+	abase, acap, obase, ocap := op.readCtl(tx)
+	if !op.rangeTable(tx, abase, acap, yield) {
+		return
+	}
+	if ocap != 0 {
+		// A live key exists in exactly one table mid-migration (writes
+		// tombstone the old copy in the same commit that installs the new),
+		// so scanning both tables never yields a key twice.
+		op.rangeTable(tx, obase, ocap, yield)
+	}
+}
+
+// rangeTable yields the live entries of one table; false means yield
+// stopped the iteration.
+func (op *mapOp[K, V]) rangeTable(tx *stm.DTx, base int, tcap uint64, yield func(k K, v V) bool) bool {
+	mp := op.mp
+	for i := uint64(0); i < tcap; i++ {
+		a := base + int(i)*mp.slotWords
+		if tx.Read(a) != slotFull {
+			continue
+		}
+		for j := 0; j < mp.kw; j++ {
+			op.kbuf[j] = tx.Read(a + 1 + j)
+		}
+		op.loadVal(tx, a)
+		if !yield(mp.kc.Decode(op.kbuf), op.prev) {
+			return false
+		}
+	}
+	return true
+}
+
 // getOp draws pooled operation scratch; putOp recycles it, dropping the
 // key/value references so an idle op retains nothing of its last caller.
 func (mp *Map[K, V]) getOp() *mapOp[K, V] { return mp.ops.Get().(*mapOp[K, V]) }

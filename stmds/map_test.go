@@ -440,3 +440,103 @@ func TestMapConcurrentSameKeys(t *testing.T) {
 		t.Errorf("Len = %d, but %d keys answer Get", got, n)
 	}
 }
+
+func TestMapRangeTx(t *testing.T) {
+	m := mustMem(t, 1<<12)
+	mp := mustMap(t, m, 8)
+	want := map[int64]int64{}
+	for k := int64(0); k < 20; k++ {
+		if _, _, err := mp.Put(k, k*10); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = k * 10
+	}
+	mp.Delete(3)
+	delete(want, 3)
+
+	got := map[int64]int64{}
+	var n int
+	if err := m.Atomically(func(tx *stm.DTx) error {
+		// Re-executions must not accumulate: reset per attempt.
+		got = map[int64]int64{}
+		n = 0
+		mp.RangeTx(tx, func(k, v int64) bool {
+			got[k] = v
+			n++
+			return true
+		})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || n != len(want) {
+		t.Fatalf("RangeTx yielded %d entries, want %d", n, len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("RangeTx[%d] = %d, want %d", k, got[k], v)
+		}
+	}
+
+	// Early stop: yield returning false ends the iteration.
+	if err := m.Atomically(func(tx *stm.DTx) error {
+		n = 0
+		mp.RangeTx(tx, func(k, v int64) bool {
+			n++
+			return n < 5
+		})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("early-stopped RangeTx yielded %d entries, want 5", n)
+	}
+}
+
+// TestMapRangeTxDuringMigration pins the no-duplicate claim: mid-resize a
+// live key is in exactly one table, so ranging both tables yields each key
+// once with its live value.
+func TestMapRangeTxDuringMigration(t *testing.T) {
+	m := mustMem(t, 1<<14)
+	mp := mustMap(t, m, 0) // minimal table: growth (and migration) happen early
+	const keys = 40
+	for k := int64(0); k < keys; k++ {
+		if _, _, err := mp.Put(k, k+1000); err != nil {
+			t.Fatal(err)
+		}
+		// Overwrite a prefix every round so some keys have old-table copies
+		// that later puts tombstone mid-migration.
+		if _, _, err := mp.Put(k/2, k/2+1000); err != nil {
+			t.Fatal(err)
+		}
+		got := map[int64]int64{}
+		dup := false
+		if err := m.Atomically(func(tx *stm.DTx) error {
+			got = map[int64]int64{}
+			dup = false
+			mp.RangeTx(tx, func(kk, vv int64) bool {
+				if _, seen := got[kk]; seen {
+					dup = true
+					return false
+				}
+				got[kk] = vv
+				return true
+			})
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if dup {
+			t.Fatalf("after %d puts: RangeTx yielded a key twice", k+1)
+		}
+		if len(got) != int(k)+1 {
+			t.Fatalf("after %d puts: RangeTx yielded %d keys", k+1, len(got))
+		}
+		for kk, vv := range got {
+			if vv != kk+1000 {
+				t.Fatalf("RangeTx[%d] = %d, want %d", kk, vv, kk+1000)
+			}
+		}
+	}
+}

@@ -127,6 +127,9 @@ func (s *Server) Memory() *stm.Memory { return s.mem }
 // per-batch path loads them instead of allocating closures.
 func (s *Server) NewSession(w io.Writer) *Session {
 	sess := &Session{srv: s, w: w}
+	// The session context is a child of the server's: Server.Close drains
+	// every parked blocking command, Session.Close just this session's.
+	sess.ctx, sess.cancel = context.WithCancel(s.ctx)
 	sess.batchFn = sess.runBatch
 	sess.blockFn = sess.runBlocking
 	sess.flushFn = sess.flush
@@ -227,10 +230,22 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve(ln)
 }
 
-// handleConn owns one connection: read chunks, Feed the session, close on
-// session end or error. The read buffer is sized so a deeply pipelined
-// client's whole burst usually arrives in one read and so one batch
-// commit.
+// handleConn owns one connection, split into a reader goroutine and this
+// feeder. The split exists for one failure mode: a session parked inside a
+// blocking command (BQPOP) holds the goroutine that would otherwise be the
+// one noticing the connection's death — a client that kills its connection
+// mid-BQPOP would leak the parked goroutine until server Close. The reader
+// owns conn.Read, so it observes the death immediately and cancels the
+// session, which unparks the blocked transaction (it replies nil into the
+// dead connection, harmlessly) and lets everything drain.
+//
+// The reader stays zero-copy-safe with two alternating buffers and an
+// unbuffered channel: Feed copies its input out of the chunk before
+// returning, and the unbuffered send means the reader cannot start
+// refilling a buffer until the feeder has finished Feeding the other one —
+// at most one read in flight ahead of the pipeline, no steady-state
+// allocation. Buffers are sized so a deeply pipelined client's whole burst
+// usually arrives in one read and so one batch commit.
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -241,18 +256,48 @@ func (s *Server) handleConn(conn net.Conn) {
 	}()
 
 	sess := s.NewSession(conn)
-	buf := make([]byte, 32<<10)
-	for {
-		n, err := conn.Read(buf)
-		if n > 0 {
-			if ferr := sess.Feed(buf[:n]); ferr != nil {
+	type chunk struct {
+		buf []byte
+		n   int
+	}
+	var (
+		ready = make(chan chunk)    // reader → feeder hand-off
+		done  = make(chan struct{}) // feeder exited; unblocks reader sends
+		rdone = make(chan struct{}) // reader exited; joins before conn cleanup
+	)
+	go func() {
+		defer close(rdone)
+		var bufs [2][]byte
+		bufs[0] = make([]byte, 32<<10)
+		bufs[1] = make([]byte, 32<<10)
+		for i := 0; ; i ^= 1 {
+			n, err := conn.Read(bufs[i])
+			if n > 0 {
+				select {
+				case ready <- chunk{bufs[i], n}:
+				case <-done:
+					return
+				}
+			}
+			if err != nil {
+				// Dead connection: unpark any blocking command the feeder
+				// is sitting in, then end the hand-off stream.
+				sess.Close()
+				close(ready)
 				return
 			}
 		}
-		if err != nil {
-			return
+	}()
+
+	for c := range ready {
+		if err := sess.Feed(c.buf[:c.n]); err != nil {
+			break
 		}
 	}
+	close(done)
+	sess.Close()
+	conn.Close()
+	<-rdone
 }
 
 // Close stops the server: listeners close, blocked BQPOPs unpark and

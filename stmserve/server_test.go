@@ -11,12 +11,15 @@ import (
 	"bytes"
 	"fmt"
 	"net"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	stm "github.com/stm-go/stm"
+	"github.com/stm-go/stm/internal/simrand"
+	"github.com/stm-go/stm/internal/xrand"
 )
 
 func forEachEngine(t *testing.T, f func(t *testing.T, eng stm.Engine)) {
@@ -242,6 +245,9 @@ func TestServerConcurrentConservation(t *testing.T) {
 			t.Fatalf("seed: %q", got)
 		}
 
+		// Transfer amounts derive from one simrand base seed, logged with
+		// replay instructions (STM_SIM_SEED) if the harness fails.
+		seed := simrand.SeedForTest(t)
 		var wg sync.WaitGroup
 		errc := make(chan error, clients+2)
 
@@ -249,13 +255,14 @@ func TestServerConcurrentConservation(t *testing.T) {
 			wg.Add(1)
 			go func(id int) {
 				defer wg.Done()
+				rng := xrand.New(seed ^ (uint64(id)*0x9e3779b97f4a7c15 + 1))
 				conn := dial(t, addr)
 				defer conn.Close()
 				r := bufio.NewReader(conn)
 				for i := 0; i < rounds; i++ {
 					// One transfer group and one pipelined INCR burst per
 					// round, all on one connection.
-					amt := (id+i)%7 + 1
+					amt := rng.Intn(7) + 1
 					fmt.Fprintf(conn,
 						"MULTI\r\nINCRBY acct:a -%d\r\nINCRBY acct:b %d\r\nEXEC\r\nINCR ops:%d\r\n",
 						amt, amt, id)
@@ -431,4 +438,74 @@ func parseTwoBulkInts(s string) (a, b int, ok bool) {
 		return 0, 0, false
 	}
 	return int(a64), int(b64), true
+}
+
+// TestConnKillDrainsParkedBQPOP pins the reader/feeder split in
+// handleConn: a client that dies while its BQPOP is parked must not leak
+// the session goroutine until server Close, and the dead waiter must not
+// consume an element pushed later.
+func TestConnKillDrainsParkedBQPOP(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, eng stm.Engine) {
+		srv := newTestServer(t, eng)
+		addr := serveTCP(t, srv)
+
+		base := runtime.NumGoroutine()
+		victim := dial(t, addr)
+		fmt.Fprintf(victim, "BQPOP dq\r\n")
+		// Let the session park on the empty queue, then kill the client.
+		time.Sleep(100 * time.Millisecond)
+		victim.Close()
+
+		// The reader notices the dead connection and cancels the session,
+		// unparking the BQPOP; everything for that connection drains.
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if n := runtime.NumGoroutine(); n > base {
+			t.Fatalf("goroutines did not drain after connection kill: %d > baseline %d", n, base)
+		}
+
+		// The dead waiter must not have consumed the push.
+		probe := dial(t, addr)
+		defer probe.Close()
+		r := bufio.NewReader(probe)
+		fmt.Fprintf(probe, "QPUSH dq late\r\nQLEN dq\r\n")
+		if got := readReply(r); got != ":1\r\n" {
+			t.Fatalf("QPUSH reply = %q, want :1", got)
+		}
+		if got := readReply(r); got != ":1\r\n" {
+			t.Fatalf("QLEN after dead-waiter drain = %q, want :1", got)
+		}
+	})
+}
+
+// TestSessionCloseUnparksBlocking pins Session.Close on the in-process
+// surface: a concurrent Close wakes a parked BQPOP, which replies nil.
+func TestSessionCloseUnparksBlocking(t *testing.T) {
+	srv := newTestServer(t, stm.ST)
+	var out bytes.Buffer
+	s := srv.NewSession(&out)
+
+	fed := make(chan error, 1)
+	go func() { fed <- s.Feed([]byte("BQPOP lonely\r\n")) }()
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case <-s.Done():
+		t.Fatal("session done before Close")
+	default:
+	}
+	s.Close()
+	select {
+	case err := <-fed:
+		if err != nil {
+			t.Fatalf("Feed after Close = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked BQPOP did not unpark on Session.Close")
+	}
+	<-s.Done()
+	if got := out.String(); got != "$-1\r\n" {
+		t.Fatalf("unparked BQPOP reply = %q, want nil bulk", got)
+	}
 }

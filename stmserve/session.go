@@ -32,10 +32,16 @@ import (
 //
 // A Session is not safe for concurrent use: Feed must be called from one
 // goroutine at a time, and a Feed carrying a blocking command blocks until
-// it can complete (or the server closes).
+// it can complete (or the session or server closes). The one exception is
+// Close, which may be called from any goroutine — including concurrently
+// with a Feed — to cancel the session's blocking commands; the server's
+// connection reader uses it to unpark a BQPOP whose connection died under
+// it.
 type Session struct {
-	srv *Server
-	w   io.Writer
+	srv    *Server
+	w      io.Writer
+	ctx    context.Context // cancelled by Close (or the server closing)
+	cancel context.CancelFunc
 
 	rbuf  []byte          // unconsumed input, torn frame at the front
 	argsb [maxArgs][]byte // parseFrame staging
@@ -68,6 +74,17 @@ type Session struct {
 // final reply has already been flushed; the caller should close the
 // connection.
 var ErrSessionClosed = errors.New("stmserve: session closed")
+
+// Close cancels the session's context, unparking any blocking command the
+// session is parked on (it replies nil, as on a lapsed timeout) and making
+// future ones return immediately. It is the one Session method safe to
+// call from another goroutine, and it is idempotent. Close does not write
+// to or close the session's writer.
+func (s *Session) Close() { s.cancel() }
+
+// Done is closed when the session has been Closed (or the server is
+// closing).
+func (s *Session) Done() <-chan struct{} { return s.ctx.Done() }
 
 // command ops. The reply-only ops carry protocol-state outcomes decided at
 // plan time into the ordered reply stream.
@@ -387,7 +404,7 @@ func (s *Session) runBatch(tx *stm.DTx) error {
 func (s *Session) execBlocking(c *command) {
 	s.wmark = len(s.wbuf)
 	s.bcmd = c
-	ctx := s.srv.ctx
+	ctx := s.ctx
 	var cancel context.CancelFunc
 	if c.toMS > 0 {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(c.toMS)*time.Millisecond)
