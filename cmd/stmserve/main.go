@@ -21,6 +21,15 @@
 //	:1
 //	:2
 //
+// The admin surface (off by default) mounts Prometheus /metrics, expvar
+// /debug/vars, and /debug/pprof on a separate listener:
+//
+//	stmserve -admin 127.0.0.1:7172 -obs hist
+//	curl -s localhost:7172/metrics | grep stmserve_commands_total
+//
+// SIGQUIT dumps the flight recorder (the most recent command/batch/session
+// events) to stderr before the runtime's usual goroutine dump.
+//
 // See the stmserve package documentation for the command vocabulary.
 package main
 
@@ -32,8 +41,24 @@ import (
 	"syscall"
 
 	stm "github.com/stm-go/stm"
+	"github.com/stm-go/stm/stmobs"
 	"github.com/stm-go/stm/stmserve"
 )
+
+// parseObsLevel maps the -obs flag to an observability level.
+func parseObsLevel(s string) (stm.ObsLevel, error) {
+	switch s {
+	case "off":
+		return stm.ObsOff, nil
+	case "counters":
+		return stm.ObsCounters, nil
+	case "hist":
+		return stm.ObsHistograms, nil
+	case "trace":
+		return stm.ObsTrace, nil
+	}
+	return stm.ObsOff, fmt.Errorf("-obs %q: want off, counters, hist, or trace", s)
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -51,11 +76,17 @@ func run(args []string) error {
 		keys   = fs.Int("keys", 4096, "keyspace size hint (entries before first growth)")
 		qcap   = fs.Int("qcap", 1024, "capacity of each named queue")
 		zcap   = fs.Int("zcap", 1024, "capacity of each named priority queue")
+		admin  = fs.String("admin", "", "admin HTTP listen address (/metrics, /debug/vars, /debug/pprof); empty disables")
+		obs    = fs.String("obs", "counters", `engine observability level ("off", "counters", "hist", "trace")`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	eng, err := stm.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
+	lvl, err := parseObsLevel(*obs)
 	if err != nil {
 		return err
 	}
@@ -70,6 +101,19 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	srv.Memory().Observe(stm.ObsConfig{Level: lvl})
+
+	if *admin != "" {
+		if err := stmobs.Publish("stmserve", srv.Memory()); err != nil {
+			return err
+		}
+		ln, err := stmobs.ServeAdmin(*admin, srv)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "stmserve: admin on http://%s (/metrics, /debug/vars, /debug/pprof)\n", ln.Addr())
+	}
 
 	// Graceful shutdown on SIGINT/SIGTERM: close listeners, unpark
 	// blocked BQPOPs, drain connections.
@@ -79,6 +123,17 @@ func run(args []string) error {
 		<-sig
 		fmt.Fprintln(os.Stderr, "stmserve: shutting down")
 		srv.Close()
+	}()
+
+	// SIGQUIT: dump the flight recorder, then hand the signal back to the
+	// runtime so its goroutine dump (and exit) still happen.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		<-quit
+		srv.DumpFlight(os.Stderr)
+		signal.Reset(syscall.SIGQUIT)
+		syscall.Kill(syscall.Getpid(), syscall.SIGQUIT)
 	}()
 
 	fmt.Fprintf(os.Stderr, "stmserve: serving on %s (engine=%s, %d words)\n", *addr, eng, *words)

@@ -15,6 +15,12 @@
 //	stmsim -suite canary -duration 10m   # long matrix run
 //	stmsim -suite sanity                 # only the planted bug; must be caught
 //	stmsim -suite smoke -seed 12345      # replay a failing run
+//
+// Suite mode can also emit machine-readable results and serve the admin
+// endpoints while running:
+//
+//	stmsim -suite canary -json results.jsonl   # one JSON object per run
+//	stmsim -suite canary -admin 127.0.0.1:7172 # /metrics, /debug/pprof
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"github.com/stm-go/stm/internal/sim"
 	"github.com/stm-go/stm/internal/workload"
 	"github.com/stm-go/stm/simulation"
+	"github.com/stm-go/stm/stmobs"
 )
 
 func main() {
@@ -45,6 +52,8 @@ func run(args []string) error {
 		engine   = fs.String("engine", "", "suite mode: restrict to one commit engine (st, tl2)")
 		workers  = fs.Int("workers", 4, "suite mode: worker goroutines per scenario")
 		nofaults = fs.Bool("nofaults", false, "suite mode: disarm fault injection")
+		jsonOut  = fs.String("json", "", "suite mode: write per-run JSONL records to this file")
+		admin    = fs.String("admin", "", "suite mode: admin HTTP listen address (/metrics, /debug/vars, /debug/pprof)")
 		kind     = fs.String("kind", "counting", "workload: counting, queue, resalloc")
 		method   = fs.String("method", "stm", "method: stm, stm-nohelp, stm-unsorted, herlihy, ttas, mcs")
 		arch     = fs.String("arch", "bus", "architecture: bus, net")
@@ -67,7 +76,11 @@ func run(args []string) error {
 	})
 
 	if *suite != "" {
-		return runSuite(*suite, *engine, *duration, *workers, *seed, seedSet, *nofaults)
+		return runSuite(suiteOpts{
+			tier: *suite, engine: *engine, duration: *duration,
+			workers: *workers, seed: *seed, seedSet: seedSet,
+			nofaults: *nofaults, jsonOut: *jsonOut, admin: *admin,
+		})
 	}
 
 	cycles := int64(500_000)
@@ -122,18 +135,28 @@ func run(args []string) error {
 	return nil
 }
 
+// suiteOpts carries the -suite mode flags.
+type suiteOpts struct {
+	tier, engine, duration string
+	workers                int
+	seed                   uint64
+	seedSet                bool
+	nofaults               bool
+	jsonOut, admin         string
+}
+
 // runSuite dispatches -suite mode to the simulation harness.
-func runSuite(tier, engine, duration string, workers int, seed uint64, seedSet bool, nofaults bool) error {
+func runSuite(o suiteOpts) error {
 	var cfg simulation.SuiteConfig
-	switch tier {
+	switch o.tier {
 	case "smoke":
 		cfg = simulation.Smoke()
 	case "canary":
 		total := time.Duration(0)
-		if duration != "" {
-			d, err := time.ParseDuration(duration)
+		if o.duration != "" {
+			d, err := time.ParseDuration(o.duration)
 			if err != nil {
-				return fmt.Errorf("-duration %q: suite mode wants wall time like 10m", duration)
+				return fmt.Errorf("-duration %q: suite mode wants wall time like 10m", o.duration)
 			}
 			total = d
 		}
@@ -143,36 +166,53 @@ func runSuite(tier, engine, duration string, workers int, seed uint64, seedSet b
 		cfg.Scenarios = []simulation.Scenario{} // only the planted bug
 		cfg.Duration = 2 * time.Second
 	default:
-		return fmt.Errorf("-suite %q: want smoke, canary, or sanity", tier)
+		return fmt.Errorf("-suite %q: want smoke, canary, or sanity", o.tier)
 	}
-	if tier != "canary" && duration != "" {
-		d, err := time.ParseDuration(duration)
+	if o.tier != "canary" && o.duration != "" {
+		d, err := time.ParseDuration(o.duration)
 		if err != nil {
-			return fmt.Errorf("-duration %q: suite mode wants wall time like 10m", duration)
+			return fmt.Errorf("-duration %q: suite mode wants wall time like 10m", o.duration)
 		}
 		cfg.Duration = d
 	}
-	if engine != "" {
-		e, err := stm.ParseEngine(engine)
+	if o.engine != "" {
+		e, err := stm.ParseEngine(o.engine)
 		if err != nil {
 			return err
 		}
 		cfg.Engines = []stm.Engine{e}
 	}
-	if workers > 0 {
-		cfg.Workers = workers
+	if o.workers > 0 {
+		cfg.Workers = o.workers
 	}
-	if seedSet {
-		cfg.Seed = seed
+	if o.seedSet {
+		cfg.Seed = o.seed
 	}
-	if nofaults {
+	if o.nofaults {
 		cfg.Faults = false
 		cfg.MinInject = 0
+	}
+	if o.jsonOut != "" {
+		f, err := os.Create(o.jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.JSONL = f
+	}
+	if o.admin != "" {
+		cfg.Publish = true // current run's Memory stays visible as "stmsim"
+		ln, err := stmobs.ServeAdmin(o.admin)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "stmsim: admin on http://%s (/metrics, /debug/vars, /debug/pprof)\n", ln.Addr())
 	}
 	cfg.Out = os.Stdout
 	_, ok := simulation.RunSuite(cfg)
 	if !ok {
-		return fmt.Errorf("suite %s failed", tier)
+		return fmt.Errorf("suite %s failed", o.tier)
 	}
 	return nil
 }

@@ -54,6 +54,12 @@ func (l *statLine) reason(r AbortReason) {
 // last bin holds everything from 2^(HistBins-2) up.
 const HistBins = 16
 
+// HistBucket maps a value to its log-scaled bin — the binning every
+// HistogramSnapshot in this module shares. External histogram producers
+// (the stmserve per-command metrics) use it so their distributions line up
+// bin-for-bin with the engine's.
+func HistBucket(v uint64) int { return histBucket(v) }
+
 // histBucket maps a value to its log-scaled bin.
 func histBucket(v uint64) int {
 	if v == 0 {

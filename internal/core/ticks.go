@@ -55,3 +55,15 @@ func startTicks() {
 
 // nowTicks reads the current tick count: one plain load, hot-path safe.
 func nowTicks() uint64 { return ticks.now.Load() }
+
+// StartTickSource launches the tick source if it is not already running.
+// Consumers outside the engine (the stmserve command-latency metrics, the
+// stmobs flight recorder) that read NowTicks without ever enabling
+// histogram-level observability call this once at setup.
+func StartTickSource() { startTicks() }
+
+// NowTicks reads the current coarse tick count: one plain load, safe on any
+// hot path. It advances only while the tick source runs (StartTickSource or
+// the first ObsHistograms-level Observe); before that it reads 0. The
+// precision contract above applies: ticks are monotone, not uniform.
+func NowTicks() uint64 { return nowTicks() }

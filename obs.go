@@ -92,6 +92,28 @@ const DefaultSampleEvery = core.DefaultSampleEvery
 // histogram bin 0. See the precision contract in DESIGN.md §12.
 const TickInterval = core.TickInterval
 
+// StartTicks launches the coarse tick source if it is not already running.
+// Code that builds its own tick-stamped telemetry on NowTicks (the stmserve
+// per-command metrics, the stmobs flight recorder) without enabling
+// histogram-level observability calls this once at setup; it is idempotent
+// and costs one sleeping goroutine for the life of the process.
+func StartTicks() { core.StartTickSource() }
+
+// NowTicks reads the current coarse tick count: one plain load, safe on any
+// hot path. Ticks advance only while the source runs (StartTicks, or the
+// first ObsHistograms-level Observe); multiply by TickInterval for nominal
+// wall time, subject to the §12 precision contract.
+func NowTicks() uint64 { return core.NowTicks() }
+
+// HistBins is the number of bins in every log-scaled histogram this module
+// records; see HistogramSnapshot for the bin layout.
+const HistBins = core.HistBins
+
+// HistBucket maps a value to its log-scaled histogram bin, the same binning
+// HistogramSnapshot uses — external histogram producers use it so their
+// distributions line up bin-for-bin with the engine's.
+func HistBucket(v uint64) int { return core.HistBucket(v) }
+
 // HistogramSnapshot is a point-in-time copy of one log-binned histogram;
 // see StatsSnapshot's histogram fields.
 type HistogramSnapshot = core.HistogramSnapshot

@@ -7,6 +7,7 @@ package simulation
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +15,7 @@ import (
 	stm "github.com/stm-go/stm"
 	"github.com/stm-go/stm/contention"
 	"github.com/stm-go/stm/internal/xrand"
+	"github.com/stm-go/stm/stmobs"
 )
 
 // Scenario is one whole-system workload. Run starts the scenario's
@@ -34,6 +36,7 @@ type Config struct {
 	Duration time.Duration // wall-clock run time (violations end runs early)
 	Workers  int           // worker-goroutine budget; scenarios split it
 	Faults   bool          // arm the Parker, storms, churn, and conn kills
+	Publish  bool          // stmobs.Publish attached Memories as "stmsim" (for -admin)
 }
 
 // Policies lists the contention-policy selectors Config.Policy accepts.
@@ -83,12 +86,18 @@ type Env struct {
 	memMu sync.Mutex
 	mems  []*stm.Memory
 
+	// flight records engine-level failure events (aborts, validation
+	// failures) from every attached Memory; Violatef captures its dump so
+	// the report can show the moments before the violation.
+	flight *stmobs.FlightRecorder
+
 	ops    atomic.Uint64
 	checks atomic.Uint64
 
 	vioMu      sync.Mutex
 	violations []string
 	vioDropped uint64
+	flightDump string
 }
 
 func newEnv(cfg Config) (*Env, error) {
@@ -103,7 +112,10 @@ func newEnv(cfg Config) (*Env, error) {
 		cfg.Duration = time.Second
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	env := &Env{cfg: cfg, factory: factory, ctx: ctx, cancel: cancel}
+	env := &Env{
+		cfg: cfg, factory: factory, ctx: ctx, cancel: cancel,
+		flight: stmobs.NewFlightRecorder(256),
+	}
 	if cfg.Faults {
 		env.parker = newParker(cfg.Seed)
 	}
@@ -162,14 +174,23 @@ func (e *Env) NewMemory(words int) (*stm.Memory, error) {
 // stmserve.Server) into the run: taxonomy counters on, the chaos hook
 // registered when faults are armed, and its stats folded into the Result.
 func (e *Env) Attach(m *stm.Memory) {
-	m.Observe(stm.ObsConfig{Level: stm.ObsCounters})
+	m.Observe(stm.ObsConfig{Level: stm.ObsCounters, Observer: e.flight})
 	if e.parker != nil {
 		m.SetChaos(e.parker.hook)
+	}
+	if e.cfg.Publish {
+		// Replace-on-republish keeps one stable expvar/Prometheus name
+		// across the suite's many short-lived Memories (stmsim -admin).
+		_ = stmobs.Publish("stmsim", m)
 	}
 	e.memMu.Lock()
 	e.mems = append(e.mems, m)
 	e.memMu.Unlock()
 }
+
+// Flight returns the run's flight recorder: scenarios may Record their own
+// events into it (producer kinds below 0xFF00), and a violation dumps it.
+func (e *Env) Flight() *stmobs.FlightRecorder { return e.flight }
 
 // Op records one completed scenario operation (a transfer, a match, a
 // token moved, one network round trip).
@@ -184,6 +205,13 @@ func (e *Env) Checked() { e.checks.Add(1) }
 // transaction, let it commit, then judge it.
 func (e *Env) Violatef(format string, args ...any) {
 	e.vioMu.Lock()
+	if len(e.violations) == 0 {
+		// First violation: freeze the flight recorder's view of the moments
+		// leading up to it, before teardown traffic overwrites the ring.
+		var b strings.Builder
+		_ = e.flight.Dump(&b, nil)
+		e.flightDump = b.String()
+	}
 	if len(e.violations) < maxViolations {
 		e.violations = append(e.violations, fmt.Sprintf(format, args...))
 	} else {
@@ -207,15 +235,16 @@ func (e *Env) CountMapChurn() {
 	}
 }
 
-// takeViolations snapshots the recorded messages.
-func (e *Env) takeViolations() []string {
+// takeViolations snapshots the recorded messages and the flight dump
+// captured at the first violation.
+func (e *Env) takeViolations() ([]string, string) {
 	e.vioMu.Lock()
 	defer e.vioMu.Unlock()
 	out := append([]string(nil), e.violations...)
 	if e.vioDropped > 0 {
 		out = append(out, fmt.Sprintf("... and %d more violations dropped", e.vioDropped))
 	}
-	return out
+	return out, e.flightDump
 }
 
 // sumStats folds the stats of every attached Memory (scenarios typically
@@ -285,7 +314,7 @@ func RunScenario(cfg Config, scn Scenario) Result {
 	res.Duration = time.Since(start)
 	res.Ops = env.ops.Load()
 	res.Checks = env.checks.Load()
-	res.Violations = env.takeViolations()
+	res.Violations, res.Flight = env.takeViolations()
 	res.Stats = env.sumStats()
 	if env.parker != nil {
 		res.Faults = env.parker.counts()

@@ -8,6 +8,7 @@ package simulation
 import (
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	stm "github.com/stm-go/stm"
@@ -27,7 +28,8 @@ type Result struct {
 	Faults     FaultCounts
 	Stats      stm.StatsSnapshot
 	Violations []string
-	Err        error // infrastructure failure, not an invariant verdict
+	Flight     string // flight-recorder dump captured at the first violation
+	Err        error  // infrastructure failure, not an invariant verdict
 }
 
 // OK reports whether the run completed with every invariant intact.
@@ -85,6 +87,11 @@ func WriteReport(w io.Writer, results []Result) {
 		if !r.OK() {
 			fmt.Fprintf(w, "          replay: stmsim -suite ... -seed %d (or STM_SIM_SEED=%d)\n",
 				r.Seed, r.Seed)
+			if r.Flight != "" {
+				for _, line := range strings.Split(strings.TrimRight(r.Flight, "\n"), "\n") {
+					fmt.Fprintf(w, "          %s\n", line)
+				}
+			}
 		}
 	}
 }

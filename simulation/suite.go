@@ -33,6 +33,8 @@ type SuiteConfig struct {
 	Sanity    bool      // run the broken scenario; REQUIRE it caught
 	MinInject int       // per faulted run, least distinct injectors that must fire
 	Out       io.Writer // progress and report; nil discards
+	JSONL     io.Writer // machine-readable per-run records (WriteJSONL); nil skips
+	Publish   bool      // keep the current run's Memories Published as "stmsim"
 }
 
 // Smoke is the CI tier: every scenario on both engines under the default
@@ -109,6 +111,7 @@ func RunSuite(cfg SuiteConfig) ([]Result, bool) {
 			Duration: cfg.Duration,
 			Workers:  cfg.Workers,
 			Faults:   cfg.Faults,
+			Publish:  cfg.Publish,
 		}, scn)
 	}
 	for _, eng := range cfg.Engines {
@@ -145,6 +148,12 @@ func RunSuite(cfg SuiteConfig) ([]Result, bool) {
 
 	fmt.Fprintln(out)
 	WriteReport(out, results)
+	if cfg.JSONL != nil {
+		if err := WriteJSONL(cfg.JSONL, results); err != nil {
+			fmt.Fprintf(out, "jsonl: write failed: %v\n", err)
+			ok = false
+		}
+	}
 	if cfg.Sanity {
 		fmt.Fprintln(out, "note: sanity VIOLATION entries are the expected outcome — the harness must catch its own planted bug")
 	}

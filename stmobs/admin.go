@@ -1,0 +1,68 @@
+package stmobs
+
+import (
+	"expvar"
+	"io"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+)
+
+// The HTTP admin surface: one mux carrying the three operational endpoints
+// a production deployment needs, mountable beside any server on an opt-in
+// listener (stmserve -admin, stmsim -admin):
+//
+//	/metrics       Prometheus text format: every Memory registered with
+//	               Publish, plus any producer Collectors (the stmserve
+//	               per-command metrics)
+//	/debug/vars    expvar JSON (the same Publish registry as StatsMap)
+//	/debug/pprof/  the standard runtime profiles (CPU, heap, goroutine,
+//	               block, mutex, trace) — pair with Do/Labels so profiles
+//	               attribute samples to transaction sites
+//
+// The admin surface is deliberately a separate listener from the serving
+// port: scraping, profiling, and dumping must keep working when the data
+// plane is saturated, and must be firewallable independently of it.
+
+// Collector adds producer-specific samples to an admin endpoint's
+// /metrics: WritePrometheus appends Prometheus text-format families.
+// stmserve.Server implements it.
+type Collector interface {
+	WritePrometheus(w io.Writer)
+}
+
+// AdminMux builds the admin mux: /metrics over every Published Memory plus
+// the given Collectors, /debug/vars, and /debug/pprof/*.
+func AdminMux(extra ...Collector) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		names, mems := published()
+		for i, name := range names {
+			WriteProm(w, name, mems[i])
+		}
+		for _, c := range extra {
+			c.WritePrometheus(w)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	return mux
+}
+
+// ServeAdmin listens on addr and serves AdminMux in a background
+// goroutine. It returns the bound listener — Close it to stop serving, or
+// read its Addr for the actual port when addr asked for :0.
+func ServeAdmin(addr string, extra ...Collector) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: AdminMux(extra...)}
+	go srv.Serve(ln)
+	return ln, nil
+}

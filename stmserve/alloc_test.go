@@ -35,6 +35,10 @@ func (w *sinkWriter) Write(p []byte) (int, error) {
 func TestAllocsSteadyStateFeed(t *testing.T) {
 	forEachEngine(t, func(t *testing.T, eng stm.Engine) {
 		srv := newTestServer(t, eng)
+		// Full telemetry on: the serving-layer metrics are always on, and the
+		// engine's histogram level is the most observability a production
+		// deployment runs with. The pins below must hold regardless.
+		srv.Memory().Observe(stm.ObsConfig{Level: stm.ObsHistograms})
 		var w sinkWriter
 		s := srv.NewSession(&w)
 
@@ -74,5 +78,24 @@ func TestAllocsSteadyStateFeed(t *testing.T) {
 		}
 		mustFeed(burst)
 		assertAllocs(t, "Feed/GETx8-pipelined", 0, func() { mustFeed(burst) })
+
+		// The zero-alloc runs above were measured, not metered-off: the
+		// telemetry they exercised must actually have counted them.
+		m := srv.Metrics()
+		for _, class := range []string{"get", "set", "incr", "qpush", "qpop"} {
+			for _, c := range m.Commands {
+				if c.Class == class && c.Count == 0 {
+					t.Errorf("class %s counted 0 commands with metrics on", class)
+				}
+			}
+		}
+		if m.BatchCommands.Total() == 0 || m.QueueDepth.Total() == 0 {
+			t.Errorf("batch/depth histograms empty: %d/%d observations",
+				m.BatchCommands.Total(), m.QueueDepth.Total())
+		}
+		// The snapshot and export paths may allocate (they build the copy) —
+		// but taking them must not disturb the command path's zero.
+		srv.Metrics()
+		assertAllocs(t, "Feed/GET-after-snapshot", 0, func() { mustFeed(get) })
 	})
 }

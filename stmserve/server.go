@@ -10,10 +10,12 @@ import (
 	"errors"
 	"io"
 	"net"
+	"os"
 	"sync"
 
 	stm "github.com/stm-go/stm"
 	"github.com/stm-go/stm/stmds"
+	"github.com/stm-go/stm/stmobs"
 )
 
 // serveQueue/servePQ are the element-typed structure forms the server
@@ -40,6 +42,9 @@ type Config struct {
 	// PQCapacity is the element capacity of each named priority queue.
 	// Default 1024.
 	PQCapacity int
+	// FlightEvents sizes the always-on flight recorder (rounded up to a
+	// power of two). Default 1024.
+	FlightEvents int
 }
 
 func (c Config) withDefaults() Config {
@@ -54,6 +59,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PQCapacity <= 0 {
 		c.PQCapacity = 1024
+	}
+	if c.FlightEvents <= 0 {
+		c.FlightEvents = 1024
 	}
 	return c
 }
@@ -71,6 +79,11 @@ type Server struct {
 	cfg Config
 	mem *stm.Memory
 	kv  *stmds.Map[wireKey, wireVal]
+
+	// Serving-layer telemetry (metrics.go): always-on striped metrics and
+	// the flight recorder.
+	met    *serverMetrics
+	flight *stmobs.FlightRecorder
 
 	// Named-structure registries. Structures are created on first write
 	// reference (QPUSH, BQPOP, ZADD) and live forever; the registry maps
@@ -107,6 +120,8 @@ func New(cfg Config) (*Server, error) {
 		cfg:    cfg,
 		mem:    mem,
 		kv:     kv,
+		met:    newServerMetrics(),
+		flight: stmobs.NewFlightRecorder(cfg.FlightEvents),
 		queues: make(map[string]*serveQueue),
 		pqs:    make(map[string]*servePQ),
 		ctx:    ctx,
@@ -126,13 +141,18 @@ func (s *Server) Memory() *stm.Memory { return s.mem }
 // commit-time flush are bound to function values here, once, so the
 // per-batch path loads them instead of allocating closures.
 func (s *Server) NewSession(w io.Writer) *Session {
-	sess := &Session{srv: s, w: w}
+	sess := &Session{srv: s, w: w, met: &sessionMetrics{}, id: s.met.sessions.Add(1)}
 	// The session context is a child of the server's: Server.Close drains
 	// every parked blocking command, Session.Close just this session's.
 	sess.ctx, sess.cancel = context.WithCancel(s.ctx)
 	sess.batchFn = sess.runBatch
 	sess.blockFn = sess.runBlocking
 	sess.flushFn = sess.flush
+	// Register the session's metrics stripe. The TCP loop retires it when
+	// the connection ends; in-process sessions stay registered (their
+	// counts keep appearing in snapshots through the live set).
+	s.met.register(sess.met)
+	s.flight.Record(flightSession, sess.id, 0, 0)
 	return sess
 }
 
@@ -248,14 +268,28 @@ func (s *Server) ListenAndServe(addr string) error {
 // usually arrives in one read and so one batch commit.
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.wg.Done()
+	s.met.accepted.Add(1)
+	s.met.active.Add(1)
 	defer func() {
 		conn.Close()
 		s.connMu.Lock()
 		delete(s.conns, conn)
 		s.connMu.Unlock()
+		s.met.active.Add(-1)
 	}()
 
 	sess := s.NewSession(conn)
+	// Dump-on-failure: a panic anywhere in this connection's pipeline ships
+	// the flight recorder's recent-event context to stderr before the
+	// process dies with the usual stack trace.
+	defer func() {
+		if r := recover(); r != nil {
+			s.flight.Record(flightPanic, sess.id, 0, 0)
+			s.DumpFlight(os.Stderr)
+			panic(r)
+		}
+	}()
+	defer sess.retire()
 	type chunk struct {
 		buf []byte
 		n   int
@@ -322,6 +356,7 @@ func (s *Server) Close() error {
 	s.cancel()
 
 	s.connMu.Lock()
+	s.met.killed.Add(uint64(len(s.conns)))
 	for conn := range s.conns {
 		conn.Close()
 	}

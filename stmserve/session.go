@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"sync/atomic"
 	"time"
 
 	stm "github.com/stm-go/stm"
@@ -59,6 +60,17 @@ type Session struct {
 	multiErr bool // a queued command was malformed; EXEC will abort
 	closing  bool // QUIT or protocol error: close after the final flush
 	dirtyKV  bool // batch contained a keyspace write: run Map.Maintain after
+
+	// Serving-layer telemetry (metrics.go). met is this session's stripe;
+	// depths stages queue lengths observed inside the executing transaction
+	// (rewound with the reply scratch on re-execution, folded into the
+	// stripe after the commit); poisonedF marks a protocol-error death for
+	// the lifecycle counters.
+	met       *sessionMetrics
+	id        uint64
+	depths    []uint32
+	poisonedF bool
+	retired   atomic.Bool
 
 	batchLo, batchHi int      // the executing batch's window into cmds
 	bcmd             *command // the executing blocking command
@@ -183,6 +195,8 @@ func (s *Session) Feed(p []byte) error {
 			// A poisoned stream: reply once, close, drop the rest.
 			s.cmds = append(s.cmds, command{op: opReplyErr, msg: err.Error()})
 			s.closing = true
+			s.poisonedF = true
+			s.srv.met.poisoned.Add(1)
 			pos = len(s.rbuf)
 			break
 		}
@@ -374,7 +388,9 @@ func (s *Session) execute() {
 		}
 		s.batchLo, s.batchHi = i, j
 		s.wmark = len(s.wbuf)
+		t0 := stm.NowTicks()
 		_ = s.srv.mem.Atomically(s.batchFn) // the body never returns an error
+		s.recordBatch(i, j, stm.NowTicks()-t0)
 		if s.dirtyKV {
 			// Keyspace maintenance (incremental resize, growth trigger)
 			// cannot run inside the batch transaction; amortize it here.
@@ -385,11 +401,64 @@ func (s *Session) execute() {
 	}
 }
 
+// recordBatch folds one committed batch into the session's metrics stripe
+// and the flight recorder: per-class counters, per-class latency (every
+// command in the batch is charged the batch's commit-to-commit duration —
+// that IS the latency the client observed for it), the batch-size
+// distribution, and the queue depths staged by the transaction body.
+func (s *Session) recordBatch(lo, hi int, dt uint64) {
+	bkt := stm.HistBucket(dt)
+	for i := lo; i < hi; i++ {
+		c := &s.cmds[i]
+		s.recordCmd(c.op, bkt, dt)
+		if c.op == opExec {
+			for j := c.lo; j < c.hi; j++ {
+				s.recordCmd(s.mq[j].op, bkt, dt)
+			}
+		}
+	}
+	s.met.batch[stm.HistBucket(uint64(hi-lo))].Add(1)
+	s.srv.flight.Record(flightBatch, s.id, uint64(hi-lo), dt)
+	s.foldDepths()
+}
+
+// recordCmd charges one executed command to its class.
+func (s *Session) recordCmd(op uint8, bkt int, dt uint64) {
+	cl := classOf[op]
+	s.met.cmds[cl].Add(1)
+	s.met.lat[cl][bkt].Add(1)
+	s.srv.flight.Record(flightCmd, s.id, uint64(cl), dt)
+}
+
+// foldDepths drains the staged queue-depth observations into the stripe.
+func (s *Session) foldDepths() {
+	for _, d := range s.depths {
+		s.met.qdepth[stm.HistBucket(uint64(d))].Add(1)
+	}
+	s.depths = s.depths[:0]
+}
+
+// retire releases the session's metrics stripe into the server totals and
+// records the session-close flight event. Idempotent; the TCP loop calls
+// it when the connection ends.
+func (s *Session) retire() {
+	if !s.retired.CompareAndSwap(false, true) {
+		return
+	}
+	how := uint64(1)
+	if s.poisonedF {
+		how = 2
+	}
+	s.srv.flight.Record(flightSession, s.id, how, 0)
+	s.srv.met.retire(s.met)
+}
+
 // runBatch is the batch transaction body: rewind the reply scratch to the
 // batch watermark (the body may re-execute), run every command in the
 // window through the shared Memory, and defer the flush to the commit.
 func (s *Session) runBatch(tx *stm.DTx) error {
 	s.wbuf = s.wbuf[:s.wmark]
+	s.depths = s.depths[:0] // staged observations rewind with the scratch
 	for i := s.batchLo; i < s.batchHi; i++ {
 		s.execCmd(tx, &s.cmds[i])
 	}
@@ -409,21 +478,30 @@ func (s *Session) execBlocking(c *command) {
 	if c.toMS > 0 {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(c.toMS)*time.Millisecond)
 	}
+	t0 := stm.NowTicks()
 	err := s.srv.mem.AtomicallyContext(ctx, s.blockFn)
+	dt := stm.NowTicks() - t0
 	if cancel != nil {
 		cancel()
 	}
 	if err != nil {
+		s.depths = s.depths[:0] // nothing was taken; drop the staged depth
 		s.wbuf = s.wbuf[:s.wmark]
 		s.wbuf = appendNilBulk(s.wbuf)
 		s.flush()
 	}
+	// A blocking command is charged its whole wait (that is its
+	// client-observed latency), served or lapsed.
+	s.recordCmd(opBQPop, stm.HistBucket(dt), dt)
+	s.foldDepths()
 }
 
 // runBlocking is the blocking-pop transaction body.
 func (s *Session) runBlocking(tx *stm.DTx) error {
 	s.wbuf = s.wbuf[:s.wmark]
+	s.depths = s.depths[:0]
 	v := s.bcmd.q.TakeTx(tx)
+	s.depths = append(s.depths, uint32(s.bcmd.q.LenTx(tx)))
 	s.wbuf = appendBulk(s.wbuf, v.bytes())
 	tx.OnCommit(s.flushFn)
 	return nil
@@ -514,7 +592,9 @@ func (s *Session) execCmd(tx *stm.DTx, c *command) {
 			s.wbuf = appendError(s.wbuf, msgQueueFull)
 			return
 		}
-		s.wbuf = appendInteger(s.wbuf, int64(c.q.LenTx(tx)))
+		n := int64(c.q.LenTx(tx))
+		s.depths = append(s.depths, uint32(n))
+		s.wbuf = appendInteger(s.wbuf, n)
 	case opQPop, opBQPop: // opBQPop only lands here inside EXEC: non-blocking
 		if c.q == nil {
 			s.wbuf = appendNilBulk(s.wbuf)
